@@ -1,0 +1,77 @@
+// Command cqbench regenerates every experiment table in EXPERIMENTS.md.
+//
+//	cqbench            # run everything at paper scale
+//	cqbench -quick     # small datasets (CI-sized)
+//	cqbench -run E3,E5 # selected experiments
+//	cqbench -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/diorama/continual/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cqbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cqbench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "use small datasets")
+	list := fs.Bool("list", false, "list experiments and exit")
+	runIDs := fs.String("run", "", "comma-separated experiment ids (default: all)")
+	rows := fs.Int("rows", 0, "override base relation size")
+	iters := fs.Int("iters", 0, "override measured iterations per point")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Desc)
+		}
+		return nil
+	}
+
+	scale := bench.Paper
+	if *quick {
+		scale = bench.Quick
+	}
+	if *rows > 0 {
+		scale.BaseRows = *rows
+	}
+	if *iters > 0 {
+		scale.Iterations = *iters
+	}
+
+	var selected []bench.Experiment
+	if *runIDs == "" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, err := bench.Find(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	fmt.Printf("cqbench: %d experiments, base rows = %d, iterations = %d\n\n",
+		len(selected), scale.BaseRows, scale.Iterations)
+	for _, e := range selected {
+		table, err := e.Run(scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		table.Render(os.Stdout)
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+// Command cqctl is the client for cqd:
+//
+//	cqctl -addr 127.0.0.1:7070 tables
+//	cqctl query 'SELECT * FROM stocks WHERE price > 120'
+//	cqctl snapshot stocks
+//	cqctl delta stocks 0
+//	cqctl watch 'SELECT * FROM stocks WHERE price > 120' -interval 1s
+//
+// watch installs a client-side continual query (a mirror evaluated by
+// DRA over shipped deltas) and prints each change as it arrives.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"github.com/diorama/continual/internal/remote"
+	"github.com/diorama/continual/internal/vclock"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cqctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cqctl", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "server address")
+	interval := fs.Duration("interval", time.Second, "watch poll interval")
+	count := fs.Int("count", 0, "watch: stop after N refreshes (0 = run forever)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: cqctl [flags] tables|query|snapshot|delta|watch ...")
+	}
+
+	client, err := remote.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = client.Close() }()
+
+	switch rest[0] {
+	case "tables":
+		tables, err := client.ListTables()
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			schema, err := client.Schema(t)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s %s\n", t, schema)
+		}
+		return nil
+
+	case "query":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: cqctl query '<select>'")
+		}
+		rel, now, err := client.Query(rest[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- %d rows at t=%d (%d bytes received)\n", rel.Len(), now, client.BytesRead())
+		fmt.Print(rel)
+		return nil
+
+	case "snapshot":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: cqctl snapshot <table>")
+		}
+		rel, now, err := client.Snapshot(rest[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- %d rows at t=%d\n", rel.Len(), now)
+		fmt.Print(rel)
+		return nil
+
+	case "delta":
+		if len(rest) < 3 {
+			return fmt.Errorf("usage: cqctl delta <table> <since-ts>")
+		}
+		since, err := strconv.ParseUint(rest[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad timestamp %q", rest[2])
+		}
+		d, now, err := client.DeltaSince(rest[1], vclock.Timestamp(since))
+		if err != nil {
+			return err
+		}
+		ins, del, mod := d.Counts()
+		fmt.Printf("-- %d delta rows (%d ins / %d del / %d mod) up to t=%d\n", d.Len(), ins, del, mod, now)
+		for _, r := range d.Rows() {
+			fmt.Printf("%s tid=%d ts=%d old=%v new=%v\n", r.Kind(), r.TID, r.TS, r.Old, r.New)
+		}
+		return nil
+
+	case "watch":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: cqctl watch '<select>'")
+		}
+		mirror, err := remote.NewMirrorCQ(client, rest[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- initial result: %d rows; polling every %s\n", mirror.Result().Len(), *interval)
+		refreshes := 0
+		for {
+			time.Sleep(*interval)
+			d, err := mirror.Refresh()
+			if err != nil {
+				return err
+			}
+			if d.Len() > 0 {
+				refreshes++
+				ins, del, mod := d.Counts()
+				fmt.Printf("t=%d: +%d -%d ~%d (result now %d rows, %d bytes total received)\n",
+					mirror.LastTS(), ins, del, mod, mirror.Result().Len(), client.BytesRead())
+			}
+			if *count > 0 && refreshes >= *count {
+				return nil
+			}
+		}
+
+	default:
+		return fmt.Errorf("unknown command %q", rest[0])
+	}
+}

@@ -1,0 +1,144 @@
+// Command cqd is the continual-query server daemon: it hosts a store of
+// information sources over TCP so clients (cqctl, or the remote client
+// library) can snapshot tables, pull differential windows, or run
+// queries. Tables and seed data load from a simple schema script.
+//
+//	cqd -listen 127.0.0.1:7070 -init schema.sql
+//
+// The init script holds one statement per line (or ;-separated): CREATE
+// TABLE and INSERT statements in the engine's dialect. A demo dataset is
+// loaded with -demo.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/remote"
+	"github.com/diorama/continual/internal/sql"
+	"github.com/diorama/continual/internal/storage"
+	"github.com/diorama/continual/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cqd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cqd", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7070", "listen address")
+	initFile := fs.String("init", "", "schema/seed script")
+	demo := fs.Bool("demo", false, "load the demo stock dataset")
+	demoRows := fs.Int("demo-rows", 1000, "demo dataset size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	store := storage.NewStore()
+	if *initFile != "" {
+		if err := loadScript(store, *initFile); err != nil {
+			return err
+		}
+	}
+	if *demo {
+		if err := store.CreateTable("stocks", workload.StockSchema()); err != nil {
+			return err
+		}
+		gen := workload.NewStocks(store, "stocks", 1, workload.DefaultMix)
+		if err := gen.Seed(*demoRows); err != nil {
+			return err
+		}
+	}
+
+	srv := remote.NewServer(store)
+	addr, err := srv.Serve(*listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cqd: serving %d tables on %s\n", len(store.TableNames()), addr)
+	for _, t := range store.TableNames() {
+		schema, _ := store.Schema(t)
+		fmt.Printf("  %s %s\n", t, schema)
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	<-sigs
+	fmt.Println("cqd: shutting down")
+	return srv.Close()
+}
+
+// loadScript executes CREATE TABLE / INSERT statements from a file.
+func loadScript(store *storage.Store, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	for _, stmtText := range strings.Split(string(raw), ";") {
+		stmtText = strings.TrimSpace(stmtText)
+		if stmtText == "" {
+			continue
+		}
+		stmt, err := sql.Parse(stmtText)
+		if err != nil {
+			return fmt.Errorf("script %q: %w", stmtText, err)
+		}
+		switch s := stmt.(type) {
+		case *sql.CreateTableStmt:
+			cols := make([]relation.Column, len(s.Columns))
+			for i, c := range s.Columns {
+				cols[i] = relation.Column{Name: c.Name, Type: c.Type}
+			}
+			schema, err := relation.NewSchema(cols...)
+			if err != nil {
+				return err
+			}
+			if err := store.CreateTable(s.Table, schema); err != nil {
+				return err
+			}
+		case *sql.InsertStmt:
+			if err := scriptInsert(store, s); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("script: unsupported statement %T", stmt)
+		}
+	}
+	return nil
+}
+
+func scriptInsert(store *storage.Store, s *sql.InsertStmt) error {
+	schema, err := store.Schema(s.Table)
+	if err != nil {
+		return err
+	}
+	tx := store.Begin()
+	for _, row := range s.Rows {
+		vals := make([]relation.Value, len(row))
+		for i, e := range row {
+			lit, ok := e.(*sql.Literal)
+			if !ok {
+				tx.Abort()
+				return fmt.Errorf("script: INSERT values must be literals")
+			}
+			vals[i] = lit.Value
+			if vals[i].Kind == relation.TInt && i < schema.Len() && schema.Col(i).Type == relation.TFloat {
+				vals[i] = relation.Float(float64(vals[i].AsInt()))
+			}
+		}
+		if _, err := tx.Insert(s.Table, vals); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	_, err = tx.Commit()
+	return err
+}

@@ -1,0 +1,265 @@
+// Package continual is an embedded continual-query engine: standing
+// queries over relational tables and wrapped external sources that are
+// re-evaluated differentially as the data changes, notifying subscribers
+// of exactly what changed.
+//
+// It is a from-scratch reproduction of "Differential Evaluation of
+// Continual Queries" (Liu, Pu, Barga, Zhou; ICDCS 1996). A continual
+// query is a triple (Q, Tcq, Stop): a SELECT query, a triggering
+// condition (a period, an update count, or an epsilon specification
+// bounding the magnitude of unseen changes), and a termination
+// condition. After a query's initial execution, refreshes are computed
+// by the Differential Re-evaluation Algorithm (DRA) over the update
+// stream — not by rescanning base data.
+//
+// # Quick start
+//
+//	db := continual.Open()
+//	defer db.Close()
+//	_ = db.Exec(`CREATE TABLE stocks (name STRING, price FLOAT)`)
+//	_ = db.Exec(`INSERT INTO stocks VALUES ('DEC', 150), ('IBM', 75)`)
+//
+//	sub, _ := db.Register("expensive", `SELECT * FROM stocks WHERE price > 120`)
+//	_ = db.Exec(`INSERT INTO stocks VALUES ('MAC', 130)`)
+//	db.Poll()
+//	change := <-sub.Updates() // change.Inserted == [["MAC", 130]]
+package continual
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/diorama/continual/internal/cq"
+	"github.com/diorama/continual/internal/diom"
+	"github.com/diorama/continual/internal/epsilon"
+	"github.com/diorama/continual/internal/sql"
+	"github.com/diorama/continual/internal/storage"
+)
+
+// Mode selects what each refresh of a continual query delivers.
+type Mode int
+
+// Result modes (Section 4.3 of the paper, step 4).
+const (
+	// Differential delivers only the changes since the previous result.
+	Differential Mode = iota + 1
+	// Complete delivers the full current result (maintained
+	// incrementally, not recomputed).
+	Complete
+	// Deletions delivers only tuples that left the result.
+	Deletions
+)
+
+// DB is an embedded continual query engine instance.
+type DB struct {
+	store    *storage.Store
+	manager  *cq.Manager
+	mediator *diom.Mediator
+}
+
+// Open creates an empty engine.
+func Open() *DB {
+	store := storage.NewStore()
+	return &DB{
+		store:    store,
+		manager:  cq.NewManager(store),
+		mediator: diom.NewMediator(store),
+	}
+}
+
+// Close shuts the engine down: the background loop stops and all
+// subscription channels close.
+func (db *DB) Close() error { return db.manager.Close() }
+
+// Exec runs a DDL or DML statement (CREATE TABLE, DROP TABLE, INSERT,
+// UPDATE, DELETE).
+func (db *DB) Exec(statement string) error {
+	stmt, err := sql.Parse(statement)
+	if err != nil {
+		return err
+	}
+	switch s := stmt.(type) {
+	case *sql.CreateTableStmt:
+		return db.execCreateTable(s)
+	case *sql.DropTableStmt:
+		return db.store.DropTable(s.Table)
+	case *sql.InsertStmt:
+		return db.execInsert(s)
+	case *sql.UpdateStmt:
+		return db.execUpdate(s)
+	case *sql.DeleteStmt:
+		return db.execDelete(s)
+	case *sql.CreateCQStmt:
+		return errors.New("continual: use RegisterSQL for CREATE CONTINUAL QUERY")
+	case *sql.SelectStmt:
+		return errors.New("continual: use Query for SELECT")
+	default:
+		return fmt.Errorf("continual: unsupported statement %T", stmt)
+	}
+}
+
+// Query runs a one-shot SELECT and returns the materialized rows.
+func (db *DB) Query(query string) (*Rows, error) {
+	rel, err := db.queryRelation(query)
+	if err != nil {
+		return nil, err
+	}
+	return fromRelation(rel), nil
+}
+
+// Option configures a continual query registration.
+type Option func(*cq.Def) error
+
+// TriggerEvery refreshes the query every n committed transactions
+// (logical clock ticks).
+func TriggerEvery(n int64) Option {
+	return func(d *cq.Def) error {
+		if n <= 0 {
+			return errors.New("continual: TriggerEvery needs n > 0")
+		}
+		d.Trigger = sql.TriggerSpec{Kind: sql.TriggerEvery, Every: n}
+		return nil
+	}
+}
+
+// TriggerUpdates refreshes the query after n update rows have touched its
+// operand tables.
+func TriggerUpdates(n int64) Option {
+	return func(d *cq.Def) error {
+		if n <= 0 {
+			return errors.New("continual: TriggerUpdates needs n > 0")
+		}
+		d.Trigger = sql.TriggerSpec{Kind: sql.TriggerUpdates, Updates: n}
+		return nil
+	}
+}
+
+// TriggerEpsilon refreshes the query when the accumulated net change of
+// the expression (e.g. "amount") across unseen updates reaches bound —
+// the paper's epsilon specification (Section 3.2).
+func TriggerEpsilon(bound float64, expr string) Option {
+	return func(d *cq.Def) error {
+		parsed, err := sql.ParseExpr(expr)
+		if err != nil {
+			return fmt.Errorf("continual: epsilon expression: %w", err)
+		}
+		d.Trigger = sql.TriggerSpec{Kind: sql.TriggerEpsilon, Bound: bound, On: parsed}
+		return nil
+	}
+}
+
+// EpsilonAbsolute switches epsilon accumulation from net change to
+// absolute per-update magnitude (catches churn that nets to zero).
+func EpsilonAbsolute() Option {
+	return func(d *cq.Def) error {
+		d.EpsilonMeasure = epsilon.MeasureAbsolute
+		return nil
+	}
+}
+
+// WithMode selects the notification mode.
+func WithMode(m Mode) Option {
+	return func(d *cq.Def) error {
+		switch m {
+		case Differential:
+			d.Mode = sql.ModeDifferential
+		case Complete:
+			d.Mode = sql.ModeComplete
+		case Deletions:
+			d.Mode = sql.ModeDeletions
+		default:
+			return fmt.Errorf("continual: unknown mode %d", m)
+		}
+		return nil
+	}
+}
+
+// StopAfter terminates the continual query after n executions (the
+// initial execution counts as 1).
+func StopAfter(n int64) Option {
+	return func(d *cq.Def) error {
+		if n <= 0 {
+			return errors.New("continual: StopAfter needs n > 0")
+		}
+		d.Stop = sql.StopSpec{AfterN: n}
+		return nil
+	}
+}
+
+// NotifyEmpty delivers refreshes even when nothing changed.
+func NotifyEmpty() Option {
+	return func(d *cq.Def) error {
+		d.NotifyEmpty = true
+		return nil
+	}
+}
+
+// Register installs a continual query and returns a subscription. The
+// query's initial result is available immediately via Subscription.Result.
+// The default trigger refreshes on every update batch; the default mode
+// is Differential.
+func (db *DB) Register(name, query string, opts ...Option) (*Subscription, error) {
+	def := cq.Def{Name: name, Query: query}
+	for _, opt := range opts {
+		if err := opt(&def); err != nil {
+			return nil, err
+		}
+	}
+	initial, err := db.manager.Register(def)
+	if err != nil {
+		return nil, err
+	}
+	return db.subscribe(name, initial)
+}
+
+// RegisterSQL installs a continual query from a CREATE CONTINUAL QUERY
+// statement:
+//
+//	CREATE CONTINUAL QUERY banksum AS
+//	  SELECT SUM(amount) AS total FROM accounts
+//	  TRIGGER EPSILON 500000 ON amount
+//	  MODE COMPLETE
+//	  STOP AFTER 100
+func (db *DB) RegisterSQL(statement string) (*Subscription, error) {
+	stmt, err := sql.Parse(statement)
+	if err != nil {
+		return nil, err
+	}
+	create, ok := stmt.(*sql.CreateCQStmt)
+	if !ok {
+		return nil, errors.New("continual: expected CREATE CONTINUAL QUERY")
+	}
+	initial, err := db.manager.Register(cq.Def{
+		Name:    create.Name,
+		Select:  create.Select,
+		Trigger: create.Trigger,
+		Mode:    create.Mode,
+		Stop:    create.Stop,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return db.subscribe(create.Name, initial)
+}
+
+// Poll evaluates every registered trigger against the pending updates and
+// refreshes the queries whose condition fired, synchronously. It returns
+// the number of refreshes.
+func (db *DB) Poll() int {
+	n, _ := db.manager.Poll()
+	return n
+}
+
+// Start launches a background loop calling Poll every interval. Close
+// stops it.
+func (db *DB) Start(interval time.Duration) error { return db.manager.Start(interval) }
+
+// CQNames lists registered continual queries.
+func (db *DB) CQNames() []string { return db.manager.Names() }
+
+// DropCQ removes a continual query and closes its subscriptions.
+func (db *DB) DropCQ(name string) error { return db.manager.Drop(name) }
+
+// Tables lists the tables (including wrapped sources).
+func (db *DB) Tables() []string { return db.store.TableNames() }

@@ -1,0 +1,87 @@
+// Filewatch demonstrates the DIOM translator path of Section 5.5: file
+// system updates are captured by middleware, translated into differential
+// relations, and fed into the DRA — a continual query then monitors the
+// directory like any relational table.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	continual "github.com/diorama/continual"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "filewatch")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+
+	write := func(name, content string) error {
+		return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+	}
+	if err := write("readme.md", "# project"); err != nil {
+		return err
+	}
+	if err := write("notes.txt", "initial notes"); err != nil {
+		return err
+	}
+
+	db := continual.Open()
+	defer func() { _ = db.Close() }()
+
+	if err := db.WatchDir("files", dir); err != nil {
+		return err
+	}
+	if _, err := db.Pump(); err != nil {
+		return err
+	}
+
+	// Monitor growing files: anything over 16 bytes.
+	sub, err := db.Register("bigfiles", `SELECT path, size FROM files WHERE size > 16`)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("watching %s — %d large files initially\n", dir, sub.Initial().Len())
+
+	steps := []struct {
+		desc string
+		do   func() error
+	}{
+		{"append to notes.txt", func() error { return write("notes.txt", "initial notes, now much much longer") }},
+		{"create big.log", func() error { return write("big.log", "0123456789012345678901234567890123456789") }},
+		{"remove big.log", func() error { return os.Remove(filepath.Join(dir, "big.log")) }},
+	}
+	for _, step := range steps {
+		if err := step.do(); err != nil {
+			return err
+		}
+		if _, err := db.Pump(); err != nil {
+			return err
+		}
+		db.Poll()
+		select {
+		case c := <-sub.Updates():
+			fmt.Printf("%-22s -> +%d -%d ~%d\n", step.desc, len(c.Inserted), len(c.Deleted), len(c.Modified))
+		default:
+			fmt.Printf("%-22s -> no relevant change\n", step.desc)
+		}
+	}
+
+	result, err := sub.Result()
+	if err != nil {
+		return err
+	}
+	fmt.Println("final large files:")
+	fmt.Println(result)
+	return nil
+}

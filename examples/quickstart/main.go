@@ -1,0 +1,69 @@
+// Quickstart: create a table, register a continual query, apply updates,
+// and receive differential notifications.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	continual "github.com/diorama/continual"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	db := continual.Open()
+	defer func() { _ = db.Close() }()
+
+	if err := db.Exec(`CREATE TABLE stocks (name STRING, price FLOAT)`); err != nil {
+		return err
+	}
+	if err := db.Exec(`INSERT INTO stocks VALUES ('DEC', 150), ('QLI', 145), ('IBM', 75)`); err != nil {
+		return err
+	}
+
+	// Example 2 of the paper: σ_price>120(Stocks) as a continual query.
+	sub, err := db.Register("expensive", `SELECT * FROM stocks WHERE price > 120`)
+	if err != nil {
+		return err
+	}
+	fmt.Println("initial result:")
+	fmt.Println(sub.Initial())
+
+	// Transaction T of Example 1: insert MAC@117, modify DEC to 149,
+	// delete QLI.
+	if err := db.Exec(`INSERT INTO stocks VALUES ('MAC', 117)`); err != nil {
+		return err
+	}
+	if err := db.Exec(`UPDATE stocks SET price = 149 WHERE name = 'DEC'`); err != nil {
+		return err
+	}
+	if err := db.Exec(`DELETE FROM stocks WHERE name = 'QLI'`); err != nil {
+		return err
+	}
+
+	db.Poll()
+	change := <-sub.Updates()
+	fmt.Printf("change #%d:\n", change.Seq)
+	for _, row := range change.Inserted {
+		fmt.Printf("  + %v\n", row)
+	}
+	for _, row := range change.Deleted {
+		fmt.Printf("  - %v\n", row)
+	}
+	for _, m := range change.Modified {
+		fmt.Printf("  ~ %v -> %v\n", m.Old, m.New)
+	}
+
+	result, err := sub.Result()
+	if err != nil {
+		return err
+	}
+	fmt.Println("current result:")
+	fmt.Println(result)
+	return nil
+}

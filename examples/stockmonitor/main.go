@@ -1,0 +1,101 @@
+// Stockmonitor reproduces query Q3 from the paper's introduction: "show
+// the IBM stock transactions that differ by more than $5 from $75 per
+// share" — an epsilon-style continual query over a simulated ticker.
+//
+// A feed source plays the role of the exchange; the monitor registers two
+// continual queries:
+//
+//   - q3: SELECT over the IBM transactions whose price is more than $5
+//     away from $75, refreshed on every batch;
+//   - swing: an epsilon-triggered query over the running IBM volume that
+//     only refreshes when at least 10,000 shares of unseen volume
+//     accumulate.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	continual "github.com/diorama/continual"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	db := continual.Open()
+	defer func() { _ = db.Close() }()
+
+	ticker, err := db.NewFeed("transactions",
+		continual.Column{Name: "sym", Type: continual.String},
+		continual.Column{Name: "price", Type: continual.Float},
+		continual.Column{Name: "shares", Type: continual.Int},
+	)
+	if err != nil {
+		return err
+	}
+
+	// Q3: IBM transactions differing by more than $5 from $75.
+	q3, err := db.Register("q3",
+		`SELECT sym, price, shares FROM transactions
+		 WHERE sym = 'IBM' AND ABS(price - 75) > 5`)
+	if err != nil {
+		return err
+	}
+
+	// Volume swing monitor with an epsilon trigger: refresh only when at
+	// least 10k shares of unseen IBM volume accumulate.
+	swing, err := db.Register("swing",
+		`SELECT SUM(shares) AS volume FROM transactions WHERE sym = 'IBM'`,
+		continual.TriggerEpsilon(10_000, "shares"),
+		continual.EpsilonAbsolute(),
+		continual.WithMode(continual.Complete))
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	syms := []string{"IBM", "DEC", "MAC", "QLI"}
+	for batch := 1; batch <= 8; batch++ {
+		for i := 0; i < 20; i++ {
+			sym := syms[rng.Intn(len(syms))]
+			price := 60 + rng.Float64()*30 // 60..90: some breach the $5 band
+			shares := int64(100 + rng.Intn(2000))
+			if err := ticker.Push(sym, price, shares); err != nil {
+				return err
+			}
+		}
+		if _, err := db.Pump(); err != nil {
+			return err
+		}
+		db.Poll()
+
+		drained := false
+		for !drained {
+			select {
+			case c := <-q3.Updates():
+				fmt.Printf("[q3] batch %d: %d new matching IBM transactions\n", batch, len(c.Inserted))
+				for _, row := range c.Inserted {
+					fmt.Printf("       %s @ %.2f x %d\n", row[0], row[1], row[2])
+				}
+			case c := <-swing.Updates():
+				if len(c.Complete) > 0 {
+					fmt.Printf("[swing] batch %d: IBM volume now %v (epsilon fired)\n", batch, c.Complete[0][0])
+				}
+			default:
+				drained = true
+			}
+		}
+	}
+
+	final, err := q3.Result()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("q3 final result: %d IBM transactions outside the $70-$80 band\n", final.Len())
+	return nil
+}

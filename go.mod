@@ -1,0 +1,3 @@
+module github.com/diorama/continual
+
+go 1.22

@@ -1,0 +1,448 @@
+package algebra
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/sql"
+)
+
+// catSource implements CatalogSource over a MapSource.
+type catSource struct{ MapSource }
+
+func (c catSource) Schema(table string) (relation.Schema, error) {
+	r, err := c.Relation(table)
+	if err != nil {
+		return relation.Schema{}, err
+	}
+	return r.Schema(), nil
+}
+
+func stocksSource(t *testing.T) catSource {
+	t.Helper()
+	stocks := relation.New(relation.MustSchema(
+		relation.Column{Name: "name", Type: relation.TString},
+		relation.Column{Name: "price", Type: relation.TFloat},
+	))
+	rows := []struct {
+		tid   relation.TID
+		name  string
+		price float64
+	}{
+		{1, "DEC", 150}, {2, "QLI", 145}, {3, "IBM", 75}, {4, "MAC", 117}, {5, "SUN", 30},
+	}
+	for _, r := range rows {
+		if err := stocks.Insert(relation.Tuple{TID: r.tid, Values: []relation.Value{relation.Str(r.name), relation.Float(r.price)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trades := relation.New(relation.MustSchema(
+		relation.Column{Name: "sym", Type: relation.TString},
+		relation.Column{Name: "volume", Type: relation.TInt},
+	))
+	tr := []struct {
+		tid relation.TID
+		sym string
+		vol int64
+	}{
+		{10, "DEC", 500}, {11, "IBM", 900}, {12, "IBM", 100}, {13, "XYZ", 5},
+	}
+	for _, r := range tr {
+		if err := trades.Insert(relation.Tuple{TID: r.tid, Values: []relation.Value{relation.Str(r.sym), relation.Int(r.vol)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return catSource{MapSource{"stocks": stocks, "trades": trades}}
+}
+
+func run(t *testing.T, src catSource, query string) *relation.Relation {
+	t.Helper()
+	out, err := RunQuery(query, src)
+	if err != nil {
+		t.Fatalf("RunQuery(%q): %v", query, err)
+	}
+	return out
+}
+
+func TestExecSelectWhere(t *testing.T) {
+	src := stocksSource(t)
+	out := run(t, src, "SELECT * FROM stocks WHERE price > 120")
+	if out.Len() != 2 {
+		t.Fatalf("σ_price>120 len = %d, want 2:\n%s", out.Len(), out)
+	}
+	for _, tu := range out.Tuples() {
+		if tu.Values[1].AsFloat() <= 120 {
+			t.Errorf("tuple %v violates predicate", tu)
+		}
+	}
+}
+
+func TestExecProjection(t *testing.T) {
+	src := stocksSource(t)
+	out := run(t, src, "SELECT name, price * 2 AS dbl FROM stocks WHERE name = 'IBM'")
+	if out.Len() != 1 {
+		t.Fatalf("len = %d:\n%s", out.Len(), out)
+	}
+	tu := out.At(0)
+	if tu.Values[0].AsString() != "IBM" || tu.Values[1].AsFloat() != 150 {
+		t.Errorf("projection values = %v", tu.Values)
+	}
+	if got := out.Schema().Col(1).Name; got != "dbl" {
+		t.Errorf("alias column = %q", got)
+	}
+}
+
+func TestExecJoin(t *testing.T) {
+	src := stocksSource(t)
+	out := run(t, src, "SELECT * FROM stocks s JOIN trades t ON s.name = t.sym")
+	if out.Len() != 3 { // DEC + IBM*2
+		t.Fatalf("join len = %d, want 3:\n%s", out.Len(), out)
+	}
+	// Comma-join with WHERE is equivalent.
+	out2 := run(t, src, "SELECT * FROM stocks s, trades t WHERE s.name = t.sym")
+	if !out.EqualContents(out2) {
+		t.Error("ON join and comma join disagree")
+	}
+	// Hash and nested-loop joins agree.
+	plan, err := PlanSQL("SELECT * FROM stocks s JOIN trades t ON s.name = t.sym", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exNL := NewExecutor(src)
+	exNL.UseHashJoin = false
+	nl, err := exNL.Execute(Optimize(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.EqualContents(nl) {
+		t.Error("hash join and nested loop disagree")
+	}
+}
+
+func TestExecJoinWithFilterAndResidual(t *testing.T) {
+	src := stocksSource(t)
+	out := run(t, src, "SELECT s.name, t.volume FROM stocks s JOIN trades t ON s.name = t.sym WHERE t.volume > 200 AND s.price > 100")
+	if out.Len() != 1 {
+		t.Fatalf("len = %d:\n%s", out.Len(), out)
+	}
+	if out.At(0).Values[0].AsString() != "DEC" {
+		t.Errorf("row = %v", out.At(0).Values)
+	}
+	// Non-equi residual inside ON.
+	out = run(t, src, "SELECT * FROM stocks s JOIN trades t ON s.name = t.sym AND t.volume > 400")
+	if out.Len() != 2 {
+		t.Fatalf("residual join len = %d, want 2:\n%s", out.Len(), out)
+	}
+}
+
+func TestExecCrossProduct(t *testing.T) {
+	src := stocksSource(t)
+	out := run(t, src, "SELECT * FROM stocks s, trades t")
+	if out.Len() != 5*4 {
+		t.Fatalf("cross product len = %d, want 20", out.Len())
+	}
+}
+
+func TestExecSelfJoin(t *testing.T) {
+	src := stocksSource(t)
+	out := run(t, src, "SELECT * FROM stocks a JOIN stocks b ON a.name = b.name")
+	if out.Len() != 5 {
+		t.Fatalf("self join len = %d, want 5", out.Len())
+	}
+}
+
+func TestExecAggregatesGlobal(t *testing.T) {
+	src := stocksSource(t)
+	out := run(t, src, "SELECT SUM(price) AS total, COUNT(*) AS n, AVG(price) AS avgp, MIN(price) AS lo, MAX(price) AS hi FROM stocks")
+	if out.Len() != 1 {
+		t.Fatalf("global aggregate rows = %d", out.Len())
+	}
+	vals := out.At(0).Values
+	if vals[0].AsFloat() != 517 {
+		t.Errorf("SUM = %v, want 517", vals[0])
+	}
+	if vals[1].AsInt() != 5 {
+		t.Errorf("COUNT = %v", vals[1])
+	}
+	if vals[2].AsFloat() != 517.0/5 {
+		t.Errorf("AVG = %v", vals[2])
+	}
+	if vals[3].AsFloat() != 30 || vals[4].AsFloat() != 150 {
+		t.Errorf("MIN/MAX = %v/%v", vals[3], vals[4])
+	}
+}
+
+func TestExecAggregateEmptyInput(t *testing.T) {
+	src := stocksSource(t)
+	out := run(t, src, "SELECT SUM(price) AS total, COUNT(*) AS n FROM stocks WHERE price > 10000")
+	if out.Len() != 1 {
+		t.Fatalf("rows = %d, want 1", out.Len())
+	}
+	if !out.At(0).Values[0].IsNull() {
+		t.Errorf("SUM over empty = %v, want NULL", out.At(0).Values[0])
+	}
+	if out.At(0).Values[1].AsInt() != 0 {
+		t.Errorf("COUNT over empty = %v, want 0", out.At(0).Values[1])
+	}
+}
+
+func TestExecGroupByHaving(t *testing.T) {
+	src := stocksSource(t)
+	out := run(t, src, "SELECT sym, SUM(volume) AS vol FROM trades GROUP BY sym")
+	if out.Len() != 3 {
+		t.Fatalf("groups = %d, want 3:\n%s", out.Len(), out)
+	}
+	bySym := map[string]int64{}
+	for _, tu := range out.Tuples() {
+		bySym[tu.Values[0].AsString()] = tu.Values[1].AsInt()
+	}
+	if bySym["IBM"] != 1000 || bySym["DEC"] != 500 || bySym["XYZ"] != 5 {
+		t.Errorf("sums = %v", bySym)
+	}
+	out = run(t, src, "SELECT sym, SUM(volume) AS vol FROM trades GROUP BY sym HAVING SUM(volume) > 400")
+	if out.Len() != 2 {
+		t.Fatalf("HAVING groups = %d, want 2:\n%s", out.Len(), out)
+	}
+}
+
+func TestExecDistinct(t *testing.T) {
+	src := stocksSource(t)
+	out := run(t, src, "SELECT DISTINCT sym FROM trades")
+	if out.Len() != 3 {
+		t.Fatalf("distinct = %d, want 3", out.Len())
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	src := stocksSource(t)
+	bad := []string{
+		"SELECT * FROM nosuch",
+		"SELECT nosuch FROM stocks",
+		"SELECT * FROM stocks WHERE nosuch > 1",
+		"SELECT name, SUM(price) FROM stocks", // mixed without GROUP BY
+		"SELECT * FROM stocks GROUP BY name",  // star with group by
+		"SELECT sym FROM trades GROUP BY sym HAVING SUM(nosuch) > 1",
+		"SELECT name FROM stocks HAVING price > 1", // HAVING without aggregate
+	}
+	for _, q := range bad {
+		if _, err := RunQuery(q, src); err == nil {
+			t.Errorf("RunQuery(%q) should fail", q)
+		}
+	}
+}
+
+func TestOptimizerPushesPredicatesBelowJoin(t *testing.T) {
+	src := stocksSource(t)
+	plan, err := PlanSQL("SELECT * FROM stocks s, trades t WHERE s.name = t.sym AND s.price > 100 AND t.volume > 10", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Optimize(plan)
+	rendered := RenderPlan(opt)
+	// The join must sit above per-side selects, and the equi predicate
+	// must be at the join.
+	lines := strings.Split(strings.TrimSpace(rendered), "\n")
+	if !strings.HasPrefix(lines[0], "Join") {
+		t.Errorf("optimized root = %q\n%s", lines[0], rendered)
+	}
+	if !strings.Contains(rendered, "Select (s.price > 100)") {
+		t.Errorf("price filter not pushed:\n%s", rendered)
+	}
+	if !strings.Contains(rendered, "Select (t.volume > 10)") {
+		t.Errorf("volume filter not pushed:\n%s", rendered)
+	}
+	// Results agree with the unoptimized plan.
+	want, err := NewExecutor(src).Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewExecutor(src).Execute(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.EqualContents(got) {
+		t.Error("optimization changed results")
+	}
+}
+
+func TestOptimizerOrdersCheapConjunctsFirst(t *testing.T) {
+	src := stocksSource(t)
+	plan, err := PlanSQL("SELECT * FROM stocks WHERE ABS(price - 75) > 5 AND name = 'IBM'", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Optimize(plan)
+	sel, ok := opt.(*SelectPlan)
+	if !ok {
+		t.Fatalf("root = %T", opt)
+	}
+	conj := SplitConjuncts(sel.Pred)
+	if !isLiteralComparison(conj[0]) {
+		t.Errorf("first conjunct should be the literal comparison, got %s", conj[0])
+	}
+}
+
+// Property: Optimize never changes query results over random data and a
+// pool of query shapes.
+func TestOptimizeEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	queries := []string{
+		"SELECT * FROM stocks WHERE price > %d",
+		"SELECT name FROM stocks WHERE price > %d AND name != 'Z'",
+		"SELECT * FROM stocks s, trades t WHERE s.name = t.sym AND t.volume > %d",
+		"SELECT s.name, t.volume FROM stocks s JOIN trades t ON s.name = t.sym WHERE s.price > %d",
+		"SELECT sym, SUM(volume) AS v FROM trades WHERE volume > %d GROUP BY sym",
+		"SELECT DISTINCT name FROM stocks WHERE price > %d",
+	}
+	src := stocksSource(t)
+	for trial := 0; trial < 60; trial++ {
+		q := fmt.Sprintf(queries[trial%len(queries)], rng.Intn(200))
+		plan, err := PlanSQL(q, src)
+		if err != nil {
+			t.Fatalf("plan %q: %v", q, err)
+		}
+		want, err := NewExecutor(src).Execute(plan)
+		if err != nil {
+			t.Fatalf("exec %q: %v", q, err)
+		}
+		got, err := NewExecutor(src).Execute(Optimize(plan))
+		if err != nil {
+			t.Fatalf("exec optimized %q: %v", q, err)
+		}
+		if !want.EqualContents(got) {
+			t.Fatalf("optimize changed results of %q:\n%s\nvs\n%s", q, want, got)
+		}
+	}
+}
+
+func TestExecStatsCountScans(t *testing.T) {
+	src := stocksSource(t)
+	plan, _ := PlanSQL("SELECT * FROM stocks", src)
+	ex := NewExecutor(src)
+	if _, err := ex.Execute(plan); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Stats.TuplesScanned != 5 || ex.Stats.TuplesOutput != 5 {
+		t.Errorf("stats = %+v", ex.Stats)
+	}
+}
+
+func TestTablesAndRenderPlan(t *testing.T) {
+	src := stocksSource(t)
+	plan, _ := PlanSQL("SELECT s.name FROM stocks s JOIN trades t ON s.name = t.sym WHERE t.volume > 1", src)
+	scans := Tables(plan)
+	if len(scans) != 2 || scans[0].Table != "stocks" || scans[1].Table != "trades" {
+		t.Errorf("Tables = %v", scans)
+	}
+	if HasAggregate(plan) {
+		t.Error("HasAggregate false positive")
+	}
+	agg, _ := PlanSQL("SELECT SUM(volume) FROM trades", src)
+	if !HasAggregate(agg) {
+		t.Error("HasAggregate false negative")
+	}
+}
+
+func TestExecOrderBy(t *testing.T) {
+	src := stocksSource(t)
+	out := run(t, src, "SELECT name, price FROM stocks ORDER BY price")
+	if out.Len() != 5 {
+		t.Fatalf("len = %d", out.Len())
+	}
+	prices := make([]float64, 0, out.Len())
+	for _, tu := range out.Tuples() {
+		prices = append(prices, tu.Values[1].AsFloat())
+	}
+	for i := 1; i < len(prices); i++ {
+		if prices[i] < prices[i-1] {
+			t.Fatalf("not ascending: %v", prices)
+		}
+	}
+	out = run(t, src, "SELECT name, price FROM stocks ORDER BY price DESC")
+	if out.At(0).Values[1].AsFloat() != 150 {
+		t.Errorf("DESC first = %v", out.At(0).Values)
+	}
+	// Multi-key with tie broken by second key.
+	out = run(t, src, "SELECT sym, volume FROM trades ORDER BY sym ASC, volume DESC")
+	if out.At(0).Values[0].AsString() != "DEC" {
+		t.Errorf("order = %v", out.At(0).Values)
+	}
+	ibmFirst := -1
+	for i, tu := range out.Tuples() {
+		if tu.Values[0].AsString() == "IBM" {
+			ibmFirst = i
+			break
+		}
+	}
+	if out.At(ibmFirst).Values[1].AsInt() != 900 {
+		t.Errorf("IBM volumes not DESC: %v", out.At(ibmFirst).Values)
+	}
+}
+
+func TestExecLimit(t *testing.T) {
+	src := stocksSource(t)
+	out := run(t, src, "SELECT * FROM stocks ORDER BY price DESC LIMIT 2")
+	if out.Len() != 2 {
+		t.Fatalf("limit = %d", out.Len())
+	}
+	if out.At(0).Values[1].AsFloat() != 150 || out.At(1).Values[1].AsFloat() != 145 {
+		t.Errorf("top-2 = %v %v", out.At(0).Values, out.At(1).Values)
+	}
+	out = run(t, src, "SELECT * FROM stocks LIMIT 0")
+	if out.Len() != 0 {
+		t.Errorf("LIMIT 0 = %d", out.Len())
+	}
+	out = run(t, src, "SELECT * FROM stocks LIMIT 100")
+	if out.Len() != 5 {
+		t.Errorf("over-limit = %d", out.Len())
+	}
+}
+
+func TestExecOrderByAggregates(t *testing.T) {
+	src := stocksSource(t)
+	out := run(t, src, "SELECT sym, SUM(volume) AS vol FROM trades GROUP BY sym ORDER BY vol DESC LIMIT 1")
+	if out.Len() != 1 || out.At(0).Values[0].AsString() != "IBM" {
+		t.Fatalf("top group = \n%s", out)
+	}
+}
+
+func TestOptimizerDoesNotPushThroughLimit(t *testing.T) {
+	src := stocksSource(t)
+	// A filter written above a LIMIT must not be pushed below it.
+	plan, err := PlanSQL("SELECT * FROM stocks ORDER BY price DESC LIMIT 3", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrap by hand: Select over Limit.
+	pred, _ := sql.ParseExpr("price > 100")
+	wrapped := &SelectPlan{Input: plan, Pred: pred}
+	opt := Optimize(wrapped)
+	want, err := NewExecutor(src).Execute(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewExecutor(src).Execute(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.EqualContents(got) {
+		t.Fatalf("optimizer changed limit semantics:\n%s\nvs\n%s", want, got)
+	}
+}
+
+func TestParseOrderLimitErrors(t *testing.T) {
+	src := stocksSource(t)
+	for _, q := range []string{
+		"SELECT * FROM stocks ORDER price",
+		"SELECT * FROM stocks LIMIT -1",
+		"SELECT * FROM stocks LIMIT x",
+		"SELECT * FROM stocks ORDER BY nosuch",
+	} {
+		if _, err := RunQuery(q, src); err == nil {
+			t.Errorf("RunQuery(%q) should fail", q)
+		}
+	}
+}

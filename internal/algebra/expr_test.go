@@ -1,0 +1,189 @@
+package algebra
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/sql"
+)
+
+func testSchema() relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "name", Type: relation.TString},
+		relation.Column{Name: "price", Type: relation.TFloat},
+		relation.Column{Name: "shares", Type: relation.TInt},
+		relation.Column{Name: "active", Type: relation.TBool},
+	)
+}
+
+func testTuple() relation.Tuple {
+	return relation.Tuple{TID: 1, Values: []relation.Value{
+		relation.Str("IBM"), relation.Float(75), relation.Int(100), relation.Bool(true),
+	}}
+}
+
+func evalStr(t *testing.T, expr string) relation.Value {
+	t.Helper()
+	e, err := sql.ParseExpr(expr)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	ce, err := Compile(e, testSchema())
+	if err != nil {
+		t.Fatalf("compile %q: %v", expr, err)
+	}
+	v, err := ce.Eval(testTuple())
+	if err != nil {
+		t.Fatalf("eval %q: %v", expr, err)
+	}
+	return v
+}
+
+func TestExprEvaluation(t *testing.T) {
+	tests := []struct {
+		expr string
+		want relation.Value
+	}{
+		{"price", relation.Float(75)},
+		{"price + 5", relation.Float(80)},
+		{"shares * 2", relation.Int(200)},
+		{"shares / 3", relation.Int(33)},
+		{"shares % 7", relation.Int(2)},
+		{"price / 2", relation.Float(37.5)},
+		{"-price", relation.Float(-75)},
+		{"ABS(price - 100)", relation.Float(25)},
+		{"ABS(0 - shares)", relation.Int(100)},
+		{"price > 70", relation.Bool(true)},
+		{"price > 80", relation.Bool(false)},
+		{"price >= 75", relation.Bool(true)},
+		{"price <= 75", relation.Bool(true)},
+		{"price != 75", relation.Bool(false)},
+		{"name = 'IBM'", relation.Bool(true)},
+		{"name != 'DEC'", relation.Bool(true)},
+		{"active", relation.Bool(true)},
+		{"NOT active", relation.Bool(false)},
+		{"price > 70 AND name = 'IBM'", relation.Bool(true)},
+		{"price > 80 OR name = 'IBM'", relation.Bool(true)},
+		{"price > 80 AND name = 'IBM'", relation.Bool(false)},
+		{"shares = 100", relation.Bool(true)},
+		{"shares > 99.5", relation.Bool(true)}, // cross int/float comparison
+		{"1 + 2 * 3", relation.Int(7)},
+		{"NULL", relation.NullValue()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.expr, func(t *testing.T) {
+			got := evalStr(t, tt.expr)
+			if !got.Equal(tt.want) {
+				t.Errorf("eval(%q) = %v, want %v", tt.expr, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestExprNullPropagation(t *testing.T) {
+	schema := relation.MustSchema(relation.Column{Name: "x", Type: relation.TFloat})
+	tup := relation.Tuple{TID: 1, Values: []relation.Value{relation.TypedNull(relation.TFloat)}}
+	for _, expr := range []string{"x + 1", "x > 0", "ABS(x)", "-x"} {
+		e, _ := sql.ParseExpr(expr)
+		ce, err := Compile(e, schema)
+		if err != nil {
+			t.Fatalf("compile %q: %v", expr, err)
+		}
+		v, err := ce.Eval(tup)
+		if err != nil {
+			t.Fatalf("eval %q: %v", expr, err)
+		}
+		if !v.IsNull() {
+			t.Errorf("eval(%q) = %v, want NULL", expr, v)
+		}
+	}
+	// NULL predicate collapses to false.
+	e, _ := sql.ParseExpr("x > 0")
+	ce, _ := Compile(e, schema)
+	ok, err := EvalPredicate(ce, tup)
+	if err != nil || ok {
+		t.Errorf("EvalPredicate(NULL) = %v, %v", ok, err)
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	e, _ := sql.ParseExpr("nosuch > 1")
+	if _, err := Compile(e, testSchema()); !errors.Is(err, ErrUnknownColumn) {
+		t.Errorf("unknown column err = %v", err)
+	}
+	e, _ = sql.ParseExpr("SUM(price)")
+	if _, err := Compile(e, testSchema()); !errors.Is(err, ErrAggregate) {
+		t.Errorf("aggregate compile err = %v", err)
+	}
+	e, _ = sql.ParseExpr("name + 1")
+	ce, err := Compile(e, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ce.Eval(testTuple()); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("string arithmetic err = %v", err)
+	}
+	e, _ = sql.ParseExpr("name > 1")
+	ce, _ = Compile(e, testSchema())
+	if _, err := ce.Eval(testTuple()); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("cross-type comparison err = %v", err)
+	}
+	e, _ = sql.ParseExpr("shares / 0")
+	ce, _ = Compile(e, testSchema())
+	if _, err := ce.Eval(testTuple()); !errors.Is(err, ErrDivideByZero) {
+		t.Errorf("div by zero err = %v", err)
+	}
+	e, _ = sql.ParseExpr("price + 1")
+	ce, _ = Compile(e, testSchema())
+	if _, err := EvalPredicate(ce, testTuple()); !errors.Is(err, ErrNotBoolean) {
+		t.Errorf("non-bool predicate err = %v", err)
+	}
+	e, _ = sql.ParseExpr("NOT price")
+	ce, _ = Compile(e, testSchema())
+	if _, err := ce.Eval(testTuple()); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("NOT on float err = %v", err)
+	}
+}
+
+func TestShortCircuitSkipsErrors(t *testing.T) {
+	// FALSE AND (1/0 = 1) must not error thanks to short circuit.
+	e, _ := sql.ParseExpr("active AND shares > 0")
+	ce, err := Compile(e, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := ce.Eval(testTuple()); err != nil || !v.AsBool() {
+		t.Errorf("AND eval = %v, %v", v, err)
+	}
+	e, _ = sql.ParseExpr("NOT active OR shares / 0 > 1")
+	ce, _ = Compile(e, testSchema())
+	if _, err := ce.Eval(testTuple()); err == nil {
+		t.Error("non-short-circuited division should error")
+	}
+}
+
+func TestColumnsOfAndConjuncts(t *testing.T) {
+	e, _ := sql.ParseExpr("a.x > 1 AND b.y = a.z AND ABS(c) < 2")
+	cols := ColumnsOf(e)
+	want := map[string]bool{"a.x": true, "b.y": true, "a.z": true, "c": true}
+	if len(cols) != 4 {
+		t.Fatalf("ColumnsOf = %v", cols)
+	}
+	for _, c := range cols {
+		if !want[c] {
+			t.Errorf("unexpected column %q", c)
+		}
+	}
+	conj := SplitConjuncts(e)
+	if len(conj) != 3 {
+		t.Fatalf("SplitConjuncts = %d", len(conj))
+	}
+	rejoined := JoinConjuncts(conj)
+	if rejoined.String() != e.String() {
+		t.Errorf("JoinConjuncts round trip: %s vs %s", rejoined, e)
+	}
+	if JoinConjuncts(nil) != nil {
+		t.Error("JoinConjuncts(nil) should be nil")
+	}
+}

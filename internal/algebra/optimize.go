@@ -1,0 +1,168 @@
+package algebra
+
+import (
+	"github.com/diorama/continual/internal/sql"
+)
+
+// Optimize applies the heuristic rewrites that Section 5.2 of the paper
+// prescribes for the differential terms ("Select before Join, ...
+// cheaper selection predicates before expensive ones"):
+//
+//  1. selection splitting — conjunctive predicates are split so each
+//     conjunct can move independently;
+//  2. predicate pushdown — each conjunct sinks to the lowest plan node
+//     whose schema covers its columns (in particular below joins);
+//  3. conjunct ordering — comparisons against literals are evaluated
+//     before more complex conjuncts.
+//
+// Optimize never changes the result of a plan, only its shape; the
+// equivalence is exercised by the property tests.
+func Optimize(p Plan) Plan {
+	return pushDown(p, nil)
+}
+
+// pushDown rewrites the subtree rooted at p, carrying a set of pending
+// conjuncts that are waiting to sink as deep as their columns allow.
+func pushDown(p Plan, pending []sql.Expr) Plan {
+	switch n := p.(type) {
+	case *SelectPlan:
+		// Absorb this node's conjuncts into the pending set and recurse.
+		pending = append(append([]sql.Expr(nil), pending...), SplitConjuncts(n.Pred)...)
+		return pushDown(n.Input, pending)
+
+	case *JoinPlan:
+		leftSchema := n.Left.Schema()
+		rightSchema := n.Right.Schema()
+		var toLeft, toRight, stay []sql.Expr
+		// The join's own ON conjuncts participate in pushdown too: a
+		// one-sided ON conjunct (e.g. a literal filter written in ON)
+		// sinks into the corresponding side.
+		all := pending
+		if n.On != nil {
+			all = append(append([]sql.Expr(nil), pending...), SplitConjuncts(n.On)...)
+		}
+		for _, c := range all {
+			switch {
+			case coveredBy(c, leftSchema):
+				toLeft = append(toLeft, c)
+			case coveredBy(c, rightSchema):
+				toRight = append(toRight, c)
+			default:
+				stay = append(stay, c)
+			}
+		}
+		left := pushDown(n.Left, toLeft)
+		right := pushDown(n.Right, toRight)
+		// Conjuncts spanning both sides stay at the join as its ON
+		// predicate (the executor extracts equi keys from them).
+		nj, err := NewJoinPlan(left, right, JoinConjuncts(orderConjuncts(stay)))
+		if err != nil {
+			// Schemas unchanged by pushdown; concat cannot fail here. Keep
+			// the original plan on the defensive path.
+			return p
+		}
+		return nj
+
+	case *ProjectPlan:
+		// Predicates above a projection reference output columns; sinking
+		// them through the rename is out of scope — re-emit above.
+		inner := pushDown(n.Input, nil)
+		np, err := NewProjectPlan(inner, n.Items)
+		if err != nil {
+			return wrapPending(p, pending)
+		}
+		return wrapPending(np, pending)
+
+	case *AggregatePlan:
+		inner := pushDown(n.Input, nil)
+		na, err := NewAggregatePlan(inner, n.GroupBy, n.Aggs, n.Having)
+		if err != nil {
+			return wrapPending(p, pending)
+		}
+		return wrapPending(na, pending)
+
+	case *DistinctPlan:
+		// Selection commutes with duplicate elimination.
+		inner := pushDown(n.Input, pending)
+		return &DistinctPlan{Input: inner}
+
+	case *SortPlan:
+		// Selection commutes with ordering.
+		inner := pushDown(n.Input, pending)
+		return &SortPlan{Input: inner, Keys: n.Keys}
+
+	case *LimitPlan:
+		// Predicates must NOT cross a limit (they would change which rows
+		// are cut off); re-apply above and optimize below independently.
+		inner := pushDown(n.Input, nil)
+		return wrapPending(&LimitPlan{Input: inner, N: n.N}, pending)
+
+	case *ScanPlan:
+		return wrapPending(n, pending)
+
+	default:
+		return wrapPending(p, pending)
+	}
+}
+
+// wrapPending re-applies pending conjuncts above a node, cheapest first.
+func wrapPending(p Plan, pending []sql.Expr) Plan {
+	ordered := orderConjuncts(pending)
+	if len(ordered) == 0 {
+		return p
+	}
+	return &SelectPlan{Input: p, Pred: JoinConjuncts(ordered)}
+}
+
+// coveredBy reports whether every column of the expression resolves in
+// the schema.
+func coveredBy(e sql.Expr, s interface {
+	ColIndex(string) (int, bool)
+}) bool {
+	for _, col := range ColumnsOf(e) {
+		if _, ok := s.ColIndex(col); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// orderConjuncts sorts conjuncts by estimated evaluation cost: literal
+// comparisons first, then everything else, preserving relative order
+// within each class ("cheaper selection predicate before expensive
+// ones").
+func orderConjuncts(es []sql.Expr) []sql.Expr {
+	if len(es) < 2 {
+		return es
+	}
+	var cheap, costly []sql.Expr
+	for _, e := range es {
+		if isLiteralComparison(e) {
+			cheap = append(cheap, e)
+		} else {
+			costly = append(costly, e)
+		}
+	}
+	return append(cheap, costly...)
+}
+
+// isLiteralComparison recognizes `col op literal` / `literal op col`.
+func isLiteralComparison(e sql.Expr) bool {
+	be, ok := e.(*sql.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case "=", "!=", "<", "<=", ">", ">=":
+	default:
+		return false
+	}
+	_, lCol := be.L.(*sql.ColumnRef)
+	_, rLit := be.R.(*sql.Literal)
+	if lCol && rLit {
+		return true
+	}
+	_, lLit := be.L.(*sql.Literal)
+	_, rCol := be.R.(*sql.ColumnRef)
+	return lLit && rCol
+}

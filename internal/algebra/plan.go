@@ -1,0 +1,301 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/sql"
+)
+
+// Plan is a logical query plan node. Plans are immutable once built; the
+// optimizer returns rewritten copies.
+type Plan interface {
+	Schema() relation.Schema
+	Children() []Plan
+	String() string
+}
+
+// ScanPlan reads a named base relation. Alias qualifies the columns.
+type ScanPlan struct {
+	Table  string
+	Alias  string // effective name used for column qualification
+	schema relation.Schema
+}
+
+// NewScanPlan builds a scan over a table with the (already qualified)
+// schema.
+func NewScanPlan(table, alias string, schema relation.Schema) *ScanPlan {
+	return &ScanPlan{Table: table, Alias: alias, schema: schema}
+}
+
+// Schema implements Plan.
+func (s *ScanPlan) Schema() relation.Schema { return s.schema }
+
+// Children implements Plan.
+func (s *ScanPlan) Children() []Plan { return nil }
+
+// String implements Plan.
+func (s *ScanPlan) String() string {
+	if s.Alias != s.Table {
+		return fmt.Sprintf("Scan(%s AS %s)", s.Table, s.Alias)
+	}
+	return fmt.Sprintf("Scan(%s)", s.Table)
+}
+
+// SelectPlan filters its input by a predicate (σ).
+type SelectPlan struct {
+	Input Plan
+	Pred  sql.Expr
+}
+
+// Schema implements Plan.
+func (s *SelectPlan) Schema() relation.Schema { return s.Input.Schema() }
+
+// Children implements Plan.
+func (s *SelectPlan) Children() []Plan { return []Plan{s.Input} }
+
+// String implements Plan.
+func (s *SelectPlan) String() string { return fmt.Sprintf("Select[%s](%s)", s.Pred, s.Input) }
+
+// ProjectItem is one output column of a projection.
+type ProjectItem struct {
+	Expr sql.Expr
+	Name string
+}
+
+// ProjectPlan computes output columns (π).
+type ProjectPlan struct {
+	Input  Plan
+	Items  []ProjectItem
+	schema relation.Schema
+}
+
+// NewProjectPlan builds a projection, deriving the output schema by
+// compiling each item against the input schema.
+func NewProjectPlan(input Plan, items []ProjectItem) (*ProjectPlan, error) {
+	cols := make([]relation.Column, len(items))
+	for i, it := range items {
+		ce, err := Compile(it.Expr, input.Schema())
+		if err != nil {
+			return nil, fmt.Errorf("project item %q: %w", it.Name, err)
+		}
+		cols[i] = relation.Column{Name: it.Name, Type: ce.Type()}
+	}
+	schema, err := relation.NewSchema(cols...)
+	if err != nil {
+		// Duplicate output names: disambiguate positionally.
+		for i := range cols {
+			cols[i].Name = fmt.Sprintf("%s_%d", cols[i].Name, i+1)
+		}
+		schema = relation.MustSchema(cols...)
+	}
+	return &ProjectPlan{Input: input, Items: items, schema: schema}, nil
+}
+
+// Schema implements Plan.
+func (p *ProjectPlan) Schema() relation.Schema { return p.schema }
+
+// Children implements Plan.
+func (p *ProjectPlan) Children() []Plan { return []Plan{p.Input} }
+
+// String implements Plan.
+func (p *ProjectPlan) String() string {
+	names := make([]string, len(p.Items))
+	for i, it := range p.Items {
+		names[i] = it.Name
+	}
+	return fmt.Sprintf("Project[%s](%s)", strings.Join(names, ","), p.Input)
+}
+
+// JoinPlan is an inner join (⋈). On may be nil (cross product); the
+// optimizer extracts equi-join keys into LeftKeys/RightKeys when it can,
+// enabling hash joins; Residual holds the non-equi remainder.
+type JoinPlan struct {
+	Left, Right Plan
+	On          sql.Expr
+	schema      relation.Schema
+}
+
+// NewJoinPlan builds a join; the output schema is the concatenation.
+func NewJoinPlan(left, right Plan, on sql.Expr) (*JoinPlan, error) {
+	schema, err := left.Schema().Concat(right.Schema())
+	if err != nil {
+		return nil, fmt.Errorf("join: %w", err)
+	}
+	return &JoinPlan{Left: left, Right: right, On: on, schema: schema}, nil
+}
+
+// Schema implements Plan.
+func (j *JoinPlan) Schema() relation.Schema { return j.schema }
+
+// Children implements Plan.
+func (j *JoinPlan) Children() []Plan { return []Plan{j.Left, j.Right} }
+
+// String implements Plan.
+func (j *JoinPlan) String() string {
+	if j.On == nil {
+		return fmt.Sprintf("Cross(%s, %s)", j.Left, j.Right)
+	}
+	return fmt.Sprintf("Join[%s](%s, %s)", j.On, j.Left, j.Right)
+}
+
+// AggSpec is one aggregate output.
+type AggSpec struct {
+	Func string   // SUM COUNT AVG MIN MAX
+	Arg  sql.Expr // nil for COUNT(*)
+	Name string
+}
+
+// AggregatePlan groups by the GroupBy expressions and computes aggregates.
+type AggregatePlan struct {
+	Input   Plan
+	GroupBy []ProjectItem
+	Aggs    []AggSpec
+	Having  sql.Expr
+	schema  relation.Schema
+}
+
+// NewAggregatePlan builds an aggregation node.
+func NewAggregatePlan(input Plan, groupBy []ProjectItem, aggs []AggSpec, having sql.Expr) (*AggregatePlan, error) {
+	cols := make([]relation.Column, 0, len(groupBy)+len(aggs))
+	for _, g := range groupBy {
+		ce, err := Compile(g.Expr, input.Schema())
+		if err != nil {
+			return nil, fmt.Errorf("group by %q: %w", g.Name, err)
+		}
+		cols = append(cols, relation.Column{Name: g.Name, Type: ce.Type()})
+	}
+	for _, a := range aggs {
+		typ := relation.TFloat
+		if a.Func == "COUNT" {
+			typ = relation.TInt
+		} else if a.Arg != nil {
+			ce, err := Compile(a.Arg, input.Schema())
+			if err != nil {
+				return nil, fmt.Errorf("aggregate %q: %w", a.Name, err)
+			}
+			switch a.Func {
+			case "MIN", "MAX":
+				typ = ce.Type()
+			case "SUM":
+				typ = ce.Type()
+				if typ != relation.TInt {
+					typ = relation.TFloat
+				}
+			}
+		}
+		cols = append(cols, relation.Column{Name: a.Name, Type: typ})
+	}
+	schema, err := relation.NewSchema(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("aggregate schema: %w", err)
+	}
+	return &AggregatePlan{Input: input, GroupBy: groupBy, Aggs: aggs, Having: having, schema: schema}, nil
+}
+
+// Schema implements Plan.
+func (a *AggregatePlan) Schema() relation.Schema { return a.schema }
+
+// Children implements Plan.
+func (a *AggregatePlan) Children() []Plan { return []Plan{a.Input} }
+
+// String implements Plan.
+func (a *AggregatePlan) String() string {
+	parts := make([]string, 0, len(a.Aggs))
+	for _, ag := range a.Aggs {
+		parts = append(parts, ag.Name)
+	}
+	return fmt.Sprintf("Aggregate[%s](%s)", strings.Join(parts, ","), a.Input)
+}
+
+// DistinctPlan removes duplicate rows (by value).
+type DistinctPlan struct {
+	Input Plan
+}
+
+// Schema implements Plan.
+func (d *DistinctPlan) Schema() relation.Schema { return d.Input.Schema() }
+
+// Children implements Plan.
+func (d *DistinctPlan) Children() []Plan { return []Plan{d.Input} }
+
+// String implements Plan.
+func (d *DistinctPlan) String() string { return fmt.Sprintf("Distinct(%s)", d.Input) }
+
+// Tables returns the base table names scanned by the plan, with their
+// aliases, in left-to-right order.
+func Tables(p Plan) []*ScanPlan {
+	var out []*ScanPlan
+	var walk func(Plan)
+	walk = func(p Plan) {
+		if s, ok := p.(*ScanPlan); ok {
+			out = append(out, s)
+			return
+		}
+		for _, c := range p.Children() {
+			walk(c)
+		}
+	}
+	walk(p)
+	return out
+}
+
+// HasAggregate reports whether the plan contains an Aggregate node.
+func HasAggregate(p Plan) bool {
+	if _, ok := p.(*AggregatePlan); ok {
+		return true
+	}
+	for _, c := range p.Children() {
+		if HasAggregate(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// SortItem is one ordering key of a SortPlan.
+type SortItem struct {
+	Expr sql.Expr
+	Desc bool
+}
+
+// SortPlan orders its input by the given keys (ties broken by tid for
+// determinism).
+type SortPlan struct {
+	Input Plan
+	Keys  []SortItem
+}
+
+// Schema implements Plan.
+func (s *SortPlan) Schema() relation.Schema { return s.Input.Schema() }
+
+// Children implements Plan.
+func (s *SortPlan) Children() []Plan { return []Plan{s.Input} }
+
+// String implements Plan.
+func (s *SortPlan) String() string {
+	keys := make([]string, len(s.Keys))
+	for i, k := range s.Keys {
+		keys[i] = k.Expr.String()
+		if k.Desc {
+			keys[i] += " DESC"
+		}
+	}
+	return fmt.Sprintf("Sort[%s](%s)", strings.Join(keys, ","), s.Input)
+}
+
+// LimitPlan truncates its input to N rows (in input order).
+type LimitPlan struct {
+	Input Plan
+	N     int64
+}
+
+// Schema implements Plan.
+func (l *LimitPlan) Schema() relation.Schema { return l.Input.Schema() }
+
+// Children implements Plan.
+func (l *LimitPlan) Children() []Plan { return []Plan{l.Input} }
+
+// String implements Plan.
+func (l *LimitPlan) String() string { return fmt.Sprintf("Limit[%d](%s)", l.N, l.Input) }

@@ -1,0 +1,255 @@
+package algebra
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/sql"
+)
+
+// Catalog resolves table names to schemas. The storage engine, the DIOM
+// mediator and the remote client all implement it.
+type Catalog interface {
+	Schema(table string) (relation.Schema, error)
+}
+
+// Planning errors.
+var (
+	ErrMixedProjection = errors.New("algebra: cannot mix aggregates and plain columns without GROUP BY")
+	ErrStarWithGroupBy = errors.New("algebra: SELECT * is not allowed with GROUP BY")
+)
+
+// PlanSelect lowers a parsed SELECT to a logical plan:
+//
+//	Distinct?(Project(Aggregate?(Select?(Join tree of Scans))))
+//
+// Every scan's columns are qualified with the table's effective name so
+// that multi-table predicates resolve unambiguously.
+func PlanSelect(stmt *sql.SelectStmt, cat Catalog) (Plan, error) {
+	if len(stmt.From) == 0 {
+		return nil, errors.New("algebra: SELECT requires a FROM clause")
+	}
+
+	// Build the join tree left-to-right.
+	var root Plan
+	for i, ref := range stmt.From {
+		schema, err := cat.Schema(ref.Table)
+		if err != nil {
+			return nil, fmt.Errorf("plan: %w", err)
+		}
+		scan := NewScanPlan(ref.Table, ref.Name(), schema.Qualify(ref.Name()))
+		if i == 0 {
+			root = scan
+			continue
+		}
+		joined, err := NewJoinPlan(root, scan, ref.On)
+		if err != nil {
+			return nil, err
+		}
+		root = joined
+	}
+
+	if stmt.Where != nil {
+		// Validate the predicate compiles against the joined schema.
+		if _, err := Compile(stmt.Where, root.Schema()); err != nil {
+			return nil, fmt.Errorf("WHERE: %w", err)
+		}
+		root = &SelectPlan{Input: root, Pred: stmt.Where}
+	}
+
+	if stmt.HasAggregates() || len(stmt.GroupBy) > 0 {
+		agg, err := planAggregate(stmt, root)
+		if err != nil {
+			return nil, err
+		}
+		return planOrderLimit(stmt, agg)
+	}
+
+	if stmt.Having != nil {
+		return nil, errors.New("algebra: HAVING requires GROUP BY or aggregates")
+	}
+
+	// Plain projection.
+	items, star, err := projectionItems(stmt, root.Schema())
+	if err != nil {
+		return nil, err
+	}
+	if !star {
+		proj, err := NewProjectPlan(root, items)
+		if err != nil {
+			return nil, err
+		}
+		root = proj
+	}
+	if stmt.Distinct {
+		root = &DistinctPlan{Input: root}
+	}
+	return planOrderLimit(stmt, root)
+}
+
+// planOrderLimit wraps the plan with Sort and Limit nodes as requested.
+func planOrderLimit(stmt *sql.SelectStmt, root Plan) (Plan, error) {
+	if len(stmt.OrderBy) > 0 {
+		keys := make([]SortItem, len(stmt.OrderBy))
+		for i, o := range stmt.OrderBy {
+			if _, err := Compile(o.Expr, root.Schema()); err != nil {
+				return nil, fmt.Errorf("ORDER BY: %w", err)
+			}
+			keys[i] = SortItem{Expr: o.Expr, Desc: o.Desc}
+		}
+		root = &SortPlan{Input: root, Keys: keys}
+	}
+	if stmt.Limit >= 0 {
+		root = &LimitPlan{Input: root, N: stmt.Limit}
+	}
+	return root, nil
+}
+
+// projectionItems expands the select list. star reports a bare `SELECT *`
+// (which keeps the input schema and needs no Project node).
+func projectionItems(stmt *sql.SelectStmt, schema relation.Schema) ([]ProjectItem, bool, error) {
+	if len(stmt.Items) == 1 && stmt.Items[0].Star {
+		return nil, true, nil
+	}
+	var items []ProjectItem
+	for i, it := range stmt.Items {
+		if it.Star {
+			for _, c := range schema.Columns() {
+				items = append(items, ProjectItem{Expr: &sql.ColumnRef{Name: c.Name}, Name: c.Name})
+			}
+			continue
+		}
+		name := it.Alias
+		if name == "" {
+			name = defaultItemName(it.Expr, i)
+		}
+		if _, err := Compile(it.Expr, schema); err != nil {
+			return nil, false, fmt.Errorf("projection %q: %w", name, err)
+		}
+		items = append(items, ProjectItem{Expr: it.Expr, Name: name})
+	}
+	return items, false, nil
+}
+
+func defaultItemName(e sql.Expr, i int) string {
+	switch ex := e.(type) {
+	case *sql.ColumnRef:
+		return ex.Name
+	case *sql.FuncCall:
+		arg := "*"
+		if ex.Arg != nil {
+			arg = ex.Arg.String()
+		}
+		return strings.ToLower(ex.Name) + "_" + sanitizeName(arg)
+	default:
+		return fmt.Sprintf("col_%d", i+1)
+	}
+}
+
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '.':
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() == 0 {
+		return "expr"
+	}
+	return b.String()
+}
+
+func planAggregate(stmt *sql.SelectStmt, input Plan) (Plan, error) {
+	if len(stmt.Items) == 1 && stmt.Items[0].Star {
+		return nil, ErrStarWithGroupBy
+	}
+	groupNames := make(map[string]bool, len(stmt.GroupBy))
+	var groupBy []ProjectItem
+	for _, g := range stmt.GroupBy {
+		col, ok := g.(*sql.ColumnRef)
+		name := ""
+		if ok {
+			name = col.Name
+		} else {
+			name = sanitizeName(g.String())
+		}
+		if _, err := Compile(g, input.Schema()); err != nil {
+			return nil, fmt.Errorf("GROUP BY %q: %w", name, err)
+		}
+		groupBy = append(groupBy, ProjectItem{Expr: g, Name: name})
+		groupNames[strings.ToLower(name)] = true
+	}
+
+	var aggs []AggSpec
+	// The output projection rebuilds the user's select list on top of the
+	// aggregate's schema (group columns + aggregate columns).
+	var outItems []ProjectItem
+	for i, it := range stmt.Items {
+		if it.Star {
+			return nil, ErrStarWithGroupBy
+		}
+		name := it.Alias
+		if name == "" {
+			name = defaultItemName(it.Expr, i)
+		}
+		switch ex := it.Expr.(type) {
+		case *sql.FuncCall:
+			if !sql.AggregateFuncs[ex.Name] {
+				return nil, fmt.Errorf("algebra: non-aggregate function %s in aggregate query", ex.Name)
+			}
+			aggs = append(aggs, AggSpec{Func: ex.Name, Arg: ex.Arg, Name: name})
+			outItems = append(outItems, ProjectItem{Expr: &sql.ColumnRef{Name: name}, Name: name})
+		case *sql.ColumnRef:
+			if !groupNames[strings.ToLower(ex.Name)] {
+				return nil, fmt.Errorf("%w: column %q", ErrMixedProjection, ex.Name)
+			}
+			outItems = append(outItems, ProjectItem{Expr: ex, Name: name})
+		default:
+			return nil, fmt.Errorf("%w: %s", ErrMixedProjection, it.Expr)
+		}
+	}
+
+	having := stmt.Having
+	if having != nil {
+		rewritten, err := HavingAggregateRewrite(having, aggs)
+		if err != nil {
+			return nil, err
+		}
+		having = rewritten
+	}
+	agg, err := NewAggregatePlan(input, groupBy, aggs, having)
+	if err != nil {
+		return nil, err
+	}
+	// If the select list is exactly group cols + aggs in order, skip the
+	// trailing projection.
+	if identityProjection(outItems, agg.Schema()) {
+		return agg, nil
+	}
+	return NewProjectPlan(agg, outItems)
+}
+
+func identityProjection(items []ProjectItem, schema relation.Schema) bool {
+	if len(items) != schema.Len() {
+		return false
+	}
+	for i, it := range items {
+		col, ok := it.Expr.(*sql.ColumnRef)
+		if !ok || !strings.EqualFold(col.Name, schema.Col(i).Name) || !strings.EqualFold(it.Name, schema.Col(i).Name) {
+			return false
+		}
+	}
+	return true
+}
+
+// PlanSQL parses and plans a SELECT in one step.
+func PlanSQL(query string, cat Catalog) (Plan, error) {
+	stmt, err := sql.ParseSelect(query)
+	if err != nil {
+		return nil, err
+	}
+	return PlanSelect(stmt, cat)
+}

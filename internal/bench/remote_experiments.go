@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/diorama/continual/internal/remote"
+	"github.com/diorama/continual/internal/storage"
+	"github.com/diorama/continual/internal/workload"
+)
+
+// remoteWorld is a server plus its workload generator.
+type remoteWorld struct {
+	store *storage.Store
+	srv   *remote.Server
+	addr  string
+	gen   *workload.Stocks
+}
+
+func newRemoteWorld(n int, seed int64) (*remoteWorld, error) {
+	store := storage.NewStore()
+	if err := store.CreateTable("stocks", workload.StockSchema()); err != nil {
+		return nil, err
+	}
+	gen := workload.NewStocks(store, "stocks", seed, workload.DefaultMix)
+	if err := gen.Seed(n); err != nil {
+		return nil, err
+	}
+	srv := remote.NewServer(store)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	return &remoteWorld{store: store, srv: srv, addr: addr, gen: gen}, nil
+}
+
+func (w *remoteWorld) close() { _ = w.srv.Close() }
+
+// E6 measures bytes on the wire per refresh: delta shipping (client-side
+// DRA over a mirror) vs full-result shipping (server executes the query,
+// ships the result), as the update volume grows (Section 5.1's network
+// traffic argument).
+func E6(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:     "E6",
+		Title:  "network bytes per refresh: delta shipping vs full-result shipping",
+		Note:   fmt.Sprintf("base |R| = %d, sigma(price>120) (~40%% selectivity)", scale.BaseRows),
+		Header: []string{"updates", "delta B", "full B", "full/delta"},
+	}
+	const query = "SELECT * FROM stocks WHERE price > 120"
+	for _, k := range []int{1, 10, 100, 1000} {
+		w, err := newRemoteWorld(scale.BaseRows, 6)
+		if err != nil {
+			return nil, err
+		}
+		client, err := remote.Dial(w.addr)
+		if err != nil {
+			w.close()
+			return nil, err
+		}
+		mirror, err := remote.NewMirrorCQ(client, query)
+		if err != nil {
+			client.Close()
+			w.close()
+			return nil, err
+		}
+		if err := w.gen.Batch(k); err != nil {
+			client.Close()
+			w.close()
+			return nil, err
+		}
+		base := client.BytesRead()
+		if _, err := mirror.Refresh(); err != nil {
+			client.Close()
+			w.close()
+			return nil, err
+		}
+		deltaBytes := client.BytesRead() - base
+
+		base = client.BytesRead()
+		if _, _, err := client.Query(query); err != nil {
+			client.Close()
+			w.close()
+			return nil, err
+		}
+		fullBytes := client.BytesRead() - base
+		_ = client.Close()
+		w.close()
+
+		ratioStr := "-"
+		if deltaBytes > 0 {
+			ratioStr = fmt.Sprintf("%.1fx", float64(fullBytes)/float64(deltaBytes))
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(k), fmt.Sprint(deltaBytes), fmt.Sprint(fullBytes), ratioStr,
+		})
+	}
+	return t, nil
+}
+
+// E7 measures server-side work per refresh round as clients multiply:
+// with client-side DRA the server only serves delta windows; with
+// server-side evaluation it re-executes the query per client
+// (Section 5.1: "caching the results on the client side makes the
+// servers more scalable with respect to the number of clients").
+func E7(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:     "E7",
+		Title:  "server work per refresh round vs number of clients",
+		Note:   "server tuples scanned per round (query execution only; delta shipping scans none)",
+		Header: []string{"clients", "srv tuples (full-shipping)", "srv tuples (delta-shipping)"},
+	}
+	const query = "SELECT * FROM stocks WHERE price > 120"
+	for _, nClients := range []int{1, 2, 4, 8, 16} {
+		w, err := newRemoteWorld(scale.BaseRows, 7)
+		if err != nil {
+			return nil, err
+		}
+		clients := make([]*remote.Client, nClients)
+		mirrors := make([]*remote.MirrorCQ, nClients)
+		ok := true
+		for i := range clients {
+			c, err := remote.Dial(w.addr)
+			if err != nil {
+				ok = false
+				break
+			}
+			clients[i] = c
+			m, err := remote.NewMirrorCQ(c, query)
+			if err != nil {
+				ok = false
+				break
+			}
+			mirrors[i] = m
+		}
+		if !ok {
+			w.close()
+			return nil, fmt.Errorf("E7: client setup failed")
+		}
+		if err := w.gen.Batch(50); err != nil {
+			w.close()
+			return nil, err
+		}
+
+		// Full-shipping round: every client runs the query on the server.
+		before := w.srv.Stats().TuplesExecuted
+		for _, c := range clients {
+			if _, _, err := c.Query(query); err != nil {
+				w.close()
+				return nil, err
+			}
+		}
+		fullWork := w.srv.Stats().TuplesExecuted - before
+
+		// Delta-shipping round: every client refreshes its mirror.
+		before = w.srv.Stats().TuplesExecuted
+		for _, m := range mirrors {
+			if _, err := m.Refresh(); err != nil {
+				w.close()
+				return nil, err
+			}
+		}
+		deltaWork := w.srv.Stats().TuplesExecuted - before
+
+		for _, c := range clients {
+			_ = c.Close()
+		}
+		w.close()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(nClients), fmt.Sprint(fullWork), fmt.Sprint(deltaWork),
+		})
+	}
+	return t, nil
+}

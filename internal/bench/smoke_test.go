@@ -1,0 +1,18 @@
+package bench
+
+import "testing"
+
+func TestAllExperimentsRunAtQuickScale(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(Quick)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Errorf("%s produced no rows", e.ID)
+			}
+		})
+	}
+}

@@ -1,0 +1,368 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/diorama/continual/internal/algebra"
+	"github.com/diorama/continual/internal/baseline"
+	"github.com/diorama/continual/internal/cq"
+	"github.com/diorama/continual/internal/delta"
+	"github.com/diorama/continual/internal/dra"
+	"github.com/diorama/continual/internal/epsilon"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/sql"
+	"github.com/diorama/continual/internal/storage"
+	"github.com/diorama/continual/internal/workload"
+)
+
+// E8 measures trigger-condition evaluation (Section 5.3): the
+// differential form of Tcq (scan only ΔCheckingAccounts) against the
+// complete form (SUM over the whole base relation). The paper: "the cost
+// of evaluating the differential form of Tcq is cheaper ... when
+// |CheckingAccounts| > |ΔCheckingAccounts|".
+func E8(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:     "E8",
+		Title:  "trigger evaluation: differential Tcq vs base-relation scan",
+		Note:   fmt.Sprintf("|CheckingAccounts| = %d", scale.BaseRows),
+		Header: []string{"|dR|", "diff us", "full scan us", "full/diff"},
+	}
+	store := storage.NewStore()
+	if err := store.CreateTable("accounts", workload.AccountSchema()); err != nil {
+		return nil, err
+	}
+	gen := workload.NewAccounts(store, "accounts", 8)
+	for i := 0; i < scale.BaseRows; i++ {
+		if err := gen.Deposit(0); err != nil {
+			return nil, err
+		}
+	}
+	amountExpr, err := sql.ParseExpr("amount")
+	if err != nil {
+		return nil, err
+	}
+	sumPlan, err := algebra.PlanSQL("SELECT SUM(amount) AS total FROM accounts", store.Live())
+	if err != nil {
+		return nil, err
+	}
+
+	for _, k := range []int{1, 10, 100, 1000} {
+		mark := store.Now()
+		if err := gen.Activity(k); err != nil {
+			return nil, err
+		}
+		window, err := store.DeltaSince("accounts", mark)
+		if err != nil {
+			return nil, err
+		}
+		acct, err := epsilon.NewAccountant(
+			epsilon.Spec{Expr: amountExpr, Bound: 1e18}, workload.AccountSchema())
+		if err != nil {
+			return nil, err
+		}
+		diffT, err := stopwatch(scale.Iterations, func() error {
+			acct.Reset()
+			return acct.Observe(window)
+		})
+		if err != nil {
+			return nil, err
+		}
+		fullT, err := stopwatch(scale.Iterations, func() error {
+			_, err := algebra.NewExecutor(store.Live()).Execute(sumPlan)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(window.Len()), us(diffT), us(fullT), ratio(diffT, fullT),
+		})
+	}
+	return t, nil
+}
+
+// E9 measures differential-relation garbage collection (Section 5.4):
+// with the system active delta zone advancing, retained delta rows stay
+// bounded; without GC they grow linearly with the update volume.
+func E9(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:     "E9",
+		Title:  "garbage collection by active delta zone",
+		Note:   "100-update batches; fast CQ refreshes every batch, slow CQ every 5th",
+		Header: []string{"round", "retained rows (GC on)", "retained rows (GC off)"},
+	}
+	type world struct {
+		store *storage.Store
+		mgr   *cq.Manager
+		gen   *workload.Stocks
+	}
+	mk := func(gc bool) (*world, error) {
+		store := storage.NewStore()
+		if err := store.CreateTable("stocks", workload.StockSchema()); err != nil {
+			return nil, err
+		}
+		mgr := cq.NewManagerConfig(store, cq.Config{UseDRA: true, AutoGC: gc})
+		gen := workload.NewStocks(store, "stocks", 9, workload.DefaultMix)
+		if err := gen.Seed(scale.BaseRows / 10); err != nil {
+			return nil, err
+		}
+		if _, err := mgr.Register(cq.Def{Name: "fast", Query: "SELECT * FROM stocks WHERE price > 150"}); err != nil {
+			return nil, err
+		}
+		if _, err := mgr.Register(cq.Def{
+			Name:    "slow",
+			Query:   "SELECT * FROM stocks WHERE price > 100",
+			Trigger: sql.TriggerSpec{Kind: sql.TriggerEvery, Every: 5},
+		}); err != nil {
+			return nil, err
+		}
+		return &world{store: store, mgr: mgr, gen: gen}, nil
+	}
+	on, err := mk(true)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = on.mgr.Close() }()
+	off, err := mk(false)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = off.mgr.Close() }()
+
+	for round := 1; round <= 20; round++ {
+		for _, w := range []*world{on, off} {
+			if err := w.gen.Batch(100); err != nil {
+				return nil, err
+			}
+			if _, err := w.mgr.Poll(); err != nil {
+				return nil, err
+			}
+		}
+		if round%4 == 0 {
+			a, _ := on.store.DeltaLen("stocks")
+			b, _ := off.store.DeltaLen("stocks")
+			t.Rows = append(t.Rows, []string{fmt.Sprint(round), fmt.Sprint(a), fmt.Sprint(b)})
+		}
+	}
+	return t, nil
+}
+
+// E10 sweeps the epsilon bound of the checking-account CQ: smaller
+// epsilons refresh more often (Section 3.2: the E-spec bounds the
+// distance between consecutive results).
+func E10(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:     "E10",
+		Title:  "epsilon bound vs refresh count",
+		Note:   "fixed stream of 400 deposits/withdrawals (~50k average magnitude)",
+		Header: []string{"epsilon", "refreshes", "max divergence seen"},
+	}
+	for _, bound := range []float64{100_000, 500_000, 1_000_000, 2_000_000, 4_000_000} {
+		store := storage.NewStore()
+		if err := store.CreateTable("accounts", workload.AccountSchema()); err != nil {
+			return nil, err
+		}
+		mgr := cq.NewManager(store)
+		on, _ := sql.ParseExpr("amount")
+		if _, err := mgr.Register(cq.Def{
+			Name:    "banksum",
+			Query:   "SELECT SUM(amount) AS total FROM accounts",
+			Trigger: sql.TriggerSpec{Kind: sql.TriggerEpsilon, Bound: bound, On: on},
+			Mode:    sql.ModeComplete,
+		}); err != nil {
+			_ = mgr.Close()
+			return nil, err
+		}
+		gen := workload.NewAccounts(store, "accounts", 10)
+		refreshes := 0
+		maxDiv := 0.0
+		for i := 0; i < 400; i++ {
+			if err := gen.Activity(1); err != nil {
+				_ = mgr.Close()
+				return nil, err
+			}
+			st, err := mgr.State("banksum")
+			if err != nil {
+				_ = mgr.Close()
+				return nil, err
+			}
+			if st.Divergence > maxDiv {
+				maxDiv = st.Divergence
+			}
+			n, err := mgr.Poll()
+			if err != nil {
+				_ = mgr.Close()
+				return nil, err
+			}
+			refreshes += n
+		}
+		_ = mgr.Close()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1fM", bound/1e6), fmt.Sprint(refreshes), fmt.Sprintf("%.0fk", maxDiv/1e3),
+		})
+	}
+	return t, nil
+}
+
+// E11 compares DRA against the Terry-style append-only baseline
+// (Section 2): identical on append-only streams, increasingly stale under
+// general updates.
+func E11(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:     "E11",
+		Title:  "append-only continuous queries vs DRA under general updates",
+		Note:   "staleness = |append-only result XOR true result| after 10 rounds of 100 updates",
+		Header: []string{"workload", "true |result|", "append-only |result|", "stale tuples"},
+	}
+	for _, mode := range []struct {
+		name string
+		mix  workload.Mix
+	}{
+		{"append-only", workload.AppendOnlyMix},
+		{"general (15/5/80)", workload.DefaultMix},
+	} {
+		store := storage.NewStore()
+		if err := store.CreateTable("stocks", workload.StockSchema()); err != nil {
+			return nil, err
+		}
+		gen := workload.NewStocks(store, "stocks", 11, mode.mix)
+		if err := gen.Seed(scale.BaseRows / 10); err != nil {
+			return nil, err
+		}
+		plan, err := algebra.PlanSQL("SELECT * FROM stocks WHERE price > 120", store.Live())
+		if err != nil {
+			return nil, err
+		}
+		plan = algebra.Optimize(plan)
+		ao, err := baseline.NewAppendOnly(plan, store.Live())
+		if err != nil {
+			return nil, err
+		}
+		last := store.Now()
+		for round := 0; round < 10; round++ {
+			if err := gen.Batch(100); err != nil {
+				return nil, err
+			}
+			d, err := store.DeltaSince("stocks", last)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := ao.Step(map[string]*delta.Delta{"stocks": d}, store.At(last), store.Live(), store.Now()); err != nil {
+				return nil, err
+			}
+			last = store.Now()
+		}
+		truth, err := algebra.NewExecutor(store.Live()).Execute(plan)
+		if err != nil {
+			return nil, err
+		}
+		stale := symmetricDiff(truth, ao.Result())
+		t.Rows = append(t.Rows, []string{
+			mode.name, fmt.Sprint(truth.Len()), fmt.Sprint(ao.Result().Len()), fmt.Sprint(stale),
+		})
+	}
+	return t, nil
+}
+
+func symmetricDiff(a, b *relation.Relation) int {
+	n := 0
+	for _, t := range a.Tuples() {
+		bt, ok := b.Lookup(t.TID)
+		if !ok || !tupleEqual(t, bt) {
+			n++
+		}
+	}
+	for _, t := range b.Tuples() {
+		if !a.Has(t.TID) {
+			n++
+		}
+	}
+	return n
+}
+
+func tupleEqual(a, b relation.Tuple) bool {
+	if len(a.Values) != len(b.Values) {
+		return false
+	}
+	for i := range a.Values {
+		if !a.Values[i].Equal(b.Values[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// A4 ablates incremental aggregate maintenance: the checking-account sum
+// maintained from per-group counts and sums (O(|Δ|)) vs the Propagate
+// fallback (full re-evaluation) that SPJ-only Algorithm 1 would use.
+func A4(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:     "A4",
+		Title:  "incremental aggregate maintenance vs Propagate fallback",
+		Note:   fmt.Sprintf("SELECT SUM(amount), COUNT(*) over %d accounts; 50-op windows", scale.BaseRows),
+		Header: []string{"config", "refresh us"},
+	}
+	store := storage.NewStore()
+	if err := store.CreateTable("accounts", workload.AccountSchema()); err != nil {
+		return nil, err
+	}
+	gen := workload.NewAccounts(store, "accounts", 41)
+	for i := 0; i < scale.BaseRows; i++ {
+		if err := gen.Deposit(0); err != nil {
+			return nil, err
+		}
+	}
+	plan, err := algebra.PlanSQL("SELECT SUM(amount) AS total, COUNT(*) AS n FROM accounts", store.Live())
+	if err != nil {
+		return nil, err
+	}
+	plan = algebra.Optimize(plan)
+
+	engine := dra.NewEngine()
+	ia, err := dra.NewIncrementalAggregate(engine, plan, store.Live())
+	if err != nil {
+		return nil, err
+	}
+	prev, err := dra.InitialResult(plan, store.Live())
+	if err != nil {
+		return nil, err
+	}
+	lastTS := store.Now()
+	if err := gen.Activity(50); err != nil {
+		return nil, err
+	}
+	window, err := store.DeltaSince("accounts", lastTS)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &dra.Context{
+		Pre:    store.At(lastTS),
+		Post:   store.Live(),
+		Deltas: map[string]*delta.Delta{"accounts": window},
+		LastTS: lastTS,
+		Prev:   prev,
+	}
+	ts := store.Now()
+
+	// The maintainer folds state, so time a single Step per fresh state by
+	// replaying: Step is idempotent only per window, so we measure the
+	// first Step precisely and amortize with repeated Propagate for the
+	// fallback.
+	incT, err := stopwatch(1, func() error {
+		_, err := ia.Step(ctx, ts)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	fullT, err := stopwatch(scale.Iterations, func() error {
+		_, err := engine.Reevaluate(plan, ctx, ts) // aggregate -> Propagate fallback
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{"incremental (A4 on)", us(incT)})
+	t.Rows = append(t.Rows, []string{"Propagate fallback (A4 off)", us(fullT)})
+	return t, nil
+}

@@ -1,0 +1,113 @@
+// Package bench implements the experiment harness: every quantitative
+// claim of the paper's evaluation (the worked Examples 1-2 and the
+// strawman performance arguments of Section 5) has a runner here that
+// regenerates the corresponding table. See EXPERIMENTS.md for the
+// experiment index and DESIGN.md for the module map.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's output, rendered in the row/series layout of
+// EXPERIMENTS.md.
+type Table struct {
+	ID     string
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// Scale sets the dataset sizes; Quick keeps unit-test latency, Paper is
+// the size cmd/cqbench uses for EXPERIMENTS.md numbers.
+type Scale struct {
+	BaseRows   int // size of the base relation(s)
+	Iterations int // measured refreshes per point
+}
+
+// Quick is the test-suite scale.
+var Quick = Scale{BaseRows: 2_000, Iterations: 3}
+
+// Paper is the reported scale.
+var Paper = Scale{BaseRows: 50_000, Iterations: 7}
+
+// stopwatch measures the median of n runs of f.
+func stopwatch(n int, f func() error) (time.Duration, error) {
+	if n < 1 {
+		n = 1
+	}
+	times := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		times = append(times, time.Since(start))
+	}
+	// insertion sort; n is tiny
+	for i := 1; i < len(times); i++ {
+		for j := i; j > 0 && times[j] < times[j-1]; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+	return times[len(times)/2], nil
+}
+
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Nanoseconds())/1e3)
+}
+
+func ratio(a, b time.Duration) string {
+	if a <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fx", float64(b)/float64(a))
+}
+
+func sortDurations(ds []time.Duration) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}

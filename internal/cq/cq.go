@@ -1,0 +1,778 @@
+// Package cq implements the continual query manager. A continual query
+// (Section 3.1) is a triple (Q, Tcq, Stop): a query, a triggering
+// condition, and a termination condition. The manager owns the result
+// sequence Q(S1), Q(S2), ... — it runs the initial execution at
+// registration, evaluates trigger conditions differentially over the
+// update stream (Section 5.3), re-evaluates fired queries through the DRA
+// engine (Section 4.3), assembles the per-mode answer (differential,
+// complete, or deletions-only), garbage collects differential relations
+// past the system active delta zone (Section 5.4), and delivers
+// notifications to subscribers.
+package cq
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/diorama/continual/internal/algebra"
+	"github.com/diorama/continual/internal/delta"
+	"github.com/diorama/continual/internal/dra"
+	"github.com/diorama/continual/internal/epsilon"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/sql"
+	"github.com/diorama/continual/internal/storage"
+	"github.com/diorama/continual/internal/vclock"
+)
+
+// Errors returned by the manager.
+var (
+	ErrDuplicateCQ = errors.New("cq: a continual query with this name exists")
+	ErrNoSuchCQ    = errors.New("cq: no such continual query")
+	ErrTerminated  = errors.New("cq: continual query has terminated")
+	ErrClosed      = errors.New("cq: manager is closed")
+)
+
+// Notification is one element of a CQ's result sequence, shaped by the
+// query's result mode (Section 4.3 step 4).
+type Notification struct {
+	CQName string
+	// Seq numbers the executions; the initial execution is 1.
+	Seq int
+	// ExecTS is the logical time of this execution.
+	ExecTS vclock.Timestamp
+	Mode   sql.ResultMode
+	// Initial marks the first execution (full evaluation; Inserted holds
+	// the whole result).
+	Initial bool
+
+	// Inserted/Deleted/Modified describe the difference from the previous
+	// result (set in ModeDifferential; Deleted also in ModeDeletions).
+	Inserted *relation.Relation
+	Deleted  *relation.Relation
+	Modified []delta.Row
+
+	// Complete holds the full current result (set in ModeComplete).
+	Complete *relation.Relation
+
+	// Terminated reports the Stop condition became true; this is the last
+	// notification for the CQ.
+	Terminated bool
+}
+
+// Empty reports whether the notification carries no change.
+func (n Notification) Empty() bool {
+	return !n.Initial &&
+		(n.Inserted == nil || n.Inserted.Len() == 0) &&
+		(n.Deleted == nil || n.Deleted.Len() == 0) &&
+		len(n.Modified) == 0 &&
+		n.Complete == nil
+}
+
+// Def defines a continual query for registration.
+type Def struct {
+	Name    string
+	Query   string // SELECT text; alternatively set Select
+	Select  *sql.SelectStmt
+	Trigger sql.TriggerSpec
+	Mode    sql.ResultMode
+	Stop    sql.StopSpec
+	// EpsilonMeasure selects net (default) or absolute accumulation for
+	// TriggerEpsilon.
+	EpsilonMeasure epsilon.Measure
+	// NotifyEmpty delivers refreshes that produced no change (off by
+	// default: Section 5.2 — "nothing needs to be returned").
+	NotifyEmpty bool
+}
+
+// subscriber is one notification sink: either a channel (sends never
+// block: when the buffer is full the notification is dropped and the drop
+// counter incremented) or a synchronous callback.
+type subscriber struct {
+	ch      chan Notification
+	fn      func(n Notification, closed bool)
+	dropped int
+}
+
+// CQState is a read-only snapshot of a registered CQ, for inspection.
+type CQState struct {
+	Name       string
+	Seq        int
+	LastExec   vclock.Timestamp
+	Terminated bool
+	ResultLen  int
+	Divergence float64
+}
+
+// instance is the manager's record of one registered CQ.
+type instance struct {
+	def     Def
+	plan    algebra.Plan
+	tables  []string
+	mode    sql.ResultMode
+	trigger sql.TriggerSpec
+	stop    sql.StopSpec
+
+	lastExec    vclock.Timestamp // timestamp of the last execution
+	lastObs     vclock.Timestamp // high-water mark of observed updates
+	prev        *relation.Relation
+	seq         int
+	terminated  bool
+	updatesSeen int64
+	eps         map[string]*epsilon.Accountant // per monitored table
+	subs        []*subscriber
+	// maint maintains non-SPJ roots incrementally when the shape allows
+	// (SUM/COUNT/AVG aggregates without HAVING; DISTINCT); nil when the
+	// query is SPJ or needs the Propagate fallback.
+	maint maintainer
+}
+
+// maintainer abstracts the incremental state keepers of the dra package
+// (IncrementalAggregate, IncrementalDistinct).
+type maintainer interface {
+	Step(ctx *dra.Context, execTS vclock.Timestamp) (*dra.Result, error)
+	Result() *relation.Relation
+}
+
+// Config tunes the manager.
+type Config struct {
+	// UseDRA selects differential re-evaluation; false uses complete
+	// re-evaluation (the baseline), useful for benchmarking.
+	UseDRA bool
+	// Engine supplies the DRA engine; nil gets a default engine.
+	Engine *dra.Engine
+	// AutoGC collects differential-relation garbage after every refresh
+	// round, at the system active delta zone boundary.
+	AutoGC bool
+	// IncrementalJoins maintains join CQs with persistent per-operand
+	// replicas and mutable indexes (dra.IncrementalJoin) instead of the
+	// paper's truth-table re-evaluation. Off by default: the truth table
+	// is Algorithm 1 as published; this is the repository's extension.
+	IncrementalJoins bool
+}
+
+// Manager owns the registered continual queries over one store.
+type Manager struct {
+	store *storage.Store
+	cfg   Config
+
+	mu     sync.Mutex
+	cqs    map[string]*instance
+	closed bool
+
+	// background loop lifecycle
+	loopStop chan struct{}
+	loopDone chan struct{}
+}
+
+// NewManager creates a manager with differential re-evaluation enabled.
+func NewManager(store *storage.Store) *Manager {
+	return NewManagerConfig(store, Config{UseDRA: true, AutoGC: true})
+}
+
+// NewManagerConfig creates a manager with explicit configuration.
+func NewManagerConfig(store *storage.Store, cfg Config) *Manager {
+	if cfg.Engine == nil {
+		cfg.Engine = dra.NewEngine()
+	}
+	return &Manager{store: store, cfg: cfg, cqs: make(map[string]*instance)}
+}
+
+// Register installs a continual query, runs its initial execution, and
+// notifies subscribers attached later only with subsequent refreshes (the
+// initial result is returned).
+func (m *Manager) Register(def Def) (*relation.Relation, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if def.Name == "" {
+		return nil, errors.New("cq: name required")
+	}
+	if _, dup := m.cqs[def.Name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateCQ, def.Name)
+	}
+	stmt := def.Select
+	if stmt == nil {
+		parsed, err := sql.ParseSelect(def.Query)
+		if err != nil {
+			return nil, err
+		}
+		stmt = parsed
+	}
+	if def.Mode == 0 {
+		def.Mode = sql.ModeDifferential
+	}
+	if def.Trigger.Kind == 0 {
+		def.Trigger = sql.TriggerSpec{Kind: sql.TriggerUpdates, Updates: 1}
+	}
+
+	plan, err := algebra.PlanSelect(stmt, m.store.Live())
+	if err != nil {
+		return nil, err
+	}
+	plan = algebra.Optimize(plan)
+
+	inst := &instance{
+		def:     def,
+		plan:    plan,
+		mode:    def.Mode,
+		trigger: def.Trigger,
+		stop:    def.Stop,
+	}
+	for _, scan := range algebra.Tables(plan) {
+		inst.tables = append(inst.tables, scan.Table)
+	}
+
+	if def.Trigger.Kind == sql.TriggerEpsilon {
+		if err := m.setupEpsilon(inst, stmt); err != nil {
+			return nil, err
+		}
+	}
+
+	// Initial execution (Section 4.2: Algorithm 1 applies "after its
+	// initial execution"). Aggregate queries get an incremental
+	// maintainer when the shape allows (SUM/COUNT/AVG, no HAVING); it
+	// seeds its state from the same initial pass.
+	var initial *relation.Relation
+	if m.cfg.UseDRA {
+		maint, err := newMaintainer(m.cfg, plan, m.store)
+		if err != nil {
+			return nil, err
+		}
+		if maint != nil {
+			inst.maint = maint
+			initial = maint.Result().Clone()
+		}
+	}
+	if initial == nil {
+		res, err := dra.InitialResult(plan, m.store.Live())
+		if err != nil {
+			return nil, err
+		}
+		initial = res
+	}
+	inst.prev = initial
+	inst.seq = 1
+	inst.lastExec = m.store.Now()
+	inst.lastObs = inst.lastExec
+	m.cqs[def.Name] = inst
+	return initial.Clone(), nil
+}
+
+// setupEpsilon resolves the monitored expression to the tables whose
+// schemas it compiles against and installs accountants.
+func (m *Manager) setupEpsilon(inst *instance, stmt *sql.SelectStmt) error {
+	on := inst.trigger.On
+	if on == nil {
+		// Default: monitor the argument of the first aggregate in the
+		// select list (the checking-account idiom: SELECT SUM(amount)).
+		for _, it := range stmt.Items {
+			if fc, ok := it.Expr.(*sql.FuncCall); ok && sql.AggregateFuncs[fc.Name] && fc.Arg != nil {
+				on = fc.Arg
+				break
+			}
+		}
+		if on == nil {
+			return errors.New("cq: epsilon trigger needs ON expression or an aggregate select list")
+		}
+	}
+	spec := epsilon.Spec{Expr: on, Bound: inst.trigger.Bound, Measure: inst.def.EpsilonMeasure}
+	inst.eps = make(map[string]*epsilon.Accountant)
+	var attached []string
+	for _, table := range inst.tables {
+		schema, err := m.store.Schema(table)
+		if err != nil {
+			return err
+		}
+		acct, err := epsilon.NewAccountant(spec, schema)
+		if err != nil {
+			continue // expression does not apply to this table
+		}
+		inst.eps[table] = acct
+		attached = append(attached, table)
+	}
+	if len(attached) == 0 {
+		return fmt.Errorf("cq: epsilon expression %s matches no operand table", on)
+	}
+	return nil
+}
+
+// RegisterSQL installs a CQ from a CREATE CONTINUAL QUERY statement.
+func (m *Manager) RegisterSQL(src string) (*relation.Relation, error) {
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	create, ok := stmt.(*sql.CreateCQStmt)
+	if !ok {
+		return nil, errors.New("cq: expected CREATE CONTINUAL QUERY")
+	}
+	return m.Register(Def{
+		Name:    create.Name,
+		Select:  create.Select,
+		Trigger: create.Trigger,
+		Mode:    create.Mode,
+		Stop:    create.Stop,
+	})
+}
+
+// Subscribe attaches a notification channel to a CQ. The returned cancel
+// function detaches it. Sends never block; when the buffer is full the
+// notification is dropped.
+func (m *Manager) Subscribe(name string, buf int) (<-chan Notification, func(), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inst, ok := m.cqs[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNoSuchCQ, name)
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	sub := &subscriber{ch: make(chan Notification, buf)}
+	inst.subs = append(inst.subs, sub)
+	cancel := func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		for i, s := range inst.subs {
+			if s == sub {
+				inst.subs = append(inst.subs[:i], inst.subs[i+1:]...)
+				break
+			}
+		}
+	}
+	return sub.ch, cancel, nil
+}
+
+// Names lists registered CQ names (sorted).
+func (m *Manager) Names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.cqs))
+	for n := range m.cqs {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	return names
+}
+
+// State returns a snapshot of a CQ's bookkeeping.
+func (m *Manager) State(name string) (CQState, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inst, ok := m.cqs[name]
+	if !ok {
+		return CQState{}, fmt.Errorf("%w: %q", ErrNoSuchCQ, name)
+	}
+	st := CQState{
+		Name:       name,
+		Seq:        inst.seq,
+		LastExec:   inst.lastExec,
+		Terminated: inst.terminated,
+		ResultLen:  inst.prev.Len(),
+	}
+	for _, acct := range inst.eps {
+		st.Divergence += acct.Divergence()
+	}
+	return st, nil
+}
+
+// Result returns a copy of the CQ's current complete result.
+func (m *Manager) Result(name string) (*relation.Relation, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inst, ok := m.cqs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchCQ, name)
+	}
+	return inst.prev.Clone(), nil
+}
+
+// Drop removes a CQ.
+func (m *Manager) Drop(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inst, ok := m.cqs[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchCQ, name)
+	}
+	closeSubs(inst)
+	delete(m.cqs, name)
+	return nil
+}
+
+func closeSubs(inst *instance) {
+	for _, s := range inst.subs {
+		if s.fn != nil {
+			s.fn(Notification{}, true)
+		} else {
+			close(s.ch)
+		}
+	}
+	inst.subs = nil
+}
+
+// Poll evaluates all trigger conditions against the update stream and
+// refreshes every CQ whose condition fired. It returns the number of
+// refreshes performed. This is the synchronous entry point; Start runs it
+// periodically (Section 5.3's "evaluate Tcq periodically" strategy).
+func (m *Manager) Poll() (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, ErrClosed
+	}
+	fired := 0
+	for _, inst := range m.cqs {
+		if inst.terminated {
+			continue
+		}
+		should, err := m.observeAndTest(inst)
+		if err != nil {
+			return fired, err
+		}
+		if !should {
+			continue
+		}
+		if err := m.refreshLocked(inst); err != nil {
+			return fired, err
+		}
+		fired++
+	}
+	if m.cfg.AutoGC {
+		m.gcLocked()
+	}
+	return fired, nil
+}
+
+// Refresh forces re-evaluation of one CQ regardless of its trigger.
+func (m *Manager) Refresh(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inst, ok := m.cqs[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchCQ, name)
+	}
+	if inst.terminated {
+		return fmt.Errorf("%w: %q", ErrTerminated, name)
+	}
+	// Bring trigger accounting up to date so it resets consistently.
+	if _, err := m.observeAndTest(inst); err != nil {
+		return err
+	}
+	return m.refreshLocked(inst)
+}
+
+// observeAndTest folds the unobserved update window into the CQ's trigger
+// state and evaluates the trigger condition — differentially: only delta
+// rows are read (Section 5.3).
+func (m *Manager) observeAndTest(inst *instance) (bool, error) {
+	now := m.store.Now()
+	if now > inst.lastObs {
+		for _, table := range inst.tables {
+			d, err := m.store.DeltaSince(table, inst.lastObs)
+			if err != nil {
+				return false, err
+			}
+			w := d.Window(inst.lastObs, now)
+			inst.updatesSeen += int64(w.Len())
+			if acct, ok := inst.eps[table]; ok {
+				if err := acct.Observe(w); err != nil {
+					return false, err
+				}
+			}
+		}
+		inst.lastObs = now
+	}
+
+	switch inst.trigger.Kind {
+	case sql.TriggerEvery:
+		return now >= inst.lastExec+vclock.Timestamp(inst.trigger.Every), nil
+	case sql.TriggerUpdates:
+		return inst.updatesSeen >= inst.trigger.Updates, nil
+	case sql.TriggerEpsilon:
+		for _, acct := range inst.eps {
+			if acct.Exceeded() {
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		return inst.updatesSeen > 0, nil
+	}
+}
+
+// refreshLocked re-evaluates the CQ and delivers the notification.
+func (m *Manager) refreshLocked(inst *instance) error {
+	execTS := m.store.Now()
+	var res *dra.Result
+	var err error
+	switch {
+	case m.cfg.UseDRA && inst.maint != nil:
+		ctx := &dra.Context{
+			Pre:    m.store.At(inst.lastExec),
+			Post:   m.store.Live(),
+			Deltas: make(map[string]*delta.Delta, len(inst.tables)),
+			LastTS: inst.lastExec,
+			Prev:   inst.prev,
+		}
+		for _, table := range inst.tables {
+			d, derr := m.store.DeltaSince(table, inst.lastExec)
+			if derr != nil {
+				return derr
+			}
+			ctx.Deltas[table] = d.Window(inst.lastExec, execTS)
+		}
+		res, err = inst.maint.Step(ctx, execTS)
+	case m.cfg.UseDRA:
+		ctx := &dra.Context{
+			Pre:    m.store.At(inst.lastExec),
+			Post:   m.store.Live(),
+			Deltas: make(map[string]*delta.Delta, len(inst.tables)),
+			LastTS: inst.lastExec,
+			Prev:   inst.prev,
+		}
+		for _, table := range inst.tables {
+			d, derr := m.store.DeltaSince(table, inst.lastExec)
+			if derr != nil {
+				return derr
+			}
+			ctx.Deltas[table] = d.Window(inst.lastExec, execTS)
+		}
+		res, err = m.cfg.Engine.Reevaluate(inst.plan, ctx, execTS)
+	default:
+		res, err = dra.FullReevaluate(inst.plan, m.store.Live(), inst.prev, execTS)
+	}
+	if err != nil {
+		return fmt.Errorf("cq %q: %w", inst.def.Name, err)
+	}
+
+	inst.prev = res.ApplyTo(inst.prev)
+	inst.lastExec = execTS
+	inst.lastObs = execTS
+	inst.seq++
+	inst.updatesSeen = 0
+	for _, acct := range inst.eps {
+		acct.Reset()
+	}
+
+	if inst.stop.AfterN > 0 && int64(inst.seq) >= inst.stop.AfterN {
+		inst.terminated = true
+	}
+
+	note := m.buildNotification(inst, res)
+	if note.Empty() && !inst.def.NotifyEmpty && !note.Terminated {
+		return nil
+	}
+	deliver(inst, note)
+	return nil
+}
+
+// buildNotification assembles the per-mode answer (Section 4.3 step 4).
+func (m *Manager) buildNotification(inst *instance, res *dra.Result) Notification {
+	note := Notification{
+		CQName:     inst.def.Name,
+		Seq:        inst.seq,
+		ExecTS:     res.ExecTS,
+		Mode:       inst.mode,
+		Terminated: inst.terminated,
+	}
+	switch inst.mode {
+	case sql.ModeComplete:
+		note.Complete = inst.prev.Clone()
+		note.Inserted = res.Inserted()
+		note.Deleted = res.Deleted()
+		note.Modified = res.Modified()
+	case sql.ModeDeletions:
+		note.Deleted = res.Deleted()
+	default: // ModeDifferential
+		note.Inserted = res.Inserted()
+		note.Deleted = res.Deleted()
+		note.Modified = res.Modified()
+	}
+	return note
+}
+
+func deliver(inst *instance, note Notification) {
+	for _, s := range inst.subs {
+		if s.fn != nil {
+			s.fn(note, false)
+			continue
+		}
+		select {
+		case s.ch <- note:
+		default:
+			s.dropped++
+		}
+	}
+}
+
+// SubscribeFunc attaches a callback invoked synchronously while the
+// refresh is delivered (inside Poll/Refresh): when Poll returns, every
+// fired notification has been handed to the callback. The callback runs
+// under the manager's lock and must not call back into the Manager. On
+// Drop or Close it is invoked once more with closed = true.
+func (m *Manager) SubscribeFunc(name string, f func(n Notification, closed bool)) (func(), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inst, ok := m.cqs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchCQ, name)
+	}
+	sub := &subscriber{fn: f}
+	inst.subs = append(inst.subs, sub)
+	cancel := func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		for i, s := range inst.subs {
+			if s == sub {
+				inst.subs = append(inst.subs[:i], inst.subs[i+1:]...)
+				break
+			}
+		}
+	}
+	return cancel, nil
+}
+
+// gcLocked collects differential-relation garbage below the system active
+// delta zone: the minimum last-execution timestamp over live CQs
+// (Section 5.4).
+func (m *Manager) gcLocked() {
+	if len(m.cqs) == 0 {
+		return
+	}
+	var horizon vclock.Timestamp
+	first := true
+	for _, inst := range m.cqs {
+		if inst.terminated {
+			continue
+		}
+		if first || inst.lastExec < horizon {
+			horizon = inst.lastExec
+			first = false
+		}
+	}
+	if first {
+		// All terminated: everything is collectable.
+		horizon = m.store.Now()
+	}
+	m.store.CollectGarbage(horizon)
+}
+
+// CollectGarbage exposes the GC step for callers managing their own poll
+// loop. Returns the number of delta rows collected.
+func (m *Manager) CollectGarbage() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.cqs) == 0 {
+		return 0
+	}
+	before := 0
+	for _, t := range m.store.TableNames() {
+		n, _ := m.store.DeltaLen(t)
+		before += n
+	}
+	m.gcLocked()
+	after := 0
+	for _, t := range m.store.TableNames() {
+		n, _ := m.store.DeltaLen(t)
+		after += n
+	}
+	return before - after
+}
+
+// Start launches the asynchronous evaluation loop: Poll every interval.
+// Stop it with Close. Section 5.3: "the CQ manager can decide when to
+// evaluate Tcq by a system-defined default interval".
+func (m *Manager) Start(interval time.Duration) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if m.loopStop != nil {
+		return errors.New("cq: loop already running")
+	}
+	m.loopStop = make(chan struct{})
+	m.loopDone = make(chan struct{})
+	go m.loop(interval, m.loopStop, m.loopDone)
+	return nil
+}
+
+func (m *Manager) loop(interval time.Duration, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			// Errors inside the background loop surface through State and
+			// notifications; a failed poll leaves trigger state intact and
+			// is retried next tick.
+			_, _ = m.Poll()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// Close stops the background loop (if running) and closes all subscriber
+// channels.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	stop, done := m.loopStop, m.loopDone
+	m.loopStop, m.loopDone = nil, nil
+	m.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	for _, inst := range m.cqs {
+		closeSubs(inst)
+	}
+	return nil
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && strings.Compare(ss[j], ss[j-1]) < 0; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// newMaintainer tries the incremental state keepers in turn; a nil, nil
+// return means the plan is plain SPJ (or otherwise unsupported) and the
+// caller should use the DRA/Propagate path.
+func newMaintainer(cfg Config, plan algebra.Plan, store *storage.Store) (maintainer, error) {
+	engine := cfg.Engine
+	if ia, err := dra.NewIncrementalAggregate(engine, plan, store.Live()); err == nil {
+		return ia, nil
+	} else if !errors.Is(err, dra.ErrNotIncremental) {
+		return nil, err
+	}
+	if id, err := dra.NewIncrementalDistinct(engine, plan, store.Live()); err == nil {
+		return id, nil
+	} else if !errors.Is(err, dra.ErrNotIncremental) {
+		return nil, err
+	}
+	if cfg.IncrementalJoins {
+		if ij, err := dra.NewIncrementalJoin(engine, plan, store.Live()); err == nil {
+			return ij, nil
+		} else if !errors.Is(err, dra.ErrNotIncremental) {
+			return nil, err
+		}
+	}
+	return nil, nil
+}

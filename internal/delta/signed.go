@@ -1,0 +1,177 @@
+package delta
+
+import (
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/vclock"
+)
+
+// Signed is the signed-multiset view of a differential relation that the
+// DRA's differential operators (DiffSelect, DiffProj, DiffJoin) compute
+// over. Each modification row decomposes into a -1 entry for the old
+// tuple and a +1 entry for the new tuple; an insertion is +1; a deletion
+// is -1. Signed deltas compose under select, project and join by simple
+// sign arithmetic (the sign of a joined tuple is the product of the input
+// signs), which is what makes the truth-table expansion of Algorithm 1
+// exact for general updates.
+type Signed struct {
+	Schema relation.Schema
+	Rows   []SignedRow
+}
+
+// SignedRow is one signed tuple.
+type SignedRow struct {
+	TID    relation.TID
+	Values []relation.Value
+	Sign   int // +1 or -1
+}
+
+// ToSigned converts a differential relation to its signed form.
+func (d *Delta) ToSigned() *Signed {
+	out := &Signed{Schema: d.schema, Rows: make([]SignedRow, 0, len(d.rows))}
+	for _, r := range d.rows {
+		switch r.Kind() {
+		case Insert:
+			out.Rows = append(out.Rows, SignedRow{TID: r.TID, Values: r.New, Sign: +1})
+		case Delete:
+			out.Rows = append(out.Rows, SignedRow{TID: r.TID, Values: r.Old, Sign: -1})
+		case Modify:
+			out.Rows = append(out.Rows,
+				SignedRow{TID: r.TID, Values: r.Old, Sign: -1},
+				SignedRow{TID: r.TID, Values: r.New, Sign: +1},
+			)
+		}
+	}
+	return out
+}
+
+// Len returns the number of signed rows.
+func (s *Signed) Len() int { return len(s.Rows) }
+
+// Normalize cancels matching +1/-1 rows with identical values, summing
+// multiplicities per value-key and emitting one row per nonzero net count.
+// The result uses value-hash tids so equal tuples merge.
+func (s *Signed) Normalize() *Signed {
+	type acc struct {
+		values []relation.Value
+		count  int
+		order  int
+	}
+	sums := make(map[uint64]*acc, len(s.Rows))
+	orderN := 0
+	for _, r := range s.Rows {
+		h := relation.HashValues(r.Values)
+		a, ok := sums[h]
+		if !ok {
+			a = &acc{values: r.Values, order: orderN}
+			orderN++
+			sums[h] = a
+		}
+		a.count += r.Sign
+	}
+	ordered := make([]*acc, 0, len(sums))
+	for _, a := range sums {
+		if a.count != 0 {
+			ordered = append(ordered, a)
+		}
+	}
+	// Stable order by first appearance.
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j].order < ordered[j-1].order; j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	out := &Signed{Schema: s.Schema, Rows: make([]SignedRow, 0, len(ordered))}
+	for _, a := range ordered {
+		sign := +1
+		n := a.count
+		if n < 0 {
+			sign = -1
+			n = -n
+		}
+		for k := 0; k < n; k++ {
+			out.Rows = append(out.Rows, SignedRow{
+				TID:    relation.HashTID(a.values),
+				Values: a.values,
+				Sign:   sign,
+			})
+		}
+	}
+	return out
+}
+
+// ToDelta converts a signed delta back to the old/new/ts differential
+// layout, pairing a -1 and a +1 row with the same tid into a modification.
+// All rows receive timestamp ts.
+func (s *Signed) ToDelta(ts vclock.Timestamp) *Delta {
+	type pair struct {
+		old, now []relation.Value
+	}
+	pairs := make(map[relation.TID]*pair, len(s.Rows))
+	order := make([]relation.TID, 0, len(s.Rows))
+	for _, r := range s.Rows {
+		p, ok := pairs[r.TID]
+		if !ok {
+			p = &pair{}
+			pairs[r.TID] = p
+			order = append(order, r.TID)
+		}
+		if r.Sign < 0 {
+			p.old = r.Values
+		} else {
+			p.now = r.Values
+		}
+	}
+	out := New(s.Schema)
+	for _, tid := range order {
+		p := pairs[tid]
+		if p.old == nil && p.now == nil {
+			continue
+		}
+		if p.old != nil && p.now != nil && valuesEqual(p.old, p.now) {
+			continue
+		}
+		out.rows = append(out.rows, Row{TID: tid, Old: p.old, New: p.now, TS: ts})
+	}
+	return out
+}
+
+// InsertedRelation materializes the +1 rows as a relation.
+func (s *Signed) InsertedRelation() *relation.Relation {
+	out := relation.New(s.Schema)
+	for _, r := range s.Rows {
+		if r.Sign > 0 {
+			_ = out.Upsert(relation.Tuple{TID: r.TID, Values: r.Values})
+		}
+	}
+	return out
+}
+
+// DeletedRelation materializes the -1 rows as a relation.
+func (s *Signed) DeletedRelation() *relation.Relation {
+	out := relation.New(s.Schema)
+	for _, r := range s.Rows {
+		if r.Sign < 0 {
+			_ = out.Upsert(relation.Tuple{TID: r.TID, Values: r.Values})
+		}
+	}
+	return out
+}
+
+// ApplySigned applies a signed delta to a materialized result relation:
+// -1 rows remove the tid, +1 rows insert/replace it. Used to maintain the
+// cached complete result of a CQ (Section 4.3, "complete set of the
+// result").
+func ApplySigned(rel *relation.Relation, s *Signed) {
+	for _, r := range s.Rows {
+		if r.Sign < 0 {
+			if rel.Has(r.TID) {
+				_ = rel.Delete(r.TID)
+			}
+		}
+	}
+	for _, r := range s.Rows {
+		if r.Sign > 0 {
+			_ = rel.Upsert(relation.Tuple{TID: r.TID, Values: r.Values})
+		}
+	}
+}

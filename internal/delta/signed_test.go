@@ -1,0 +1,141 @@
+package delta
+
+import (
+	"testing"
+
+	"github.com/diorama/continual/internal/relation"
+)
+
+func TestToSignedDecomposesModifications(t *testing.T) {
+	d := New(stockSchema())
+	_ = d.AppendInsert(1, row(1, "A", 10), 1)
+	_ = d.AppendDelete(2, row(2, "B", 20), 2)
+	_ = d.AppendModify(3, row(3, "C", 30), row(3, "C", 31), 3)
+
+	s := d.ToSigned()
+	if s.Len() != 4 {
+		t.Fatalf("signed len = %d, want 4", s.Len())
+	}
+	pos, neg := 0, 0
+	for _, r := range s.Rows {
+		if r.Sign > 0 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos != 2 || neg != 2 {
+		t.Errorf("signs = +%d/-%d, want +2/-2", pos, neg)
+	}
+}
+
+func TestNormalizeCancelsOppositePairs(t *testing.T) {
+	s := &Signed{Schema: stockSchema()}
+	v := row(1, "A", 10)
+	s.Rows = append(s.Rows,
+		SignedRow{TID: 1, Values: v, Sign: +1},
+		SignedRow{TID: 1, Values: v, Sign: -1},
+		SignedRow{TID: 2, Values: row(2, "B", 20), Sign: +1},
+	)
+	n := s.Normalize()
+	if n.Len() != 1 {
+		t.Fatalf("Normalize len = %d, want 1", n.Len())
+	}
+	if n.Rows[0].Values[1].AsString() != "B" || n.Rows[0].Sign != 1 {
+		t.Errorf("surviving row wrong: %+v", n.Rows[0])
+	}
+}
+
+func TestNormalizeKeepsMultiplicity(t *testing.T) {
+	s := &Signed{Schema: stockSchema()}
+	v := row(1, "A", 10)
+	s.Rows = append(s.Rows,
+		SignedRow{TID: 1, Values: v, Sign: -1},
+		SignedRow{TID: 1, Values: v, Sign: -1},
+		SignedRow{TID: 1, Values: v, Sign: +1},
+	)
+	n := s.Normalize()
+	if n.Len() != 1 || n.Rows[0].Sign != -1 {
+		t.Fatalf("net count should be -1, got %+v", n.Rows)
+	}
+}
+
+func TestToDeltaPairsIntoModification(t *testing.T) {
+	s := &Signed{Schema: stockSchema()}
+	s.Rows = append(s.Rows,
+		SignedRow{TID: 5, Values: row(5, "E", 50), Sign: -1},
+		SignedRow{TID: 5, Values: row(5, "E", 55), Sign: +1},
+		SignedRow{TID: 6, Values: row(6, "F", 60), Sign: +1},
+	)
+	d := s.ToDelta(9)
+	ins, del, mod := d.Counts()
+	if ins != 1 || del != 0 || mod != 1 {
+		t.Fatalf("Counts = %d/%d/%d, want 1/0/1", ins, del, mod)
+	}
+	for _, r := range d.Rows() {
+		if r.TS != 9 {
+			t.Errorf("row ts = %d, want 9", r.TS)
+		}
+	}
+}
+
+func TestToDeltaDropsNoopPairs(t *testing.T) {
+	s := &Signed{Schema: stockSchema()}
+	v := row(7, "G", 70)
+	s.Rows = append(s.Rows,
+		SignedRow{TID: 7, Values: v, Sign: -1},
+		SignedRow{TID: 7, Values: v, Sign: +1},
+	)
+	if d := s.ToDelta(1); d.Len() != 0 {
+		t.Errorf("no-op pair should vanish, got %d rows", d.Len())
+	}
+}
+
+func TestApplySignedMaintainsResult(t *testing.T) {
+	res := relation.New(stockSchema())
+	_ = res.Insert(relation.Tuple{TID: 1, Values: row(1, "A", 10)})
+	_ = res.Insert(relation.Tuple{TID: 2, Values: row(2, "B", 20)})
+
+	s := &Signed{Schema: stockSchema()}
+	s.Rows = append(s.Rows,
+		SignedRow{TID: 1, Values: row(1, "A", 10), Sign: -1}, // remove A
+		SignedRow{TID: 3, Values: row(3, "C", 30), Sign: +1}, // add C
+		SignedRow{TID: 2, Values: row(2, "B", 25), Sign: +1}, // replace B
+	)
+	ApplySigned(res, s)
+	if res.Len() != 2 || res.Has(1) {
+		t.Fatalf("ApplySigned result wrong:\n%s", res)
+	}
+	b, _ := res.Lookup(2)
+	if b.Values[2].AsFloat() != 25 {
+		t.Error("replacement did not take")
+	}
+	if !res.Has(3) {
+		t.Error("insert did not take")
+	}
+}
+
+func TestSignedRoundTripThroughDelta(t *testing.T) {
+	d := New(stockSchema())
+	_ = d.AppendInsert(1, row(1, "A", 10), 1)
+	_ = d.AppendModify(2, row(2, "B", 20), row(2, "B", 21), 2)
+	_ = d.AppendDelete(3, row(3, "C", 30), 3)
+
+	rt := d.ToSigned().ToDelta(5)
+	ins, del, mod := rt.Counts()
+	if ins != 1 || del != 1 || mod != 1 {
+		t.Fatalf("round trip counts = %d/%d/%d", ins, del, mod)
+	}
+}
+
+func TestInsertedDeletedRelations(t *testing.T) {
+	d := New(stockSchema())
+	_ = d.AppendInsert(1, row(1, "A", 10), 1)
+	_ = d.AppendModify(2, row(2, "B", 20), row(2, "B", 21), 2)
+	s := d.ToSigned()
+	ins := s.InsertedRelation()
+	del := s.DeletedRelation()
+	if ins.Len() != 2 || del.Len() != 1 {
+		t.Fatalf("inserted=%d deleted=%d, want 2/1", ins.Len(), del.Len())
+	}
+}

@@ -1,0 +1,198 @@
+// Package diom implements the Distributed Interoperable Object Model
+// substrate the paper builds on (Sections 1 and 5.5): a mediator that
+// integrates heterogeneous information sources by translating their
+// updates into differential relations and feeding them to the continual
+// query system.
+//
+// "For those information sources other than relational databases, simple
+// translators (as part of the DIOM services) will be used to extract the
+// updates in the form of differential relations. For example, file
+// system updates can be captured by either operating system or
+// middleware and translated into a differential relation and fed into
+// DRA."
+//
+// Three translators are provided: FeedSource (an append-only document or
+// ticker feed), FileSource (a directory of files, diffed by polling —
+// the middleware capture of the quote above), and TableSource (another
+// relational store, replicated by shipping its deltas).
+package diom
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/diorama/continual/internal/delta"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/storage"
+	"github.com/diorama/continual/internal/vclock"
+)
+
+// Errors returned by the mediator.
+var (
+	ErrDuplicateSource = errors.New("diom: source already registered")
+	ErrNoSuchSource    = errors.New("diom: no such source")
+)
+
+// Update is one source-level change, already in differential form: Old
+// nil for an insertion, New nil for a deletion, both set for a
+// modification. Key identifies the external object; the mediator maps
+// keys to tids.
+type Update struct {
+	Key string
+	Old []relation.Value
+	New []relation.Value
+}
+
+// Source is an information producer wrapped by a translator. Poll
+// returns the changes since the previous Poll; the first Poll returns
+// the full current state as insertions.
+type Source interface {
+	// Name identifies the source; its table in the mediated store is
+	// named after it.
+	Name() string
+	// Schema describes the rows the source produces.
+	Schema() relation.Schema
+	// Poll extracts the updates since the last call.
+	Poll() ([]Update, error)
+}
+
+// Mediator registers sources, materializes one table per source in the
+// backing store, and pumps source updates into it transactionally — the
+// commit path generates the differential relations DRA consumes.
+type Mediator struct {
+	store *storage.Store
+
+	mu      sync.Mutex
+	sources map[string]Source
+	keyTID  map[string]map[string]relation.TID // source -> key -> tid
+}
+
+// NewMediator wraps a store.
+func NewMediator(store *storage.Store) *Mediator {
+	return &Mediator{
+		store:   store,
+		sources: make(map[string]Source),
+		keyTID:  make(map[string]map[string]relation.TID),
+	}
+}
+
+// Store exposes the mediated store (for attaching a CQ manager).
+func (m *Mediator) Store() *storage.Store { return m.store }
+
+// RegisterSource creates the source's table and records the source. Call
+// PumpOnce to load its initial state.
+func (m *Mediator) RegisterSource(src Source) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name := src.Name()
+	if _, dup := m.sources[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateSource, name)
+	}
+	if err := m.store.CreateTable(name, src.Schema()); err != nil {
+		return fmt.Errorf("diom: %w", err)
+	}
+	m.sources[name] = src
+	m.keyTID[name] = make(map[string]relation.TID)
+	return nil
+}
+
+// Sources lists registered source names.
+func (m *Mediator) Sources() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.sources))
+	for n := range m.sources {
+		names = append(names, n)
+	}
+	return names
+}
+
+// PumpOnce polls every source and applies its updates in one transaction
+// per source. It returns the total number of update rows applied.
+func (m *Mediator) PumpOnce() (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := 0
+	for name, src := range m.sources {
+		n, err := m.pumpSource(name, src)
+		if err != nil {
+			return total, fmt.Errorf("diom: pump %q: %w", name, err)
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// PumpSource polls a single source.
+func (m *Mediator) PumpSource(name string) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	src, ok := m.sources[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchSource, name)
+	}
+	n, err := m.pumpSource(name, src)
+	if err != nil {
+		return 0, fmt.Errorf("diom: pump %q: %w", name, err)
+	}
+	return n, nil
+}
+
+func (m *Mediator) pumpSource(name string, src Source) (int, error) {
+	updates, err := src.Poll()
+	if err != nil {
+		return 0, err
+	}
+	if len(updates) == 0 {
+		return 0, nil
+	}
+	keys := m.keyTID[name]
+	tx := m.store.Begin()
+	for _, u := range updates {
+		switch {
+		case u.Old == nil && u.New == nil:
+			tx.Abort()
+			return 0, fmt.Errorf("update for key %q has neither old nor new values", u.Key)
+		case u.Old == nil: // insertion
+			tid, err := tx.Insert(name, u.New)
+			if err != nil {
+				tx.Abort()
+				return 0, err
+			}
+			keys[u.Key] = tid
+		case u.New == nil: // deletion
+			tid, ok := keys[u.Key]
+			if !ok {
+				tx.Abort()
+				return 0, fmt.Errorf("delete for unknown key %q", u.Key)
+			}
+			if err := tx.Delete(name, tid); err != nil {
+				tx.Abort()
+				return 0, err
+			}
+			delete(keys, u.Key)
+		default: // modification
+			tid, ok := keys[u.Key]
+			if !ok {
+				tx.Abort()
+				return 0, fmt.Errorf("modify for unknown key %q", u.Key)
+			}
+			if err := tx.Update(name, tid, u.New); err != nil {
+				tx.Abort()
+				return 0, err
+			}
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	return len(updates), nil
+}
+
+// Delta re-exports the differential relation of a source's table; the
+// mediator is the point where "each server only generates delta relations
+// when communicating with the clients" (Section 5.1).
+func (m *Mediator) Delta(source string, since vclock.Timestamp) (*delta.Delta, error) {
+	return m.store.DeltaSince(source, since)
+}

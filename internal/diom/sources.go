@@ -1,0 +1,230 @@
+package diom
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/storage"
+	"github.com/diorama/continual/internal/vclock"
+)
+
+// FeedSource is an append-only feed (news articles, tick stream, web
+// crawl results): producers Push rows, Poll drains them as insertions.
+// It models the environment continuous queries (Terry et al.) assume.
+type FeedSource struct {
+	name   string
+	schema relation.Schema
+
+	mu      sync.Mutex
+	pending []Update
+	seq     int
+}
+
+// NewFeedSource creates a feed with the given schema.
+func NewFeedSource(name string, schema relation.Schema) *FeedSource {
+	return &FeedSource{name: name, schema: schema}
+}
+
+// Name implements Source.
+func (f *FeedSource) Name() string { return f.name }
+
+// Schema implements Source.
+func (f *FeedSource) Schema() relation.Schema { return f.schema }
+
+// Push appends a row to the feed.
+func (f *FeedSource) Push(values ...relation.Value) error {
+	if len(values) != f.schema.Len() {
+		return fmt.Errorf("diom: feed %q: row has %d values, schema has %d", f.name, len(values), f.schema.Len())
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	f.pending = append(f.pending, Update{
+		Key: fmt.Sprintf("%s#%d", f.name, f.seq),
+		New: append([]relation.Value(nil), values...),
+	})
+	return nil
+}
+
+// Poll implements Source: drains pushed rows as insertions.
+func (f *FeedSource) Poll() ([]Update, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := f.pending
+	f.pending = nil
+	return out, nil
+}
+
+// FileSchema is the row layout of FileSource: (path, size, modtime).
+func FileSchema() relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "path", Type: relation.TString},
+		relation.Column{Name: "size", Type: relation.TInt},
+		relation.Column{Name: "modtime", Type: relation.TInt},
+	)
+}
+
+// FileSource translates a directory tree into differential relations by
+// polling: each Poll walks the tree, compares with the previous
+// snapshot, and emits creations as insertions, removals as deletions and
+// content changes (size or mtime) as modifications — the "file system
+// updates captured by middleware" of Section 5.5.
+type FileSource struct {
+	name string
+	root string
+
+	mu   sync.Mutex
+	prev map[string][]relation.Value
+}
+
+// NewFileSource wraps a directory.
+func NewFileSource(name, root string) *FileSource {
+	return &FileSource{name: name, root: root, prev: make(map[string][]relation.Value)}
+}
+
+// Name implements Source.
+func (f *FileSource) Name() string { return f.name }
+
+// Schema implements Source.
+func (f *FileSource) Schema() relation.Schema { return FileSchema() }
+
+// Poll implements Source.
+func (f *FileSource) Poll() ([]Update, error) {
+	cur := make(map[string][]relation.Value)
+	err := filepath.Walk(f.root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(f.root, path)
+		if err != nil {
+			return err
+		}
+		cur[rel] = []relation.Value{
+			relation.Str(rel),
+			relation.Int(info.Size()),
+			relation.Int(info.ModTime().UnixNano()),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("diom: file source %q: %w", f.name, err)
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []Update
+	// Deterministic order for tests.
+	paths := make([]string, 0, len(cur))
+	for p := range cur {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		now := cur[p]
+		old, existed := f.prev[p]
+		switch {
+		case !existed:
+			out = append(out, Update{Key: p, New: now})
+		case !valuesEqual(old, now):
+			out = append(out, Update{Key: p, Old: old, New: now})
+		}
+	}
+	removed := make([]string, 0)
+	for p := range f.prev {
+		if _, still := cur[p]; !still {
+			removed = append(removed, p)
+		}
+	}
+	sort.Strings(removed)
+	for _, p := range removed {
+		out = append(out, Update{Key: p, Old: f.prev[p]})
+	}
+	f.prev = cur
+	return out, nil
+}
+
+// TableSource replicates a table of another store by shipping its
+// differential relation — source-to-source interoperation over the
+// relational protocol.
+type TableSource struct {
+	name   string
+	origin *storage.Store
+	table  string
+
+	mu   sync.Mutex
+	last vclock.Timestamp
+	// tids of the origin map 1:1 onto keys.
+}
+
+// NewTableSource replicates origin's table under the given source name.
+func NewTableSource(name string, origin *storage.Store, table string) *TableSource {
+	return &TableSource{name: name, origin: origin, table: table}
+}
+
+// Name implements Source.
+func (t *TableSource) Name() string { return t.name }
+
+// Schema implements Source.
+func (t *TableSource) Schema() relation.Schema {
+	s, err := t.origin.Schema(t.table)
+	if err != nil {
+		return relation.Schema{}
+	}
+	return s
+}
+
+// Poll implements Source: ships the origin's delta window since the last
+// poll (the first poll ships the initial contents as insertions).
+func (t *TableSource) Poll() ([]Update, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Update
+	if t.last == 0 {
+		snap, err := t.origin.SnapshotAt(t.table, 0)
+		if err != nil {
+			// The origin may have collected its early history; fall back
+			// to current contents.
+			snap, err = t.origin.Snapshot(t.table)
+			if err != nil {
+				return nil, err
+			}
+			t.last = t.origin.Now()
+			for _, tu := range snap.Tuples() {
+				out = append(out, Update{Key: tidKey(tu.TID), New: tu.Values})
+			}
+			return out, nil
+		}
+		_ = snap // empty at ts 0 by construction
+	}
+	d, err := t.origin.DeltaSince(t.table, t.last)
+	if err != nil {
+		return nil, err
+	}
+	now := t.origin.Now()
+	for _, r := range d.Rows() {
+		out = append(out, Update{Key: tidKey(r.TID), Old: r.Old, New: r.New})
+	}
+	t.last = now
+	return out, nil
+}
+
+func tidKey(tid relation.TID) string { return fmt.Sprintf("tid%d", tid) }
+
+func valuesEqual(a, b []relation.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,275 @@
+package dra
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/diorama/continual/internal/algebra"
+	"github.com/diorama/continual/internal/relation"
+)
+
+func accountsFixture(t *testing.T) *fixture {
+	t.Helper()
+	return newFixture(t, map[string]relation.Schema{"accounts": relation.MustSchema(
+		relation.Column{Name: "owner", Type: relation.TString},
+		relation.Column{Name: "amount", Type: relation.TFloat},
+		relation.Column{Name: "branch", Type: relation.TString},
+	)})
+}
+
+func av(owner string, amount float64, branch string) []relation.Value {
+	return []relation.Value{relation.Str(owner), relation.Float(amount), relation.Str(branch)}
+}
+
+func newIncAgg(t *testing.T, f *fixture, query string) (*IncrementalAggregate, algebra.Plan) {
+	t.Helper()
+	plan := f.plan(t, query)
+	ia, err := NewIncrementalAggregate(NewEngine(), plan, f.store.Live())
+	if err != nil {
+		t.Fatalf("NewIncrementalAggregate: %v", err)
+	}
+	return ia, plan
+}
+
+// step folds the pending window and checks the maintained output equals
+// a fresh full execution.
+func stepAndVerify(t *testing.T, f *fixture, ia *IncrementalAggregate, plan algebra.Plan) *Result {
+	t.Helper()
+	ctx := f.ctx(t)
+	res, err := ia.Step(ctx, f.store.Now())
+	if err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	f.mark()
+	want, err := algebra.NewExecutor(f.store.Live()).Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aggEqual(ia.Result(), want) {
+		t.Fatalf("incremental aggregate diverged.\nmaintained:\n%s\nfresh:\n%s", ia.Result(), want)
+	}
+	return res
+}
+
+// aggEqual compares aggregate outputs by group key with float tolerance.
+func aggEqual(a, b *relation.Relation) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for _, t := range a.Tuples() {
+		bt, ok := b.Lookup(t.TID)
+		if !ok {
+			return false
+		}
+		for i := range t.Values {
+			av, bv := t.Values[i], bt.Values[i]
+			if av.IsNull() != bv.IsNull() {
+				return false
+			}
+			if av.IsNull() {
+				continue
+			}
+			if av.IsNumeric() && bv.IsNumeric() {
+				if !approxEqual(av.AsFloat(), bv.AsFloat(), 1e-6) {
+					return false
+				}
+				continue
+			}
+			if !av.Equal(bv) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestIncrementalBankSum maintains the paper's checking-account sum
+// through deposits, withdrawals and in-place corrections.
+func TestIncrementalBankSum(t *testing.T) {
+	f := accountsFixture(t)
+	tids := f.insert(t, "accounts", av("alice", 100, "n"), av("bob", 200, "n"))
+	ia, plan := newIncAgg(t, f, "SELECT SUM(amount) AS total, COUNT(*) AS n FROM accounts")
+	f.mark()
+
+	got := ia.Result()
+	if got.At(0).Values[0].AsFloat() != 300 || got.At(0).Values[1].AsInt() != 2 {
+		t.Fatalf("initial = %v", got.At(0).Values)
+	}
+
+	// Deposit.
+	f.insert(t, "accounts", av("carol", 50, "s"))
+	res := stepAndVerify(t, f, ia, plan)
+	if len(res.Modified()) != 1 {
+		t.Errorf("sum change should be one modification, got %+v", res.Delta.Rows())
+	}
+	if ia.Result().At(0).Values[0].AsFloat() != 350 {
+		t.Errorf("after deposit = %v", ia.Result().At(0).Values)
+	}
+
+	// Withdrawal (delete) + correction (modify).
+	tx := f.store.Begin()
+	_ = tx.Delete("accounts", tids[0])
+	_ = tx.Update("accounts", tids[1], av("bob", 210, "n"))
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	stepAndVerify(t, f, ia, plan)
+	if ia.Result().At(0).Values[0].AsFloat() != 260 {
+		t.Errorf("after withdrawal+correction = %v", ia.Result().At(0).Values)
+	}
+	// The engine never scanned base data for these steps.
+	if e := ia.engine; e.Stats.PreTuplesScanned != 0 {
+		t.Errorf("incremental aggregate scanned %d pre tuples", e.Stats.PreTuplesScanned)
+	}
+}
+
+func TestIncrementalGlobalEmptiesToNull(t *testing.T) {
+	f := accountsFixture(t)
+	tids := f.insert(t, "accounts", av("a", 10, "n"))
+	ia, plan := newIncAgg(t, f, "SELECT SUM(amount) AS total, COUNT(*) AS n, AVG(amount) AS a FROM accounts")
+	f.mark()
+
+	tx := f.store.Begin()
+	_ = tx.Delete("accounts", tids[0])
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	stepAndVerify(t, f, ia, plan)
+	vals := ia.Result().At(0).Values
+	if !vals[0].IsNull() || vals[1].AsInt() != 0 || !vals[2].IsNull() {
+		t.Errorf("empty-table aggregates = %v, want NULL/0/NULL", vals)
+	}
+}
+
+func TestIncrementalGroupByAppearsAndDisappears(t *testing.T) {
+	f := accountsFixture(t)
+	f.insert(t, "accounts", av("a", 10, "north"), av("b", 20, "north"))
+	ia, plan := newIncAgg(t, f, "SELECT branch, SUM(amount) AS total FROM accounts GROUP BY branch")
+	f.mark()
+	if ia.Result().Len() != 1 {
+		t.Fatalf("initial groups = %d", ia.Result().Len())
+	}
+
+	// New group appears.
+	southTIDs := f.insert(t, "accounts", av("c", 5, "south"))
+	res := stepAndVerify(t, f, ia, plan)
+	if res.Inserted().Len() != 1 {
+		t.Errorf("new group should be an insertion, got %+v", res.Delta.Rows())
+	}
+	if ia.Result().Len() != 2 {
+		t.Fatalf("groups = %d", ia.Result().Len())
+	}
+
+	// Group disappears when its last row goes.
+	tx := f.store.Begin()
+	_ = tx.Delete("accounts", southTIDs[0])
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	res = stepAndVerify(t, f, ia, plan)
+	if res.Deleted().Len() != 1 {
+		t.Errorf("vanished group should be a deletion, got %+v", res.Delta.Rows())
+	}
+	if ia.Result().Len() != 1 {
+		t.Errorf("groups = %d", ia.Result().Len())
+	}
+}
+
+func TestIncrementalWithSelectionInput(t *testing.T) {
+	f := accountsFixture(t)
+	f.insert(t, "accounts", av("a", 100, "n"), av("b", 5, "n"))
+	ia, plan := newIncAgg(t, f, "SELECT COUNT(*) AS big FROM accounts WHERE amount > 50")
+	f.mark()
+	if ia.Result().At(0).Values[0].AsInt() != 1 {
+		t.Fatalf("initial = %v", ia.Result().At(0).Values)
+	}
+	// Insert below the predicate: irrelevant to the aggregate.
+	f.insert(t, "accounts", av("c", 1, "n"))
+	res := stepAndVerify(t, f, ia, plan)
+	if res.Delta.Len() != 0 {
+		t.Errorf("irrelevant insert changed the aggregate: %+v", res.Delta.Rows())
+	}
+	// Insert above it.
+	f.insert(t, "accounts", av("d", 500, "n"))
+	stepAndVerify(t, f, ia, plan)
+	if ia.Result().At(0).Values[0].AsInt() != 2 {
+		t.Errorf("count = %v", ia.Result().At(0).Values)
+	}
+}
+
+func TestNotIncrementalCases(t *testing.T) {
+	f := accountsFixture(t)
+	f.insert(t, "accounts", av("a", 1, "n"))
+	cases := []string{
+		"SELECT MIN(amount) AS lo FROM accounts",
+		"SELECT MAX(amount) AS hi FROM accounts",
+		"SELECT branch, SUM(amount) AS s FROM accounts GROUP BY branch HAVING SUM(amount) > 10",
+		"SELECT * FROM accounts", // not an aggregate root
+	}
+	for _, q := range cases {
+		plan := f.plan(t, q)
+		if _, err := NewIncrementalAggregate(NewEngine(), plan, f.store.Live()); !errors.Is(err, ErrNotIncremental) {
+			t.Errorf("%q: err = %v, want ErrNotIncremental", q, err)
+		}
+	}
+}
+
+// Property: the maintained aggregate equals fresh execution over long
+// random update streams, for global and grouped shapes.
+func TestIncrementalAggregateEquivalenceProperty(t *testing.T) {
+	queries := []string{
+		"SELECT SUM(amount) AS total, COUNT(*) AS n, AVG(amount) AS a FROM accounts",
+		"SELECT branch, SUM(amount) AS total, COUNT(*) AS n FROM accounts GROUP BY branch",
+		"SELECT branch, COUNT(*) AS n FROM accounts WHERE amount > 50 GROUP BY branch",
+	}
+	branches := []string{"n", "s", "e", "w"}
+	for qi, q := range queries {
+		rng := rand.New(rand.NewSource(int64(qi + 77)))
+		f := accountsFixture(t)
+		var live []relation.TID
+		// Seed.
+		tx := f.store.Begin()
+		for i := 0; i < 30; i++ {
+			tid, err := tx.Insert("accounts", av("x", float64(rng.Intn(200)), branches[rng.Intn(4)]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, tid)
+		}
+		if _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		ia, plan := newIncAgg(t, f, q)
+		f.mark()
+
+		for round := 0; round < 15; round++ {
+			tx := f.store.Begin()
+			for op := 0; op < 5; op++ {
+				switch k := rng.Intn(3); {
+				case k == 0 || len(live) == 0:
+					tid, err := tx.Insert("accounts", av("x", float64(rng.Intn(200)), branches[rng.Intn(4)]))
+					if err != nil {
+						t.Fatal(err)
+					}
+					live = append(live, tid)
+				case k == 1:
+					i := rng.Intn(len(live))
+					if err := tx.Update("accounts", live[i], av("x", float64(rng.Intn(200)), branches[rng.Intn(4)])); err != nil {
+						t.Fatal(err)
+					}
+				default:
+					i := rng.Intn(len(live))
+					if err := tx.Delete("accounts", live[i]); err != nil {
+						t.Fatal(err)
+					}
+					live = append(live[:i], live[i+1:]...)
+				}
+			}
+			if _, err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			stepAndVerify(t, f, ia, plan) // asserts vs fresh execution
+		}
+	}
+}

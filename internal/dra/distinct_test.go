@@ -1,0 +1,139 @@
+package dra
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/diorama/continual/internal/algebra"
+	"github.com/diorama/continual/internal/relation"
+)
+
+func newIncDistinct(t *testing.T, f *fixture, query string) (*IncrementalDistinct, algebra.Plan) {
+	t.Helper()
+	plan := f.plan(t, query)
+	id, err := NewIncrementalDistinct(NewEngine(), plan, f.store.Live())
+	if err != nil {
+		t.Fatalf("NewIncrementalDistinct: %v", err)
+	}
+	return id, plan
+}
+
+func distinctStepAndVerify(t *testing.T, f *fixture, id *IncrementalDistinct, plan algebra.Plan) *Result {
+	t.Helper()
+	ctx := f.ctx(t)
+	res, err := id.Step(ctx, f.store.Now())
+	if err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	f.mark()
+	want, err := algebra.NewExecutor(f.store.Live()).Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !id.Result().EqualContents(want) {
+		t.Fatalf("incremental distinct diverged.\nmaintained:\n%s\nfresh:\n%s", id.Result(), want)
+	}
+	return res
+}
+
+func TestIncrementalDistinctDuplicates(t *testing.T) {
+	f := newFixture(t, map[string]relation.Schema{"stocks": stockSchema()})
+	tids := f.insert(t, "stocks", sv("DEC", 1), sv("DEC", 1), sv("IBM", 1))
+	id, plan := newIncDistinct(t, f, "SELECT DISTINCT name FROM stocks")
+	f.mark()
+	if id.Result().Len() != 2 {
+		t.Fatalf("initial distinct = %d", id.Result().Len())
+	}
+
+	// Deleting one DEC duplicate must NOT remove DEC from the result.
+	tx := f.store.Begin()
+	_ = tx.Delete("stocks", tids[0])
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	res := distinctStepAndVerify(t, f, id, plan)
+	if res.Delta.Len() != 0 {
+		t.Errorf("removing a duplicate changed the distinct result: %+v", res.Delta.Rows())
+	}
+
+	// Deleting the last DEC removes it.
+	tx = f.store.Begin()
+	_ = tx.Delete("stocks", tids[1])
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	res = distinctStepAndVerify(t, f, id, plan)
+	if res.Deleted().Len() != 1 {
+		t.Errorf("last duplicate should delete: %+v", res.Delta.Rows())
+	}
+}
+
+func TestIncrementalDistinctWithPredicate(t *testing.T) {
+	f := newFixture(t, map[string]relation.Schema{"stocks": stockSchema()})
+	f.insert(t, "stocks", sv("A", 150), sv("A", 150), sv("B", 10))
+	id, plan := newIncDistinct(t, f, "SELECT DISTINCT name FROM stocks WHERE price > 100")
+	f.mark()
+	if id.Result().Len() != 1 {
+		t.Fatalf("initial = %d", id.Result().Len())
+	}
+	f.insert(t, "stocks", sv("C", 500))
+	res := distinctStepAndVerify(t, f, id, plan)
+	if res.Inserted().Len() != 1 {
+		t.Errorf("insert through predicate = %+v", res.Delta.Rows())
+	}
+}
+
+func TestIncrementalDistinctRejectsNonDistinctRoot(t *testing.T) {
+	f := newFixture(t, map[string]relation.Schema{"stocks": stockSchema()})
+	f.insert(t, "stocks", sv("A", 1))
+	plan := f.plan(t, "SELECT name FROM stocks")
+	if _, err := NewIncrementalDistinct(NewEngine(), plan, f.store.Live()); !errors.Is(err, ErrNotIncremental) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// Property: maintained DISTINCT equals fresh execution over random
+// histories with heavy duplication.
+func TestIncrementalDistinctEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	f := newFixture(t, map[string]relation.Schema{"stocks": stockSchema()})
+	names := []string{"A", "B", "C"} // tiny domain: lots of duplicates
+	var live []relation.TID
+	tx := f.store.Begin()
+	for i := 0; i < 20; i++ {
+		tid, _ := tx.Insert("stocks", sv(names[rng.Intn(3)], float64(rng.Intn(3)*100)))
+		live = append(live, tid)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	id, plan := newIncDistinct(t, f, "SELECT DISTINCT name, price FROM stocks")
+	f.mark()
+
+	for round := 0; round < 20; round++ {
+		tx := f.store.Begin()
+		for op := 0; op < 4; op++ {
+			switch k := rng.Intn(3); {
+			case k == 0 || len(live) == 0:
+				tid, _ := tx.Insert("stocks", sv(names[rng.Intn(3)], float64(rng.Intn(3)*100)))
+				live = append(live, tid)
+			case k == 1:
+				i := rng.Intn(len(live))
+				if err := tx.Update("stocks", live[i], sv(names[rng.Intn(3)], float64(rng.Intn(3)*100))); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				i := rng.Intn(len(live))
+				if err := tx.Delete("stocks", live[i]); err != nil {
+					t.Fatal(err)
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		if _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		distinctStepAndVerify(t, f, id, plan)
+	}
+}

@@ -1,0 +1,375 @@
+// Package dra implements the Differential Re-evaluation Algorithm of
+// Section 4 of the paper: re-evaluating a continual query over the
+// differential relations of its operands instead of rescanning the base
+// data.
+//
+// # Algorithm
+//
+// For an SPJ query Q = π_X(σ_F(R1 ⋈ ... ⋈ Rn)), let ΔRi be the
+// differential relation window of operand i since the last execution and
+// let k be the number of changed operands. Algorithm 1 of the paper
+// builds a truth table with 2^k rows; every row except all-zeros selects
+// a non-empty subset S of changed operands and contributes the term
+//
+//	π_X(σ_F( ⋈_{i∈S} ΔRi  ⋈  ⋈_{i∉S} Ri ))
+//
+// where the unsubstituted operands are taken at their state as of the
+// last execution. Treating each ΔRi as a signed multiset (insert = +1,
+// delete = -1, modification = -old +new) and multiplying signs across a
+// join makes the union of the 2^k−1 terms exactly the net change of the
+// query result under general updates — the distributivity identity
+//
+//	(R1+ΔR1) ⋈ (R2+ΔR2) = R1⋈R2 + ΔR1⋈R2 + R1⋈ΔR2 + ΔR1⋈ΔR2
+//
+// generalized to n operands. Selections and projections commute with the
+// signed representation row by row.
+//
+// The package also provides Propagate, the paper's complete
+// re-evaluation reference operator (run Q on both states and Diff), used
+// by the equivalence proofs in the test suite and by the benchmark
+// baselines, and the relevant-update refinement of Section 5.2.
+//
+// Aggregate and DISTINCT queries are outside the SPJ class that
+// Algorithm 1 covers ("limited to SPJ expressions"); Reevaluate falls
+// back to Propagate for them, and the cq package maintains aggregate
+// trigger state differentially per Section 5.3 instead.
+package dra
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/diorama/continual/internal/algebra"
+	"github.com/diorama/continual/internal/delta"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/sql"
+	"github.com/diorama/continual/internal/vclock"
+)
+
+// Errors returned by the engine.
+var (
+	ErrUnsupportedPlan = errors.New("dra: plan node not supported by differential evaluation")
+	ErrNoPrev          = errors.New("dra: previous result required")
+)
+
+// Context carries the inputs of Algorithm 1:
+//
+//	(i)   the CQ definition        — the plan passed to Reevaluate;
+//	(ii)  base contents at the last execution — Pre;
+//	(iii) the differential relations           — Deltas (window > last ts);
+//	(iv)  the timestamp of the last execution  — LastTS;
+//	(v)   the previous complete result         — Prev.
+//
+// Post is the current contents, needed by the Propagate fallback and by
+// result verification.
+type Context struct {
+	Pre    algebra.Source
+	Post   algebra.Source
+	Deltas map[string]*delta.Delta
+	LastTS vclock.Timestamp
+	Prev   *relation.Relation
+}
+
+// Stats records the work of one differential re-evaluation, consumed by
+// the benchmark harness.
+type Stats struct {
+	// Terms is the number of truth-table terms evaluated (Σ over join
+	// groups of 2^k - 1).
+	Terms int
+	// DeltaRows is the total number of signed delta rows consumed.
+	DeltaRows int
+	// PreTuplesScanned counts tuples materialized from unchanged-operand
+	// pre-states for join partner sides.
+	PreTuplesScanned int
+	// FellBack reports that the plan was outside the SPJ class and was
+	// recomputed via Propagate.
+	FellBack bool
+	// Skipped reports that the relevant-update refinement (Section 5.2)
+	// proved all updates irrelevant and skipped evaluation entirely.
+	Skipped bool
+}
+
+// Engine evaluates differential forms of SPJ plans. The flags correspond
+// to the ablation benchmarks in EXPERIMENTS.md.
+type Engine struct {
+	// UseHeuristics orders term joins delta-first and applies predicates
+	// as soon as their operands are joined ("select before join",
+	// Section 5.2). When false, terms join operands left-to-right and
+	// apply the full predicate at the end.
+	UseHeuristics bool
+	// CompactDeltas folds each operand's delta window to its net effect
+	// before evaluation (A2).
+	CompactDeltas bool
+	// UseHashJoin probes hash indexes for equi-join terms (A3); nested
+	// loops otherwise.
+	UseHashJoin bool
+	// SkipIrrelevant enables the Section 5.2 refinement: when every
+	// operand's filtered delta is empty the re-evaluation is skipped.
+	SkipIrrelevant bool
+
+	Stats Stats
+}
+
+// NewEngine returns an engine with all optimizations enabled.
+func NewEngine() *Engine {
+	return &Engine{UseHeuristics: true, CompactDeltas: true, UseHashJoin: true, SkipIrrelevant: true}
+}
+
+// Result is the outcome of one differential re-evaluation.
+type Result struct {
+	// Signed is the net signed change of the query result.
+	Signed *delta.Signed
+	// Delta is the change in differential-relation form (modifications
+	// paired), rows stamped with ExecTS.
+	Delta *delta.Delta
+	// ExecTS is the timestamp assigned to this execution.
+	ExecTS vclock.Timestamp
+
+	// materialized is set when the evaluation already produced the full
+	// result (FullReevaluate); ApplyTo then returns it directly.
+	materialized *relation.Relation
+}
+
+// ApplyTo maintains the complete result (Section 4.3: Et_i(Q) ∪
+// insertions − deletions): it applies the change to prev IN PLACE — an
+// O(|Δ|) operation, which is the whole point of differential maintenance
+// — and returns it. Callers that still need the old result must clone it
+// first. Calling ApplyTo more than once on the same Result is incorrect.
+func (r *Result) ApplyTo(prev *relation.Relation) *relation.Relation {
+	if r.materialized != nil {
+		return r.materialized
+	}
+	delta.ApplySigned(prev, r.Signed)
+	return prev
+}
+
+// Inserted returns the inserted-tuples view of the change.
+func (r *Result) Inserted() *relation.Relation { return r.Delta.Insertions() }
+
+// Deleted returns the deleted-tuples view of the change.
+func (r *Result) Deleted() *relation.Relation { return r.Delta.Deletions() }
+
+// Modified returns the modification rows of the change.
+func (r *Result) Modified() []delta.Row { return r.Delta.Modifications() }
+
+// Reevaluate computes the result of the current execution of the query
+// differentially. ctx.Prev must hold the previous complete result.
+func (e *Engine) Reevaluate(plan algebra.Plan, ctx *Context, execTS vclock.Timestamp) (*Result, error) {
+	if ctx.Prev == nil {
+		return nil, ErrNoPrev
+	}
+	e.Stats = Stats{}
+
+	var signed *delta.Signed
+	if supportsDifferential(plan) {
+		if e.SkipIrrelevant {
+			relevant, err := e.Relevant(plan, ctx)
+			if err != nil {
+				return nil, err
+			}
+			if !relevant {
+				e.Stats.Skipped = true
+				signed = &delta.Signed{Schema: plan.Schema()}
+			}
+		}
+		if signed == nil {
+			s, err := e.signedDelta(plan, ctx)
+			if err != nil {
+				return nil, err
+			}
+			signed = s
+		}
+	} else {
+		e.Stats.FellBack = true
+		s, err := PropagateSigned(plan, ctx.Pre, ctx.Post)
+		if err != nil {
+			return nil, err
+		}
+		signed = s
+	}
+
+	net := netSigned(signed)
+	return &Result{
+		Signed: net,
+		Delta:  net.ToDelta(execTS),
+		ExecTS: execTS,
+	}, nil
+}
+
+// Relevant implements the query refinement of Section 5.2: it tests the
+// per-operand differential windows against the operand-local predicates
+// and reports whether any update can affect the query result. It never
+// materializes pre-states, so it is cheap (O(Σ|ΔRi|)).
+func (e *Engine) Relevant(plan algebra.Plan, ctx *Context) (bool, error) {
+	saved := e.Stats
+	defer func() { e.Stats = saved }()
+	ops, _, err := flatten(plan)
+	if err != nil {
+		return false, err
+	}
+	for _, op := range ops {
+		d, err := e.operandDelta(op, ctx)
+		if err != nil {
+			return false, err
+		}
+		if d.Len() > 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// supportsDifferential reports whether the plan is in the SPJ class
+// covered by Algorithm 1.
+func supportsDifferential(p algebra.Plan) bool {
+	switch n := p.(type) {
+	case *algebra.ScanPlan:
+		return true
+	case *algebra.SelectPlan:
+		return supportsDifferential(n.Input)
+	case *algebra.ProjectPlan:
+		return supportsDifferential(n.Input)
+	case *algebra.JoinPlan:
+		return supportsDifferential(n.Left) && supportsDifferential(n.Right)
+	default:
+		return false
+	}
+}
+
+// signedDelta computes the signed change of a plan node's output between
+// the pre and post states.
+func (e *Engine) signedDelta(p algebra.Plan, ctx *Context) (*delta.Signed, error) {
+	switch n := p.(type) {
+	case *algebra.ScanPlan:
+		return e.scanDelta(n, ctx)
+	case *algebra.SelectPlan:
+		in, err := e.signedDelta(n.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return filterSigned(in, n.Pred)
+	case *algebra.ProjectPlan:
+		in, err := e.signedDelta(n.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return projectSigned(in, n, p.Schema())
+	case *algebra.JoinPlan:
+		return e.joinDelta(n, ctx)
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnsupportedPlan, p)
+	}
+}
+
+// scanDelta converts the table's differential window to signed form under
+// the scan's qualified schema.
+func (e *Engine) scanDelta(n *algebra.ScanPlan, ctx *Context) (*delta.Signed, error) {
+	d := ctx.Deltas[n.Table]
+	if d == nil {
+		return &delta.Signed{Schema: n.Schema()}, nil
+	}
+	if e.CompactDeltas {
+		d = d.Compact()
+	}
+	s := d.ToSigned()
+	e.Stats.DeltaRows += len(s.Rows)
+	// Rebadge under the scan's qualified schema (same types).
+	return &delta.Signed{Schema: n.Schema(), Rows: s.Rows}, nil
+}
+
+// filterSigned applies a selection predicate to each signed row. A
+// modification whose old half passes and whose new half fails nets to a
+// deletion from the result, exactly as in Example 2 of the paper.
+func filterSigned(in *delta.Signed, pred sql.Expr) (*delta.Signed, error) {
+	ce, err := algebra.Compile(pred, in.Schema)
+	if err != nil {
+		return nil, err
+	}
+	out := &delta.Signed{Schema: in.Schema, Rows: make([]delta.SignedRow, 0, len(in.Rows))}
+	for _, r := range in.Rows {
+		pass, err := algebra.EvalPredicate(ce, relation.Tuple{TID: r.TID, Values: r.Values})
+		if err != nil {
+			return nil, fmt.Errorf("dra: select: %w", err)
+		}
+		if pass {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out, nil
+}
+
+// projectSigned maps each signed row through the projection items.
+func projectSigned(in *delta.Signed, n *algebra.ProjectPlan, outSchema relation.Schema) (*delta.Signed, error) {
+	compiled := make([]algebra.CompiledExpr, len(n.Items))
+	for i, it := range n.Items {
+		ce, err := algebra.Compile(it.Expr, in.Schema)
+		if err != nil {
+			return nil, err
+		}
+		compiled[i] = ce
+	}
+	out := &delta.Signed{Schema: outSchema, Rows: make([]delta.SignedRow, 0, len(in.Rows))}
+	for _, r := range in.Rows {
+		vals := make([]relation.Value, len(compiled))
+		for i, ce := range compiled {
+			v, err := ce.Eval(relation.Tuple{TID: r.TID, Values: r.Values})
+			if err != nil {
+				return nil, fmt.Errorf("dra: project: %w", err)
+			}
+			vals[i] = v
+		}
+		out.Rows = append(out.Rows, delta.SignedRow{TID: r.TID, Values: vals, Sign: r.Sign})
+	}
+	return out, nil
+}
+
+// netSigned reduces a signed multiset to at most one negative and one
+// positive row per tid by counting per (tid, value) and keeping nonzero
+// nets. This collapses the cross terms of the truth-table expansion
+// (e.g. a tuple modified on both join sides contributes four signed rows
+// that net to one -old and one +new).
+func netSigned(s *delta.Signed) *delta.Signed {
+	type valEntry struct {
+		values []relation.Value
+		count  int
+		order  int
+	}
+	perTID := make(map[relation.TID]map[uint64]*valEntry, len(s.Rows))
+	var tidOrder []relation.TID
+	n := 0
+	for _, r := range s.Rows {
+		m, ok := perTID[r.TID]
+		if !ok {
+			m = make(map[uint64]*valEntry, 2)
+			perTID[r.TID] = m
+			tidOrder = append(tidOrder, r.TID)
+		}
+		h := relation.HashValues(r.Values)
+		ve, ok := m[h]
+		if !ok {
+			ve = &valEntry{values: r.Values, order: n}
+			n++
+			m[h] = ve
+		}
+		ve.count += r.Sign
+	}
+	out := &delta.Signed{Schema: s.Schema}
+	for _, tid := range tidOrder {
+		var neg, pos *valEntry
+		for _, ve := range perTID[tid] {
+			switch {
+			case ve.count < 0 && (neg == nil || ve.order < neg.order):
+				neg = ve
+			case ve.count > 0 && (pos == nil || ve.order < pos.order):
+				pos = ve
+			}
+		}
+		if neg != nil {
+			out.Rows = append(out.Rows, delta.SignedRow{TID: tid, Values: neg.values, Sign: -1})
+		}
+		if pos != nil {
+			out.Rows = append(out.Rows, delta.SignedRow{TID: tid, Values: pos.values, Sign: +1})
+		}
+	}
+	return out
+}

@@ -1,0 +1,510 @@
+package dra
+
+import (
+	"fmt"
+
+	"github.com/diorama/continual/internal/algebra"
+	"github.com/diorama/continual/internal/delta"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/sql"
+)
+
+// maxChangedOperands caps the truth-table width; beyond it (4096 terms)
+// complete re-evaluation is cheaper and Reevaluate falls back to
+// Propagate.
+const maxChangedOperands = 12
+
+// operand is one leaf of the flattened join expression: a maximal
+// join-free subtree (Scan, possibly under Selects from predicate
+// pushdown).
+type operand struct {
+	plan   algebra.Plan
+	lo, hi int // column range in the flattened output schema
+}
+
+// flatten decomposes a plan subtree into join operands and the list of
+// cross-operand predicate conjuncts collected from Join ON clauses.
+// Operand column ranges follow the left-deep concatenation order, so the
+// flattened output schema equals the subtree's schema.
+func flatten(p algebra.Plan) ([]*operand, []sql.Expr, error) {
+	var ops []*operand
+	var preds []sql.Expr
+	var walk func(algebra.Plan) error
+	col := 0
+	walk = func(p algebra.Plan) error {
+		if j, ok := p.(*algebra.JoinPlan); ok {
+			if err := walk(j.Left); err != nil {
+				return err
+			}
+			if err := walk(j.Right); err != nil {
+				return err
+			}
+			if j.On != nil {
+				preds = append(preds, algebra.SplitConjuncts(j.On)...)
+			}
+			return nil
+		}
+		width := p.Schema().Len()
+		ops = append(ops, &operand{plan: p, lo: col, hi: col + width})
+		col += width
+		return nil
+	}
+	if err := walk(p); err != nil {
+		return nil, nil, err
+	}
+	return ops, preds, nil
+}
+
+// operandDelta computes the signed delta of a join-free operand subtree.
+func (e *Engine) operandDelta(op *operand, ctx *Context) (*delta.Signed, error) {
+	return e.signedDelta(op.plan, ctx)
+}
+
+// operandPre materializes the operand's pre-state (its subtree executed
+// against the last-execution snapshot), as a +1 signed relation.
+func (e *Engine) operandPre(op *operand, ctx *Context) (*delta.Signed, error) {
+	ex := algebra.NewExecutor(ctx.Pre)
+	ex.UseHashJoin = e.UseHashJoin
+	rel, err := ex.Execute(op.plan)
+	if err != nil {
+		return nil, fmt.Errorf("dra: operand pre-state: %w", err)
+	}
+	e.Stats.PreTuplesScanned += rel.Len()
+	out := &delta.Signed{Schema: rel.Schema(), Rows: make([]delta.SignedRow, 0, rel.Len())}
+	for _, t := range rel.Tuples() {
+		out.Rows = append(out.Rows, delta.SignedRow{TID: t.TID, Values: t.Values, Sign: +1})
+	}
+	return out, nil
+}
+
+// joinDelta computes the signed delta of a join subtree by truth-table
+// expansion (Algorithm 1, steps 1-3).
+func (e *Engine) joinDelta(n *algebra.JoinPlan, ctx *Context) (*delta.Signed, error) {
+	ops, preds, err := flatten(n)
+	if err != nil {
+		return nil, err
+	}
+	outSchema := n.Schema()
+
+	deltas := make([]*delta.Signed, len(ops))
+	var changed []int
+	for i, op := range ops {
+		d, err := e.operandDelta(op, ctx)
+		if err != nil {
+			return nil, err
+		}
+		deltas[i] = d
+		if d.Len() > 0 {
+			changed = append(changed, i)
+		}
+	}
+	if len(changed) == 0 {
+		return &delta.Signed{Schema: outSchema}, nil
+	}
+	if len(changed) > maxChangedOperands {
+		return PropagateSigned(n, ctx.Pre, ctx.Post)
+	}
+
+	// Lazily materialized pre-states for unsubstituted operands.
+	pres := make([]*delta.Signed, len(ops))
+	preOf := func(i int) (*delta.Signed, error) {
+		if pres[i] == nil {
+			p, err := e.operandPre(ops[i], ctx)
+			if err != nil {
+				return nil, err
+			}
+			pres[i] = p
+		}
+		return pres[i], nil
+	}
+
+	compiledPreds, predMasks, err := compilePreds(preds, outSchema, ops)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &delta.Signed{Schema: outSchema}
+	k := len(changed)
+	for mask := 1; mask < 1<<k; mask++ {
+		term := make([]*delta.Signed, len(ops))
+		isDelta := make([]bool, len(ops))
+		empty := false
+		for i := range ops {
+			substituted := false
+			for b, ci := range changed {
+				if ci == i && mask&(1<<b) != 0 {
+					substituted = true
+					break
+				}
+			}
+			if substituted {
+				term[i] = deltas[i]
+				isDelta[i] = true
+			} else {
+				p, err := preOf(i)
+				if err != nil {
+					return nil, err
+				}
+				term[i] = p
+			}
+			if term[i].Len() == 0 {
+				empty = true
+				break
+			}
+		}
+		if empty {
+			continue
+		}
+		e.Stats.Terms++
+		rows, err := e.evalTerm(ops, term, isDelta, preds, compiledPreds, predMasks, outSchema)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, rows...)
+	}
+	return out, nil
+}
+
+// compilePreds compiles each cross-operand conjunct against the flattened
+// schema and computes the bitmask of operands each references.
+func compilePreds(preds []sql.Expr, outSchema relation.Schema, ops []*operand) ([]algebra.CompiledExpr, []uint64, error) {
+	compiled := make([]algebra.CompiledExpr, len(preds))
+	masks := make([]uint64, len(preds))
+	for i, p := range preds {
+		ce, err := algebra.Compile(p, outSchema)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dra: join predicate: %w", err)
+		}
+		compiled[i] = ce
+		for _, col := range algebra.ColumnsOf(p) {
+			idx, ok := outSchema.ColIndex(col)
+			if !ok {
+				return nil, nil, fmt.Errorf("dra: join predicate column %q not in schema", col)
+			}
+			for oi, op := range ops {
+				if idx >= op.lo && idx < op.hi {
+					masks[i] |= 1 << uint(oi)
+					break
+				}
+			}
+		}
+	}
+	return compiled, masks, nil
+}
+
+// partial is an in-progress joined row during term evaluation.
+type partial struct {
+	vals []relation.Value // full output width; unfilled ranges are zero
+	sign int
+	tids []relation.TID // per-operand provenance
+}
+
+// evalTerm joins the term's operand relations, multiplying signs and
+// applying predicates as soon as all referenced operands are joined.
+func (e *Engine) evalTerm(
+	ops []*operand,
+	term []*delta.Signed,
+	isDelta []bool,
+	preds []sql.Expr,
+	compiledPreds []algebra.CompiledExpr,
+	predMasks []uint64,
+	outSchema relation.Schema,
+) ([]delta.SignedRow, error) {
+	order := e.termOrder(ops, term, isDelta, preds, outSchema)
+	width := outSchema.Len()
+
+	applied := make([]bool, len(preds))
+	var filled uint64
+
+	// Seed with the first operand.
+	first := order[0]
+	cur := make([]*partial, 0, term[first].Len())
+	for _, r := range term[first].Rows {
+		vals := make([]relation.Value, width)
+		copy(vals[ops[first].lo:ops[first].hi], r.Values)
+		tids := make([]relation.TID, len(ops))
+		tids[first] = r.TID
+		cur = append(cur, &partial{vals: vals, sign: r.Sign, tids: tids})
+	}
+	filled |= 1 << uint(first)
+	var err error
+	if cur, err = e.applyReady(cur, filled, applied, compiledPreds, predMasks); err != nil {
+		return nil, err
+	}
+
+	for _, k := range order[1:] {
+		if len(cur) == 0 {
+			return nil, nil
+		}
+		lk, rk := e.equiPairs(preds, applied, predMasks, filled, k, ops, outSchema)
+		var next []*partial
+		if e.UseHashJoin && len(lk) > 0 {
+			next, err = e.hashStep(cur, term[k], ops[k], k, lk, rk)
+		} else {
+			next, err = e.loopStep(cur, term[k], ops[k], k)
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Mark equi predicates used by the hash step as applied.
+		if e.UseHashJoin && len(lk) > 0 {
+			markEquiApplied(preds, applied, predMasks, filled, k, ops, outSchema)
+		}
+		filled |= 1 << uint(k)
+		cur = next
+		if cur, err = e.applyReady(cur, filled, applied, compiledPreds, predMasks); err != nil {
+			return nil, err
+		}
+	}
+
+	// Any predicate not yet applied (defensive) runs now.
+	for i := range preds {
+		if !applied[i] {
+			if cur, err = e.applyOne(cur, compiledPreds[i]); err != nil {
+				return nil, err
+			}
+			applied[i] = true
+		}
+	}
+
+	rows := make([]delta.SignedRow, 0, len(cur))
+	for _, p := range cur {
+		tid := p.tids[0]
+		for i := 1; i < len(p.tids); i++ {
+			tid = relation.CombineTIDs(tid, p.tids[i])
+		}
+		rows = append(rows, delta.SignedRow{TID: tid, Values: p.vals, Sign: p.sign})
+	}
+	return rows, nil
+}
+
+// termOrder picks the operand join order: with heuristics, the smallest
+// delta operand first, then greedily the operand connected by an equi
+// predicate with the smallest relation; without, left-to-right.
+func (e *Engine) termOrder(ops []*operand, term []*delta.Signed, isDelta []bool, preds []sql.Expr, outSchema relation.Schema) []int {
+	n := len(ops)
+	order := make([]int, 0, n)
+	if !e.UseHeuristics {
+		for i := 0; i < n; i++ {
+			order = append(order, i)
+		}
+		return order
+	}
+	used := make([]bool, n)
+	// Start with the smallest delta operand (there is at least one in
+	// every term).
+	best := -1
+	for i := 0; i < n; i++ {
+		if isDelta[i] && (best == -1 || term[i].Len() < term[best].Len()) {
+			best = i
+		}
+	}
+	if best == -1 {
+		best = 0
+	}
+	order = append(order, best)
+	used[best] = true
+	var filled uint64 = 1 << uint(best)
+
+	connected := func(k int) bool {
+		kbit := uint64(1) << uint(k)
+		for pi := range preds {
+			m := predMask(preds[pi], ops, outSchema)
+			if m&kbit != 0 && m&filled != 0 && m&^(filled|kbit) == 0 {
+				if isEquiConjunct(preds[pi]) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for len(order) < n {
+		next := -1
+		for k := 0; k < n; k++ {
+			if used[k] {
+				continue
+			}
+			if next == -1 {
+				next = k
+				continue
+			}
+			nc, kc := connected(next), connected(k)
+			switch {
+			case kc && !nc:
+				next = k
+			case kc == nc && term[k].Len() < term[next].Len():
+				next = k
+			}
+		}
+		order = append(order, next)
+		used[next] = true
+		filled |= 1 << uint(next)
+	}
+	return order
+}
+
+func predMask(p sql.Expr, ops []*operand, outSchema relation.Schema) uint64 {
+	var m uint64
+	for _, col := range algebra.ColumnsOf(p) {
+		idx, ok := outSchema.ColIndex(col)
+		if !ok {
+			continue
+		}
+		for oi, op := range ops {
+			if idx >= op.lo && idx < op.hi {
+				m |= 1 << uint(oi)
+				break
+			}
+		}
+	}
+	return m
+}
+
+func isEquiConjunct(p sql.Expr) bool {
+	be, ok := p.(*sql.BinaryExpr)
+	if !ok || be.Op != "=" {
+		return false
+	}
+	_, l := be.L.(*sql.ColumnRef)
+	_, r := be.R.(*sql.ColumnRef)
+	return l && r
+}
+
+// equiPairs finds unapplied equi conjuncts linking the filled operands to
+// operand k, returning (full-width column index on the filled side,
+// local column index within k).
+func (e *Engine) equiPairs(preds []sql.Expr, applied []bool, predMasks []uint64, filled uint64, k int, ops []*operand, outSchema relation.Schema) (probeCols []int, buildCols []int) {
+	kbit := uint64(1) << uint(k)
+	for i, p := range preds {
+		if applied[i] || !isEquiConjunct(p) {
+			continue
+		}
+		if predMasks[i]&kbit == 0 || predMasks[i]&filled == 0 || predMasks[i]&^(filled|kbit) != 0 {
+			continue
+		}
+		be := p.(*sql.BinaryExpr)
+		li, _ := outSchema.ColIndex(be.L.(*sql.ColumnRef).Name)
+		ri, _ := outSchema.ColIndex(be.R.(*sql.ColumnRef).Name)
+		inK := func(c int) bool { return c >= ops[k].lo && c < ops[k].hi }
+		switch {
+		case inK(li) && !inK(ri):
+			probeCols = append(probeCols, ri)
+			buildCols = append(buildCols, li-ops[k].lo)
+		case inK(ri) && !inK(li):
+			probeCols = append(probeCols, li)
+			buildCols = append(buildCols, ri-ops[k].lo)
+		}
+	}
+	return probeCols, buildCols
+}
+
+// markEquiApplied marks the equi conjuncts consumed by a hash step.
+func markEquiApplied(preds []sql.Expr, applied []bool, predMasks []uint64, filled uint64, k int, ops []*operand, outSchema relation.Schema) {
+	kbit := uint64(1) << uint(k)
+	for i, p := range preds {
+		if applied[i] || !isEquiConjunct(p) {
+			continue
+		}
+		if predMasks[i]&kbit == 0 || predMasks[i]&filled == 0 || predMasks[i]&^(filled|kbit) != 0 {
+			continue
+		}
+		be := p.(*sql.BinaryExpr)
+		li, _ := outSchema.ColIndex(be.L.(*sql.ColumnRef).Name)
+		ri, _ := outSchema.ColIndex(be.R.(*sql.ColumnRef).Name)
+		inK := func(c int) bool { return c >= ops[k].lo && c < ops[k].hi }
+		if inK(li) != inK(ri) {
+			applied[i] = true
+		}
+	}
+}
+
+// hashStep joins the current partials with operand k through a hash index
+// on the equi-key columns.
+func (e *Engine) hashStep(cur []*partial, rel *delta.Signed, op *operand, opIdx int, probeCols, buildCols []int) ([]*partial, error) {
+	type bucket []delta.SignedRow
+	idx := make(map[uint64]bucket, rel.Len())
+	key := make([]relation.Value, len(buildCols))
+	for _, r := range rel.Rows {
+		for i, c := range buildCols {
+			key[i] = r.Values[c]
+		}
+		h := relation.HashValues(key)
+		idx[h] = append(idx[h], r)
+	}
+	var out []*partial
+	probe := make([]relation.Value, len(probeCols))
+	for _, p := range cur {
+		for i, c := range probeCols {
+			probe[i] = p.vals[c]
+		}
+		h := relation.HashValues(probe)
+		for _, r := range idx[h] {
+			// Verify against collisions.
+			match := true
+			for i, c := range buildCols {
+				if !r.Values[c].Equal(probe[i]) {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			out = append(out, mergePartial(p, r, op, opIdx))
+		}
+	}
+	return out, nil
+}
+
+// loopStep joins the current partials with operand k by nested loops;
+// predicates are applied afterwards by applyReady.
+func (e *Engine) loopStep(cur []*partial, rel *delta.Signed, op *operand, opIdx int) ([]*partial, error) {
+	out := make([]*partial, 0, len(cur))
+	for _, p := range cur {
+		for _, r := range rel.Rows {
+			out = append(out, mergePartial(p, r, op, opIdx))
+		}
+	}
+	return out, nil
+}
+
+func mergePartial(p *partial, r delta.SignedRow, op *operand, opIdx int) *partial {
+	vals := make([]relation.Value, len(p.vals))
+	copy(vals, p.vals)
+	copy(vals[op.lo:op.hi], r.Values)
+	tids := make([]relation.TID, len(p.tids))
+	copy(tids, p.tids)
+	tids[opIdx] = r.TID
+	return &partial{vals: vals, sign: p.sign * r.Sign, tids: tids}
+}
+
+// applyReady applies every unapplied predicate whose operands are all
+// filled, filtering the partials.
+func (e *Engine) applyReady(cur []*partial, filled uint64, applied []bool, compiled []algebra.CompiledExpr, masks []uint64) ([]*partial, error) {
+	for i := range compiled {
+		if applied[i] || masks[i]&^filled != 0 {
+			continue
+		}
+		var err error
+		cur, err = e.applyOne(cur, compiled[i])
+		if err != nil {
+			return nil, err
+		}
+		applied[i] = true
+	}
+	return cur, nil
+}
+
+func (e *Engine) applyOne(cur []*partial, pred algebra.CompiledExpr) ([]*partial, error) {
+	out := cur[:0]
+	for _, p := range cur {
+		ok, err := algebra.EvalPredicate(pred, relation.Tuple{Values: p.vals})
+		if err != nil {
+			return nil, fmt.Errorf("dra: term predicate: %w", err)
+		}
+		if ok {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}

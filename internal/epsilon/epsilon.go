@@ -1,0 +1,219 @@
+// Package epsilon implements epsilon specifications (E-specs) from the
+// Epsilon Serializability work that Section 3.2 of the paper imports into
+// continual queries: a bound on the distance, in database state space,
+// between the previous element of the CQ result sequence and the next.
+//
+// An E-spec is attached to a CQ as its triggering condition. The package
+// tracks accumulated divergence differentially — from the differential
+// relations alone, never by rescanning base data — exactly as Section 5.3
+// rewrites |Deposits - Withdrawals| >= 0.5M into sums over
+// insertions(ΔCheckingAccounts) and deletions(ΔCheckingAccounts).
+package epsilon
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/diorama/continual/internal/algebra"
+	"github.com/diorama/continual/internal/delta"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/sql"
+)
+
+// Errors returned by epsilon accounting.
+var (
+	ErrNonNumeric = errors.New("epsilon: monitored expression is not numeric")
+	ErrBadBound   = errors.New("epsilon: bound must be positive")
+)
+
+// Measure selects how update magnitude accumulates against the bound.
+type Measure int
+
+// Measures.
+const (
+	// MeasureNetChange accumulates the net signed change of the monitored
+	// expression: Σ(new) − Σ(old). This is the |Deposits − Withdrawals|
+	// form of the checking-account example (deposits are insertions of
+	// amount, withdrawals are deletions).
+	MeasureNetChange Measure = iota + 1
+	// MeasureAbsolute accumulates |change| per update row, a stricter
+	// bound that also catches churn which nets to zero.
+	MeasureAbsolute
+)
+
+// String names the measure.
+func (m Measure) String() string {
+	switch m {
+	case MeasureNetChange:
+		return "net"
+	case MeasureAbsolute:
+		return "absolute"
+	default:
+		return fmt.Sprintf("Measure(%d)", int(m))
+	}
+}
+
+// Spec is an epsilon specification: trigger when the accumulated
+// divergence of the monitored expression over the update stream reaches
+// Bound.
+type Spec struct {
+	// Expr is the monitored numeric expression over the base schema
+	// (e.g. the column `amount`).
+	Expr sql.Expr
+	// Bound is the epsilon: the maximum divergence tolerated before the
+	// query must be refreshed.
+	Bound float64
+	// Measure selects net or absolute accumulation.
+	Measure Measure
+}
+
+// Validate checks the specification.
+func (s Spec) Validate() error {
+	if s.Bound <= 0 {
+		return fmt.Errorf("%w: %v", ErrBadBound, s.Bound)
+	}
+	if s.Expr == nil {
+		return errors.New("epsilon: monitored expression required")
+	}
+	return nil
+}
+
+// Accountant tracks accumulated divergence for one CQ against one table's
+// update stream. It is safe for concurrent use.
+type Accountant struct {
+	spec Spec
+
+	mu       sync.Mutex
+	compiled algebra.CompiledExpr
+	schema   relation.Schema
+	net      float64
+	abs      float64
+}
+
+// NewAccountant creates an accountant for a spec over the monitored
+// table's schema.
+func NewAccountant(spec Spec, schema relation.Schema) (*Accountant, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Measure == 0 {
+		spec.Measure = MeasureNetChange
+	}
+	ce, err := algebra.Compile(spec.Expr, schema)
+	if err != nil {
+		return nil, fmt.Errorf("epsilon: %w", err)
+	}
+	switch ce.Type() {
+	case relation.TInt, relation.TFloat:
+	default:
+		return nil, fmt.Errorf("%w: %s has type %s", ErrNonNumeric, spec.Expr, ce.Type())
+	}
+	return &Accountant{spec: spec, compiled: ce, schema: schema}, nil
+}
+
+// Spec returns the accountant's specification.
+func (a *Accountant) Spec() Spec { return a.spec }
+
+// Observe folds a differential window into the accumulated divergence.
+// The evaluation is purely over the delta rows (Section 5.3's
+// differential form of the trigger condition); the base relation is never
+// touched.
+func (a *Accountant) Observe(d *delta.Delta) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, r := range d.Rows() {
+		var oldV, newV float64
+		var hasOld, hasNew bool
+		if r.Old != nil {
+			v, err := a.compiled.Eval(relation.Tuple{TID: r.TID, Values: r.Old})
+			if err != nil {
+				return fmt.Errorf("epsilon: old half: %w", err)
+			}
+			if !v.IsNull() {
+				oldV, hasOld = v.AsFloat(), true
+			}
+		}
+		if r.New != nil {
+			v, err := a.compiled.Eval(relation.Tuple{TID: r.TID, Values: r.New})
+			if err != nil {
+				return fmt.Errorf("epsilon: new half: %w", err)
+			}
+			if !v.IsNull() {
+				newV, hasNew = v.AsFloat(), true
+			}
+		}
+		var change float64
+		switch {
+		case hasOld && hasNew:
+			change = newV - oldV
+		case hasNew:
+			change = newV
+		case hasOld:
+			change = -oldV
+		}
+		a.net += change
+		a.abs += math.Abs(change)
+	}
+	return nil
+}
+
+// Divergence returns the accumulated divergence under the spec's measure.
+func (a *Accountant) Divergence() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.spec.Measure == MeasureAbsolute {
+		return a.abs
+	}
+	return math.Abs(a.net)
+}
+
+// Exceeded reports whether the accumulated divergence has reached the
+// epsilon bound — the CQ must refresh.
+func (a *Accountant) Exceeded() bool {
+	return a.Divergence() >= a.spec.Bound
+}
+
+// Reset clears the accumulated divergence; called after each refresh (the
+// E-spec bounds the distance between *consecutive* results).
+func (a *Accountant) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.net, a.abs = 0, 0
+}
+
+// ResultDistance computes the distance between two consecutive query
+// results as the sum over modified/inserted/deleted rows of the absolute
+// change of the expression — the "magnitude of updates" view of the
+// result sequence. Used by tests to verify the E-spec invariant: the
+// distance between consecutive delivered results exceeds the bound by at
+// most the final update's magnitude.
+func ResultDistance(expr sql.Expr, prev, cur *relation.Relation) (float64, error) {
+	ce, err := algebra.Compile(expr, prev.Schema())
+	if err != nil {
+		return 0, err
+	}
+	sum := func(r *relation.Relation) (float64, error) {
+		var s float64
+		for _, t := range r.Tuples() {
+			v, err := ce.Eval(t)
+			if err != nil {
+				return 0, err
+			}
+			if !v.IsNull() {
+				s += v.AsFloat()
+			}
+		}
+		return s, nil
+	}
+	p, err := sum(prev)
+	if err != nil {
+		return 0, err
+	}
+	c, err := sum(cur)
+	if err != nil {
+		return 0, err
+	}
+	return math.Abs(c - p), nil
+}

@@ -1,0 +1,220 @@
+package epsilon
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/diorama/continual/internal/delta"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/sql"
+	"github.com/diorama/continual/internal/vclock"
+)
+
+func accountSchema() relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "owner", Type: relation.TString},
+		relation.Column{Name: "amount", Type: relation.TFloat},
+	)
+}
+
+func amountExpr(t *testing.T) sql.Expr {
+	t.Helper()
+	e, err := sql.ParseExpr("amount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func row(owner string, amount float64) []relation.Value {
+	return []relation.Value{relation.Str(owner), relation.Float(amount)}
+}
+
+func newAcct(t *testing.T, bound float64, m Measure) *Accountant {
+	t.Helper()
+	a, err := NewAccountant(Spec{Expr: amountExpr(t), Bound: bound, Measure: m}, accountSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestCheckingAccountExample reproduces the Section 3.2/5.3 scenario: a
+// 0.5M epsilon on the checking-account sum; deposits (insertions) and
+// withdrawals (deletions) accumulate until the bound is crossed.
+func TestCheckingAccountExample(t *testing.T) {
+	a := newAcct(t, 500_000, MeasureNetChange)
+
+	d := delta.New(accountSchema())
+	_ = d.AppendInsert(1, row("alice", 300_000), 1) // deposit 300k
+	_ = d.AppendDelete(2, row("bob", 100_000), 2)   // withdrawal 100k
+	if err := a.Observe(d); err != nil {
+		t.Fatal(err)
+	}
+	if a.Exceeded() {
+		t.Fatalf("divergence %v should be below 500k", a.Divergence())
+	}
+	if got := a.Divergence(); got != 200_000 {
+		t.Errorf("net divergence = %v, want 200000", got)
+	}
+
+	d2 := delta.New(accountSchema())
+	_ = d2.AppendInsert(3, row("carol", 301_000), 3)
+	if err := a.Observe(d2); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Exceeded() {
+		t.Errorf("divergence %v should exceed 500k", a.Divergence())
+	}
+
+	a.Reset()
+	if a.Exceeded() || a.Divergence() != 0 {
+		t.Error("Reset should clear divergence")
+	}
+}
+
+func TestModificationCountsAsDifference(t *testing.T) {
+	a := newAcct(t, 100, MeasureNetChange)
+	d := delta.New(accountSchema())
+	_ = d.AppendModify(1, row("alice", 500), row("alice", 450), 1)
+	if err := a.Observe(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Divergence(); got != 50 {
+		t.Errorf("modification divergence = %v, want 50", got)
+	}
+}
+
+func TestNetVsAbsoluteMeasure(t *testing.T) {
+	// +100 then -100 nets to zero but has 200 absolute churn.
+	mk := func(m Measure) *Accountant { return newAcct(t, 150, m) }
+
+	d := delta.New(accountSchema())
+	_ = d.AppendInsert(1, row("a", 100), 1)
+	_ = d.AppendDelete(2, row("b", 100), 2)
+
+	net := mk(MeasureNetChange)
+	_ = net.Observe(d)
+	if net.Exceeded() {
+		t.Errorf("net measure should see 0, got %v", net.Divergence())
+	}
+	abs := mk(MeasureAbsolute)
+	_ = abs.Observe(d)
+	if !abs.Exceeded() {
+		t.Errorf("absolute measure should see 200, got %v", abs.Divergence())
+	}
+}
+
+func TestNegativeNetTriggersViaAbsoluteValue(t *testing.T) {
+	a := newAcct(t, 100, MeasureNetChange)
+	d := delta.New(accountSchema())
+	_ = d.AppendDelete(1, row("a", 150), 1) // net -150
+	_ = a.Observe(d)
+	if !a.Exceeded() {
+		t.Errorf("|net| = %v should exceed 100", a.Divergence())
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := NewAccountant(Spec{Expr: amountExpr(t), Bound: 0}, accountSchema()); !errors.Is(err, ErrBadBound) {
+		t.Errorf("zero bound err = %v", err)
+	}
+	if _, err := NewAccountant(Spec{Expr: nil, Bound: 1}, accountSchema()); err == nil {
+		t.Error("nil expr should fail")
+	}
+	ownerExpr, _ := sql.ParseExpr("owner")
+	if _, err := NewAccountant(Spec{Expr: ownerExpr, Bound: 1}, accountSchema()); !errors.Is(err, ErrNonNumeric) {
+		t.Errorf("non-numeric err = %v", err)
+	}
+	missing, _ := sql.ParseExpr("nosuch")
+	if _, err := NewAccountant(Spec{Expr: missing, Bound: 1}, accountSchema()); err == nil {
+		t.Error("unknown column should fail")
+	}
+}
+
+func TestNullAmountsIgnored(t *testing.T) {
+	a := newAcct(t, 10, MeasureNetChange)
+	d := delta.New(accountSchema())
+	_ = d.AppendInsert(1, []relation.Value{relation.Str("x"), relation.TypedNull(relation.TFloat)}, 1)
+	if err := a.Observe(d); err != nil {
+		t.Fatal(err)
+	}
+	if a.Divergence() != 0 {
+		t.Errorf("NULL amount contributed %v", a.Divergence())
+	}
+}
+
+func TestResultDistance(t *testing.T) {
+	prev := relation.New(accountSchema())
+	_ = prev.Insert(relation.Tuple{TID: 1, Values: row("a", 100)})
+	_ = prev.Insert(relation.Tuple{TID: 2, Values: row("b", 200)})
+	cur := relation.New(accountSchema())
+	_ = cur.Insert(relation.Tuple{TID: 1, Values: row("a", 150)})
+	_ = cur.Insert(relation.Tuple{TID: 3, Values: row("c", 50)})
+
+	dist, err := ResultDistance(amountExpr(t), prev, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// prev sum 300, cur sum 200 -> 100.
+	if dist != 100 {
+		t.Errorf("distance = %v, want 100", dist)
+	}
+}
+
+// Property: the divergence accounted from delta rows always equals the
+// true |sum(post) − sum(pre)| for random update streams (net measure).
+func TestNetDivergenceMatchesTrueSumProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		a := newAcct(t, 1e18, MeasureNetChange)
+		rel := relation.New(accountSchema())
+		next := relation.TID(1)
+		trueSum := func() float64 {
+			var s float64
+			for _, tu := range rel.Tuples() {
+				s += tu.Values[1].AsFloat()
+			}
+			return s
+		}
+		// seed
+		for i := 0; i < 10; i++ {
+			_ = rel.Insert(relation.Tuple{TID: next, Values: row("x", float64(rng.Intn(1000)))})
+			next++
+		}
+		before := trueSum()
+		d := delta.New(accountSchema())
+		clock := vclock.New()
+		for i := 0; i < 40; i++ {
+			ts := clock.Tick()
+			switch op := rng.Intn(3); {
+			case op == 0 || rel.Len() == 0:
+				v := row("x", float64(rng.Intn(1000)))
+				_ = d.AppendInsert(next, v, ts)
+				_ = rel.Insert(relation.Tuple{TID: next, Values: v})
+				next++
+			case op == 1:
+				victim := rel.At(rng.Intn(rel.Len()))
+				_ = d.AppendDelete(victim.TID, victim.Values, ts)
+				_ = rel.Delete(victim.TID)
+			default:
+				victim := rel.At(rng.Intn(rel.Len()))
+				nv := row("x", float64(rng.Intn(1000)))
+				_ = d.AppendModify(victim.TID, victim.Values, nv, ts)
+				_ = rel.Update(victim.TID, nv)
+			}
+		}
+		if err := a.Observe(d); err != nil {
+			t.Fatal(err)
+		}
+		want := trueSum() - before
+		if want < 0 {
+			want = -want
+		}
+		got := a.Divergence()
+		if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("trial %d: divergence %v, true |Δsum| %v", trial, got, want)
+		}
+	}
+}

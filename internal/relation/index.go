@@ -1,0 +1,59 @@
+package relation
+
+// HashIndex is an equality index over one or more columns of a relation,
+// built once over a snapshot. It is the building block for hash joins in
+// the executor and in DRA's differential join terms.
+type HashIndex struct {
+	cols    []int
+	buckets map[uint64][]Tuple
+}
+
+// BuildHashIndex indexes rel on the given column positions.
+func BuildHashIndex(rel *Relation, cols []int) *HashIndex {
+	idx := &HashIndex{
+		cols:    append([]int(nil), cols...),
+		buckets: make(map[uint64][]Tuple, rel.Len()),
+	}
+	key := make([]Value, len(cols))
+	for _, t := range rel.Tuples() {
+		for i, c := range cols {
+			key[i] = t.Values[c]
+		}
+		h := HashValues(key)
+		idx.buckets[h] = append(idx.buckets[h], t)
+	}
+	return idx
+}
+
+// Probe returns the tuples whose key columns equal the given key values.
+// It verifies matches to guard against hash collisions.
+func (ix *HashIndex) Probe(key []Value) []Tuple {
+	h := HashValues(key)
+	candidates := ix.buckets[h]
+	if len(candidates) == 0 {
+		return nil
+	}
+	out := make([]Tuple, 0, len(candidates))
+	for _, t := range candidates {
+		match := true
+		for i, c := range ix.cols {
+			if !t.Values[c].Equal(key[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Len returns the number of indexed tuples.
+func (ix *HashIndex) Len() int {
+	n := 0
+	for _, b := range ix.buckets {
+		n += len(b)
+	}
+	return n
+}

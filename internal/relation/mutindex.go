@@ -1,0 +1,103 @@
+package relation
+
+// MutableIndex is an equality index over fixed key columns that is
+// maintained incrementally: tuples are added and removed as the indexed
+// relation changes, so probes never require rebuilding. The incremental
+// join maintainer keeps one per operand per join key (the persistent
+// counterpart of BuildHashIndex, which snapshots).
+type MutableIndex struct {
+	cols    []int
+	buckets map[uint64]map[TID]Tuple
+	size    int
+}
+
+// NewMutableIndex creates an empty index on the given key columns.
+func NewMutableIndex(cols []int) *MutableIndex {
+	return &MutableIndex{
+		cols:    append([]int(nil), cols...),
+		buckets: make(map[uint64]map[TID]Tuple),
+	}
+}
+
+// Cols returns the indexed column positions.
+func (ix *MutableIndex) Cols() []int { return ix.cols }
+
+// Len returns the number of indexed tuples.
+func (ix *MutableIndex) Len() int { return ix.size }
+
+func (ix *MutableIndex) keyHash(values []Value) uint64 {
+	key := make([]Value, len(ix.cols))
+	for i, c := range ix.cols {
+		key[i] = values[c]
+	}
+	return HashValues(key)
+}
+
+// Add indexes a tuple (replacing any previous tuple with the same tid
+// under the same key).
+func (ix *MutableIndex) Add(t Tuple) {
+	h := ix.keyHash(t.Values)
+	b, ok := ix.buckets[h]
+	if !ok {
+		b = make(map[TID]Tuple, 1)
+		ix.buckets[h] = b
+	}
+	if _, exists := b[t.TID]; !exists {
+		ix.size++
+	}
+	b[t.TID] = t
+}
+
+// Remove unindexes the tuple with the given (pre-change) values and tid.
+// Removing an absent tuple is a no-op.
+func (ix *MutableIndex) Remove(t Tuple) {
+	h := ix.keyHash(t.Values)
+	b, ok := ix.buckets[h]
+	if !ok {
+		return
+	}
+	if _, exists := b[t.TID]; exists {
+		delete(b, t.TID)
+		ix.size--
+		if len(b) == 0 {
+			delete(ix.buckets, h)
+		}
+	}
+}
+
+// Probe returns the tuples whose key columns equal the given key values.
+// Matches are verified to guard against hash collisions. The returned
+// slice is freshly allocated.
+func (ix *MutableIndex) Probe(key []Value) []Tuple {
+	h := HashValues(key)
+	b, ok := ix.buckets[h]
+	if !ok {
+		return nil
+	}
+	out := make([]Tuple, 0, len(b))
+	for _, t := range b {
+		match := true
+		for i, c := range ix.cols {
+			if !t.Values[c].Equal(key[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// All returns every indexed tuple (used for cross products when no equi
+// key connects two operands).
+func (ix *MutableIndex) All() []Tuple {
+	out := make([]Tuple, 0, ix.size)
+	for _, b := range ix.buckets {
+		for _, t := range b {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Value
+		kind Type
+		str  string
+	}{
+		{"int", Int(42), TInt, "42"},
+		{"negative int", Int(-7), TInt, "-7"},
+		{"float", Float(1.5), TFloat, "1.5"},
+		{"string", Str("IBM"), TString, "IBM"},
+		{"bool true", Bool(true), TBool, "true"},
+		{"bool false", Bool(false), TBool, "false"},
+		{"null", NullValue(), 0, "-"},
+		{"typed null", TypedNull(TInt), TInt, "-"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.v.Kind != tt.kind {
+				t.Errorf("Kind = %v, want %v", tt.v.Kind, tt.kind)
+			}
+			if got := tt.v.String(); got != tt.str {
+				t.Errorf("String() = %q, want %q", got, tt.str)
+			}
+		})
+	}
+	if Int(5).AsInt() != 5 {
+		t.Error("AsInt round trip failed")
+	}
+	if Float(2.5).AsFloat() != 2.5 {
+		t.Error("AsFloat round trip failed")
+	}
+	if Str("x").AsString() != "x" {
+		t.Error("AsString round trip failed")
+	}
+	if !Bool(true).AsBool() {
+		t.Error("AsBool round trip failed")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Value
+		want bool
+	}{
+		{"equal ints", Int(1), Int(1), true},
+		{"unequal ints", Int(1), Int(2), false},
+		{"int float cross equal", Int(3), Float(3.0), true},
+		{"int float cross unequal", Int(3), Float(3.5), false},
+		{"strings equal", Str("a"), Str("a"), true},
+		{"strings unequal", Str("a"), Str("b"), false},
+		{"bools", Bool(true), Bool(true), true},
+		{"null vs null", NullValue(), NullValue(), true},
+		{"typed null vs null", TypedNull(TInt), NullValue(), true},
+		{"null vs int", NullValue(), Int(0), false},
+		{"string vs int", Str("1"), Int(1), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Equal(tt.b); got != tt.want {
+				t.Errorf("%v.Equal(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+			if got := tt.b.Equal(tt.a); got != tt.want {
+				t.Errorf("Equal not symmetric for %v, %v", tt.a, tt.b)
+			}
+		})
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Value
+		want int
+	}{
+		{"int lt", Int(1), Int(2), -1},
+		{"int gt", Int(2), Int(1), 1},
+		{"int eq", Int(2), Int(2), 0},
+		{"float int cross", Float(1.5), Int(2), -1},
+		{"string lt", Str("abc"), Str("abd"), -1},
+		{"bool order", Bool(false), Bool(true), -1},
+		{"null first", NullValue(), Int(-999), -1},
+		{"null eq null", NullValue(), NullValue(), 0},
+		{"cross kind total order", Int(1), Str("a"), -1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Compare(tt.b); got != tt.want {
+				t.Errorf("Compare = %d, want %d", got, tt.want)
+			}
+			if got := tt.b.Compare(tt.a); got != -tt.want {
+				t.Errorf("Compare not antisymmetric")
+			}
+		})
+	}
+}
+
+func TestHashValuesSeparator(t *testing.T) {
+	// ("a","b") must not hash like ("ab","").
+	a := HashValues([]Value{Str("a"), Str("b")})
+	b := HashValues([]Value{Str("ab"), Str("")})
+	if a == b {
+		t.Error("string concatenation collision in HashValues")
+	}
+}
+
+func TestHashValuesDeterministic(t *testing.T) {
+	vs := []Value{Int(1), Float(2.5), Str("x"), Bool(true), NullValue()}
+	if HashValues(vs) != HashValues(vs) {
+		t.Error("HashValues not deterministic")
+	}
+}
+
+// Property: Compare defines a total order consistent with Equal.
+func TestValueCompareConsistentWithEqual(t *testing.T) {
+	gen := func(r *rand.Rand) Value {
+		switch r.Intn(5) {
+		case 0:
+			return Int(int64(r.Intn(100) - 50))
+		case 1:
+			return Float(float64(r.Intn(100)) / 4)
+		case 2:
+			return Str(string(rune('a' + r.Intn(4))))
+		case 3:
+			return Bool(r.Intn(2) == 0)
+		default:
+			return NullValue()
+		}
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b := gen(r), gen(r)
+		eq := a.Equal(b)
+		cmp := a.Compare(b)
+		if eq && cmp != 0 {
+			t.Fatalf("%v == %v but Compare = %d", a, b, cmp)
+		}
+		// Note: cross-kind numerics can compare 0 without Equal only when
+		// equal numerically, in which case Equal is also true; so cmp==0
+		// for numerics implies eq.
+		if cmp == 0 && a.IsNumeric() && b.IsNumeric() && !eq {
+			t.Fatalf("numeric Compare=0 but not Equal: %v vs %v", a, b)
+		}
+	}
+}
+
+// Property: hashing is injective enough that equal value slices hash equal.
+func TestHashValuesEqualSlicesProperty(t *testing.T) {
+	f := func(xs []int64) bool {
+		vs := make([]Value, len(xs))
+		ws := make([]Value, len(xs))
+		for i, x := range xs {
+			vs[i] = Int(x)
+			ws[i] = Int(x)
+		}
+		return HashValues(vs) == HashValues(ws)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

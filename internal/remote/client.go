@@ -1,0 +1,282 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/diorama/continual/internal/algebra"
+	"github.com/diorama/continual/internal/delta"
+	"github.com/diorama/continual/internal/dra"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/vclock"
+)
+
+// Client talks to a Server. It is safe for concurrent use; requests are
+// serialized over the single connection.
+type Client struct {
+	mu    sync.Mutex
+	conn  net.Conn
+	codec *codec
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial: %w", err)
+	}
+	return &Client{conn: conn, codec: newCodec(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// BytesRead returns total bytes received from the server.
+func (c *Client) BytesRead() int64 { return c.codec.bytesRead() }
+
+// BytesWritten returns total bytes sent to the server.
+func (c *Client) BytesWritten() int64 { return c.codec.bytesWritten() }
+
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.codec.send(req); err != nil {
+		return Response{}, fmt.Errorf("remote: send: %w", err)
+	}
+	var resp Response
+	if err := c.codec.recv(&resp); err != nil {
+		return Response{}, fmt.Errorf("remote: recv: %w", err)
+	}
+	return resp, resp.asError()
+}
+
+// ListTables returns the server's table names.
+func (c *Client) ListTables() ([]string, error) {
+	resp, err := c.roundTrip(Request{Op: OpListTables})
+	return resp.Tables, err
+}
+
+// Schema fetches a table's schema.
+func (c *Client) Schema(table string) (relation.Schema, error) {
+	resp, err := c.roundTrip(Request{Op: OpSchema, Table: table})
+	if err != nil {
+		return relation.Schema{}, err
+	}
+	return fromWireSchema(resp.Columns)
+}
+
+// Snapshot fetches the full current contents of a table and the server's
+// logical time.
+func (c *Client) Snapshot(table string) (*relation.Relation, vclock.Timestamp, error) {
+	resp, err := c.roundTrip(Request{Op: OpSnapshot, Table: table})
+	if err != nil {
+		return nil, 0, err
+	}
+	rel, err := fromWireRelation(resp.Rel)
+	return rel, resp.Now, err
+}
+
+// DeltaSince fetches a table's differential window.
+func (c *Client) DeltaSince(table string, since vclock.Timestamp) (*delta.Delta, vclock.Timestamp, error) {
+	resp, err := c.roundTrip(Request{Op: OpDeltaSince, Table: table, Since: since})
+	if err != nil {
+		return nil, 0, err
+	}
+	schema, err := c.Schema(table)
+	if err != nil {
+		return nil, 0, err
+	}
+	d, err := fromWireDelta(resp.Delta, schema)
+	return d, resp.Now, err
+}
+
+// Query executes a SELECT on the server and ships the full result back —
+// the server-side-evaluation mode the paper argues against for scalable
+// monitoring.
+func (c *Client) Query(query string) (*relation.Relation, vclock.Timestamp, error) {
+	resp, err := c.roundTrip(Request{Op: OpQuery, Query: query})
+	if err != nil {
+		return nil, 0, err
+	}
+	rel, err := fromWireRelation(resp.Rel)
+	return rel, resp.Now, err
+}
+
+// Now returns the server's logical clock.
+func (c *Client) Now() (vclock.Timestamp, error) {
+	resp, err := c.roundTrip(Request{Op: OpNow})
+	return resp.Now, err
+}
+
+// ApplyUpdates pushes a batch of updates into a server table (benchmark
+// drivers use this to generate load over the wire).
+func (c *Client) ApplyUpdates(table string, rows []WireDeltaRow) error {
+	_, err := c.roundTrip(Request{Op: OpApplyUpdates, Table: table, Updates: rows})
+	return err
+}
+
+// MirrorCQ is a client-side continual query evaluated by DRA over
+// shipped deltas: the client keeps a replica of the operand tables
+// (applied forward by the delta stream) and the cached previous result —
+// "shifting the processing to the client side" (Section 6).
+type MirrorCQ struct {
+	client *Client
+	query  string
+	plan   algebra.Plan
+	engine *dra.Engine
+
+	tables  []string
+	replica map[string]*relation.Relation // operand replicas at lastTS
+	lastTS  vclock.Timestamp
+	result  *relation.Relation
+}
+
+// replicaCatalog adapts the replica set to the planner/executor.
+type replicaCatalog map[string]*relation.Relation
+
+func (rc replicaCatalog) Schema(table string) (relation.Schema, error) {
+	r, ok := rc[table]
+	if !ok {
+		return relation.Schema{}, fmt.Errorf("remote: no replica of %q", table)
+	}
+	return r.Schema(), nil
+}
+
+func (rc replicaCatalog) Relation(table string) (*relation.Relation, error) {
+	r, ok := rc[table]
+	if !ok {
+		return nil, fmt.Errorf("remote: no replica of %q", table)
+	}
+	return r, nil
+}
+
+// NewMirrorCQ installs a client-side CQ: it snapshots the operand tables
+// once, evaluates the initial result locally, and afterwards refreshes by
+// pulling only deltas.
+func NewMirrorCQ(client *Client, query string) (*MirrorCQ, error) {
+	// Plan against server schemas.
+	serverCat := &clientCatalog{client: client}
+	plan, err := algebra.PlanSQL(query, serverCat)
+	if err != nil {
+		return nil, err
+	}
+	plan = algebra.Optimize(plan)
+
+	m := &MirrorCQ{
+		client:  client,
+		query:   query,
+		plan:    plan,
+		engine:  dra.NewEngine(),
+		replica: make(map[string]*relation.Relation),
+	}
+	for _, scan := range algebra.Tables(plan) {
+		m.tables = append(m.tables, scan.Table)
+	}
+	// Initial snapshots. Each snapshot arrives tagged with the server
+	// time it was taken at; replicas are then brought forward to the
+	// common horizon ts with one delta window each, so all replicas
+	// reflect the same consistent cut.
+	var ts vclock.Timestamp
+	snapTS := make(map[string]vclock.Timestamp, len(m.tables))
+	for _, table := range m.tables {
+		if _, dup := m.replica[table]; dup {
+			continue
+		}
+		rel, now, err := client.Snapshot(table)
+		if err != nil {
+			return nil, err
+		}
+		m.replica[table] = rel
+		snapTS[table] = now
+		if now > ts {
+			ts = now
+		}
+	}
+	for table, rel := range m.replica {
+		if snapTS[table] == ts {
+			continue
+		}
+		d, _, err := client.DeltaSince(table, snapTS[table])
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Window(snapTS[table], ts).Apply(rel); err != nil {
+			return nil, fmt.Errorf("remote: align replica %q: %w", table, err)
+		}
+	}
+	m.lastTS = ts
+	initial, err := dra.InitialResult(plan, replicaCatalog(m.replica))
+	if err != nil {
+		return nil, err
+	}
+	m.result = initial
+	return m, nil
+}
+
+// clientCatalog resolves schemas over the wire for planning.
+type clientCatalog struct{ client *Client }
+
+func (cc *clientCatalog) Schema(table string) (relation.Schema, error) {
+	return cc.client.Schema(table)
+}
+
+// Result returns the cached current result.
+func (m *MirrorCQ) Result() *relation.Relation { return m.result }
+
+// LastTS returns the logical time of the last refresh.
+func (m *MirrorCQ) LastTS() vclock.Timestamp { return m.lastTS }
+
+// Refresh pulls the delta windows since the last refresh, re-evaluates
+// the query differentially against the local replicas, advances the
+// replicas, and returns the result change.
+func (m *MirrorCQ) Refresh() (*delta.Delta, error) {
+	deltas := make(map[string]*delta.Delta, len(m.tables))
+	var now vclock.Timestamp
+	for _, table := range m.tables {
+		if _, dup := deltas[table]; dup {
+			continue
+		}
+		d, serverNow, err := m.client.DeltaSince(table, m.lastTS)
+		if err != nil {
+			return nil, err
+		}
+		if serverNow > now {
+			now = serverNow
+		}
+		deltas[table] = d
+	}
+	// Clamp all windows to the common horizon so the evaluation sees a
+	// consistent cut.
+	for table, d := range deltas {
+		deltas[table] = d.Window(m.lastTS, now)
+	}
+
+	// Post-state replicas: needed by the engine's non-SPJ fallback, and
+	// they become the new replica set after a successful refresh.
+	post := make(map[string]*relation.Relation, len(m.replica))
+	for table, rel := range m.replica {
+		clone := rel.Clone()
+		if d, ok := deltas[table]; ok {
+			if err := d.Apply(clone); err != nil {
+				return nil, fmt.Errorf("remote: advance replica %q: %w", table, err)
+			}
+		}
+		post[table] = clone
+	}
+	ctx := &dra.Context{
+		Pre:    replicaCatalog(m.replica),
+		Post:   replicaCatalog(post),
+		Deltas: deltas,
+		LastTS: m.lastTS,
+		Prev:   m.result,
+	}
+	res, err := m.engine.Reevaluate(m.plan, ctx, now)
+	if err != nil {
+		return nil, err
+	}
+	m.replica = post
+	m.result = res.ApplyTo(m.result)
+	m.lastTS = now
+	return res.Delta, nil
+}

@@ -1,0 +1,195 @@
+// Package remote implements the client/server split of the system: a TCP
+// server exposing information sources (snapshots, delta windows and
+// server-side query execution) and a client that evaluates continual
+// queries locally against shipped deltas.
+//
+// The split realizes the strawman performance arguments of Section 5.1:
+// "caching the results on the client side makes the servers more scalable
+// with respect to the number of clients" and "if the volume of relevant
+// updates is smaller than the results ... we are further reducing the
+// network traffic". Both sides count bytes on the wire so the benchmark
+// harness can report delta shipping vs full-result shipping.
+package remote
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"github.com/diorama/continual/internal/delta"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/vclock"
+)
+
+// Op identifies a request type.
+type Op int
+
+// Request operations.
+const (
+	OpListTables Op = iota + 1
+	OpSchema
+	OpSnapshot
+	OpDeltaSince
+	OpQuery
+	OpNow
+	OpApplyUpdates
+)
+
+// Request is one client request.
+type Request struct {
+	Op    Op
+	Table string
+	Since vclock.Timestamp
+	Query string
+	// Updates carries OpApplyUpdates rows (benchmark drivers push load
+	// through the same connection).
+	Updates []WireDeltaRow
+}
+
+// Response is one server reply. Exactly one payload field is set on
+// success; Err is the error text otherwise.
+type Response struct {
+	Err     string
+	Tables  []string
+	Columns []WireColumn
+	Rel     *WireRelation
+	Delta   []WireDeltaRow
+	Now     vclock.Timestamp
+}
+
+// WireColumn mirrors relation.Column for the wire.
+type WireColumn struct {
+	Name string
+	Type int
+}
+
+// WireRelation is a materialized relation on the wire.
+type WireRelation struct {
+	Columns []WireColumn
+	TIDs    []uint64
+	Rows    [][]relation.Value
+}
+
+// WireDeltaRow mirrors delta.Row for the wire.
+type WireDeltaRow struct {
+	TID uint64
+	Old []relation.Value
+	New []relation.Value
+	TS  vclock.Timestamp
+}
+
+// toWireSchema converts a schema.
+func toWireSchema(s relation.Schema) []WireColumn {
+	out := make([]WireColumn, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		c := s.Col(i)
+		out[i] = WireColumn{Name: c.Name, Type: int(c.Type)}
+	}
+	return out
+}
+
+// fromWireSchema converts back.
+func fromWireSchema(cols []WireColumn) (relation.Schema, error) {
+	rc := make([]relation.Column, len(cols))
+	for i, c := range cols {
+		rc[i] = relation.Column{Name: c.Name, Type: relation.Type(c.Type)}
+	}
+	return relation.NewSchema(rc...)
+}
+
+// toWireRelation converts a relation.
+func toWireRelation(r *relation.Relation) *WireRelation {
+	out := &WireRelation{
+		Columns: toWireSchema(r.Schema()),
+		TIDs:    make([]uint64, 0, r.Len()),
+		Rows:    make([][]relation.Value, 0, r.Len()),
+	}
+	for _, t := range r.Tuples() {
+		out.TIDs = append(out.TIDs, uint64(t.TID))
+		out.Rows = append(out.Rows, t.Values)
+	}
+	return out
+}
+
+// fromWireRelation converts back.
+func fromWireRelation(w *WireRelation) (*relation.Relation, error) {
+	schema, err := fromWireSchema(w.Columns)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(schema)
+	for i, tid := range w.TIDs {
+		if err := out.Insert(relation.Tuple{TID: relation.TID(tid), Values: w.Rows[i]}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// toWireDelta converts a differential relation.
+func toWireDelta(d *delta.Delta) []WireDeltaRow {
+	out := make([]WireDeltaRow, 0, d.Len())
+	for _, r := range d.Rows() {
+		out = append(out, WireDeltaRow{TID: uint64(r.TID), Old: r.Old, New: r.New, TS: r.TS})
+	}
+	return out
+}
+
+// fromWireDelta converts back onto a schema.
+func fromWireDelta(rows []WireDeltaRow, schema relation.Schema) (*delta.Delta, error) {
+	out := delta.New(schema)
+	for _, r := range rows {
+		if err := out.Append(delta.Row{TID: relation.TID(r.TID), Old: r.Old, New: r.New, TS: r.TS}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// countingConn wraps a stream with transfer counters.
+type countingConn struct {
+	rw    io.ReadWriter
+	read  atomic.Int64
+	wrote atomic.Int64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.rw.Read(p)
+	c.read.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.rw.Write(p)
+	c.wrote.Add(int64(n))
+	return n, err
+}
+
+// codec pairs a gob encoder/decoder over a counted stream.
+type codec struct {
+	conn *countingConn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+func newCodec(rw io.ReadWriter) *codec {
+	cc := &countingConn{rw: rw}
+	return &codec{conn: cc, enc: gob.NewEncoder(cc), dec: gob.NewDecoder(cc)}
+}
+
+func (c *codec) send(v any) error    { return c.enc.Encode(v) }
+func (c *codec) recv(v any) error    { return c.dec.Decode(v) }
+func (c *codec) bytesRead() int64    { return c.conn.read.Load() }
+func (c *codec) bytesWritten() int64 { return c.conn.wrote.Load() }
+
+// errResponse builds an error reply.
+func errResponse(err error) Response { return Response{Err: err.Error()} }
+
+// asError converts a reply's Err field.
+func (r Response) asError() error {
+	if r.Err == "" {
+		return nil
+	}
+	return fmt.Errorf("remote: server: %s", r.Err)
+}

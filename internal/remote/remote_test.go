@@ -1,0 +1,382 @@
+package remote
+
+import (
+	"testing"
+
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/storage"
+)
+
+func stockSchema() relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "name", Type: relation.TString},
+		relation.Column{Name: "price", Type: relation.TFloat},
+	)
+}
+
+func startServer(t *testing.T) (*storage.Store, *Server, *Client) {
+	t.Helper()
+	store := storage.NewStore()
+	if err := store.CreateTable("stocks", stockSchema()); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	return store, srv, client
+}
+
+func insertStock(t *testing.T, s *storage.Store, name string, price float64) relation.TID {
+	t.Helper()
+	tx := s.Begin()
+	tid, err := tx.Insert("stocks", []relation.Value{relation.Str(name), relation.Float(price)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return tid
+}
+
+func TestListTablesAndSchema(t *testing.T) {
+	_, _, client := startServer(t)
+	tables, err := client.ListTables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0] != "stocks" {
+		t.Errorf("tables = %v", tables)
+	}
+	schema, err := client.Schema("stocks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Len() != 2 || schema.Col(1).Name != "price" {
+		t.Errorf("schema = %s", schema)
+	}
+	if _, err := client.Schema("nosuch"); err == nil {
+		t.Error("missing table should error through the wire")
+	}
+}
+
+func TestSnapshotAndQueryOverWire(t *testing.T) {
+	store, _, client := startServer(t)
+	insertStock(t, store, "DEC", 150)
+	insertStock(t, store, "IBM", 75)
+
+	snap, now, err := client.Snapshot("stocks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != 2 || now == 0 {
+		t.Errorf("snapshot len=%d now=%d", snap.Len(), now)
+	}
+	res, _, err := client.Query("SELECT * FROM stocks WHERE price > 120")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.At(0).Values[0].AsString() != "DEC" {
+		t.Errorf("query result:\n%s", res)
+	}
+	if _, _, err := client.Query("not sql"); err == nil {
+		t.Error("bad query should error")
+	}
+}
+
+func TestDeltaSinceOverWire(t *testing.T) {
+	store, _, client := startServer(t)
+	insertStock(t, store, "A", 10)
+	mark := store.Now()
+	tid := insertStock(t, store, "B", 20)
+	tx := store.Begin()
+	_ = tx.Update("stocks", tid, []relation.Value{relation.Str("B"), relation.Float(25)})
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	d, _, err := client.DeltaSince("stocks", mark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, del, mod := d.Counts()
+	if ins != 1 || del != 0 || mod != 1 {
+		t.Errorf("delta counts = %d/%d/%d", ins, del, mod)
+	}
+	// Value fidelity across gob.
+	if d.Rows()[1].New[1].AsFloat() != 25 {
+		t.Errorf("modified value = %v", d.Rows()[1].New)
+	}
+}
+
+func TestApplyUpdatesOverWire(t *testing.T) {
+	store, _, client := startServer(t)
+	err := client.ApplyUpdates("stocks", []WireDeltaRow{
+		{New: []relation.Value{relation.Str("NEW"), relation.Float(42)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := store.Snapshot("stocks")
+	if snap.Len() != 1 || snap.At(0).Values[0].AsString() != "NEW" {
+		t.Errorf("pushed row missing:\n%s", snap)
+	}
+}
+
+func TestMirrorCQRefreshesWithDeltasOnly(t *testing.T) {
+	store, _, client := startServer(t)
+	insertStock(t, store, "DEC", 150)
+	insertStock(t, store, "IBM", 75)
+
+	cq, err := NewMirrorCQ(client, "SELECT * FROM stocks WHERE price > 120")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cq.Result().Len() != 1 {
+		t.Fatalf("initial = %d", cq.Result().Len())
+	}
+
+	insertStock(t, store, "MAC", 130)
+	tidLow := insertStock(t, store, "LOW", 10)
+
+	d, err := cq.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, del, mod := d.Counts()
+	if ins != 1 || del != 0 || mod != 0 {
+		t.Errorf("refresh counts = %d/%d/%d", ins, del, mod)
+	}
+	if cq.Result().Len() != 2 {
+		t.Errorf("result = %d", cq.Result().Len())
+	}
+
+	// Deletion propagates through the mirror.
+	tx := store.Begin()
+	_ = tx.Delete("stocks", tidLow)
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cq.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if cq.Result().Len() != 2 {
+		t.Errorf("result after irrelevant delete = %d", cq.Result().Len())
+	}
+
+	// The mirror result always matches a server-side full query.
+	truth, _, err := client.Query("SELECT * FROM stocks WHERE price > 120")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cq.Result().EqualContents(truth) {
+		t.Errorf("mirror diverged:\n%s\nvs\n%s", cq.Result(), truth)
+	}
+}
+
+func TestMirrorDeltaBytesSmallerThanFullShipping(t *testing.T) {
+	store, _, client := startServer(t)
+	for i := 0; i < 500; i++ {
+		insertStock(t, store, "S", float64(100+i))
+	}
+	cq, err := NewMirrorCQ(client, "SELECT * FROM stocks WHERE price > 120")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := client.BytesRead()
+
+	// One small update, then refresh via deltas.
+	insertStock(t, store, "S", 9999)
+	if _, err := cq.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	deltaBytes := client.BytesRead() - base
+
+	// The same refresh via full-result shipping.
+	base = client.BytesRead()
+	if _, _, err := client.Query("SELECT * FROM stocks WHERE price > 120"); err != nil {
+		t.Fatal(err)
+	}
+	fullBytes := client.BytesRead() - base
+
+	if deltaBytes*5 > fullBytes {
+		t.Errorf("delta shipping (%d B) should be far below full shipping (%d B)", deltaBytes, fullBytes)
+	}
+}
+
+func TestMirrorCQJoin(t *testing.T) {
+	store, _, client := startServer(t)
+	if err := store.CreateTable("trades", relation.MustSchema(
+		relation.Column{Name: "sym", Type: relation.TString},
+		relation.Column{Name: "volume", Type: relation.TInt},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	insertStock(t, store, "DEC", 150)
+	tx := store.Begin()
+	_, _ = tx.Insert("trades", []relation.Value{relation.Str("DEC"), relation.Int(100)})
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	cq, err := NewMirrorCQ(client, "SELECT s.name, t.volume FROM stocks s JOIN trades t ON s.name = t.sym")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cq.Result().Len() != 1 {
+		t.Fatalf("initial join = %d", cq.Result().Len())
+	}
+	tx = store.Begin()
+	_, _ = tx.Insert("trades", []relation.Value{relation.Str("DEC"), relation.Int(500)})
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cq.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if cq.Result().Len() != 2 {
+		t.Errorf("join after refresh = %d", cq.Result().Len())
+	}
+}
+
+func TestServerStatsCountWork(t *testing.T) {
+	store, srv, client := startServer(t)
+	insertStock(t, store, "A", 10)
+	if _, _, err := client.Query("SELECT * FROM stocks"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := client.DeltaSince("stocks", 0); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.QueriesServed != 1 || st.DeltasServed != 1 || st.TuplesExecuted != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestValueMarshalRoundTrip(t *testing.T) {
+	vals := []relation.Value{
+		relation.Int(-42),
+		relation.Float(3.25),
+		relation.Str("hello 'quoted'"),
+		relation.Bool(true),
+		relation.NullValue(),
+		relation.TypedNull(relation.TFloat),
+	}
+	for _, v := range vals {
+		data, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var back relation.Value
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatalf("unmarshal %v: %v", v, err)
+		}
+		if !back.Equal(v) || back.Kind != v.Kind {
+			t.Errorf("round trip %v -> %v", v, back)
+		}
+	}
+	var bad relation.Value
+	if err := bad.UnmarshalBinary(nil); err == nil {
+		t.Error("empty unmarshal should fail")
+	}
+	if err := bad.UnmarshalBinary([]byte{byte(relation.TInt), 1, 2}); err == nil {
+		t.Error("short int payload should fail")
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	store, srv, c1 := startServer(t)
+	insertStock(t, store, "A", 10)
+	addrClient := func() *Client {
+		c, err := Dial(srv.ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = c.Close() })
+		return c
+	}
+	c2 := addrClient()
+	c3 := addrClient()
+	for _, c := range []*Client{c1, c2, c3} {
+		snap, _, err := c.Snapshot("stocks")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Len() != 1 {
+			t.Errorf("client saw %d rows", snap.Len())
+		}
+	}
+}
+
+func TestNowAndBytesWritten(t *testing.T) {
+	store, _, client := startServer(t)
+	insertStock(t, store, "A", 1)
+	now, err := client.Now()
+	if err != nil || now == 0 {
+		t.Fatalf("Now = %d, %v", now, err)
+	}
+	if client.BytesWritten() == 0 {
+		t.Error("requests should have written bytes")
+	}
+}
+
+func TestApplyUpdatesModifyDeleteAndErrors(t *testing.T) {
+	store, _, client := startServer(t)
+	tid := insertStock(t, store, "A", 10)
+
+	// Modify over the wire.
+	if err := client.ApplyUpdates("stocks", []WireDeltaRow{{
+		TID: uint64(tid),
+		Old: []relation.Value{relation.Str("A"), relation.Float(10)},
+		New: []relation.Value{relation.Str("A"), relation.Float(20)},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := store.Snapshot("stocks")
+	got, _ := snap.Lookup(tid)
+	if got.Values[1].AsFloat() != 20 {
+		t.Errorf("wire modify = %v", got.Values)
+	}
+	// Delete over the wire.
+	if err := client.ApplyUpdates("stocks", []WireDeltaRow{{
+		TID: uint64(tid),
+		Old: []relation.Value{relation.Str("A"), relation.Float(20)},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ = store.Snapshot("stocks")
+	if snap.Len() != 0 {
+		t.Error("wire delete did not take")
+	}
+	// Errors: empty row, missing table, missing tid.
+	if err := client.ApplyUpdates("stocks", []WireDeltaRow{{}}); err == nil {
+		t.Error("empty row should fail")
+	}
+	if err := client.ApplyUpdates("", nil); err == nil {
+		t.Error("missing table should fail")
+	}
+	if err := client.ApplyUpdates("stocks", []WireDeltaRow{{
+		TID: 9999, Old: []relation.Value{relation.Str("x"), relation.Float(1)},
+	}}); err == nil {
+		t.Error("deleting unknown tid should fail")
+	}
+}
+
+func TestStaleDeltaWindowErrorsOverWire(t *testing.T) {
+	store, _, client := startServer(t)
+	insertStock(t, store, "A", 1)
+	insertStock(t, store, "B", 2)
+	store.CollectGarbage(store.Now())
+	if _, _, err := client.DeltaSince("stocks", 0); err == nil {
+		t.Error("collected window should error through the wire")
+	}
+}

@@ -1,0 +1,222 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/diorama/continual/internal/algebra"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/storage"
+)
+
+// Server exposes a store over TCP. Each connection is served by one
+// goroutine; requests on a connection are processed in order.
+type Server struct {
+	store *storage.Store
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+
+	// stats
+	queriesServed  int64
+	deltasServed   int64
+	tuplesExecuted int64
+}
+
+// ServerStats is a snapshot of server-side work counters, used by the
+// scalability experiment (E7): server CPU work per client refresh.
+type ServerStats struct {
+	QueriesServed  int64
+	DeltasServed   int64
+	TuplesExecuted int64
+}
+
+// NewServer wraps a store. Call Serve to start listening.
+func NewServer(store *storage.Store) *Server {
+	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve starts listening on addr ("127.0.0.1:0" picks a free port) and
+// returns the bound address. Connections are handled until Close.
+func (s *Server) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("remote: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	c := newCodec(conn)
+	for {
+		var req Request
+		if err := c.recv(&req); err != nil {
+			return // client went away or spoke garbage; drop the conn
+		}
+		resp := s.handle(req)
+		if err := c.send(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Stats returns a snapshot of the work counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ServerStats{
+		QueriesServed:  s.queriesServed,
+		DeltasServed:   s.deltasServed,
+		TuplesExecuted: s.tuplesExecuted,
+	}
+}
+
+func (s *Server) handle(req Request) Response {
+	switch req.Op {
+	case OpListTables:
+		return Response{Tables: s.store.TableNames()}
+
+	case OpSchema:
+		schema, err := s.store.Schema(req.Table)
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{Columns: toWireSchema(schema)}
+
+	case OpSnapshot:
+		rel, err := s.store.Snapshot(req.Table)
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{Rel: toWireRelation(rel), Now: s.store.Now()}
+
+	case OpDeltaSince:
+		d, err := s.store.DeltaSince(req.Table, req.Since)
+		if err != nil {
+			return errResponse(err)
+		}
+		s.mu.Lock()
+		s.deltasServed++
+		s.mu.Unlock()
+		return Response{Delta: toWireDelta(d), Now: s.store.Now()}
+
+	case OpQuery:
+		plan, err := algebra.PlanSQL(req.Query, s.store.Live())
+		if err != nil {
+			return errResponse(err)
+		}
+		ex := algebra.NewExecutor(s.store.Live())
+		rel, err := ex.Execute(algebra.Optimize(plan))
+		if err != nil {
+			return errResponse(err)
+		}
+		s.mu.Lock()
+		s.queriesServed++
+		s.tuplesExecuted += int64(ex.Stats.TuplesScanned)
+		s.mu.Unlock()
+		return Response{Rel: toWireRelation(rel), Now: s.store.Now()}
+
+	case OpNow:
+		return Response{Now: s.store.Now()}
+
+	case OpApplyUpdates:
+		if err := s.applyUpdates(req); err != nil {
+			return errResponse(err)
+		}
+		return Response{Now: s.store.Now()}
+
+	default:
+		return errResponse(fmt.Errorf("unknown op %d", req.Op))
+	}
+}
+
+// applyUpdates commits a batch of differential rows pushed by a client
+// (used by benchmark drivers).
+func (s *Server) applyUpdates(req Request) error {
+	if req.Table == "" {
+		return errors.New("table required")
+	}
+	tx := s.store.Begin()
+	for _, r := range req.Updates {
+		switch {
+		case r.Old == nil && r.New == nil:
+			tx.Abort()
+			return errors.New("empty update row")
+		case r.Old == nil:
+			if _, err := tx.Insert(req.Table, r.New); err != nil {
+				tx.Abort()
+				return err
+			}
+		case r.New == nil:
+			if err := tx.Delete(req.Table, relation.TID(r.TID)); err != nil {
+				tx.Abort()
+				return err
+			}
+		default:
+			if err := tx.Update(req.Table, relation.TID(r.TID), r.New); err != nil {
+				tx.Abort()
+				return err
+			}
+		}
+	}
+	_, err := tx.Commit()
+	return err
+}
+
+// Close stops the listener and all connections, waiting for handlers to
+// finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}

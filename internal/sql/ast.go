@@ -1,0 +1,289 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/diorama/continual/internal/relation"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Expr is any parsed expression.
+type Expr interface {
+	expr()
+	// String renders the expression back to SQL-ish text.
+	String() string
+}
+
+// ColumnRef references a column, possibly qualified ("stocks.price").
+type ColumnRef struct {
+	Name string
+}
+
+func (*ColumnRef) expr() {}
+
+// String implements Expr.
+func (c *ColumnRef) String() string { return c.Name }
+
+// Literal is a constant value.
+type Literal struct {
+	Value relation.Value
+}
+
+func (*Literal) expr() {}
+
+// String implements Expr.
+func (l *Literal) String() string {
+	if l.Value.Kind == relation.TString && !l.Value.IsNull() {
+		return "'" + strings.ReplaceAll(l.Value.AsString(), "'", "''") + "'"
+	}
+	if l.Value.IsNull() {
+		return "NULL"
+	}
+	return l.Value.String()
+}
+
+// BinaryExpr is a binary operation. Op is one of
+// = != < <= > >= + - * / % AND OR.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (*BinaryExpr) expr() {}
+
+// String implements Expr.
+func (b *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// UnaryExpr is NOT e or -e.
+type UnaryExpr struct {
+	Op string // "NOT" or "-"
+	E  Expr
+}
+
+func (*UnaryExpr) expr() {}
+
+// String implements Expr.
+func (u *UnaryExpr) String() string {
+	if u.Op == "NOT" {
+		return fmt.Sprintf("(NOT %s)", u.E)
+	}
+	return fmt.Sprintf("(-%s)", u.E)
+}
+
+// FuncCall is an aggregate or scalar function call. Star marks COUNT(*).
+type FuncCall struct {
+	Name string // uppercase: SUM COUNT AVG MIN MAX ABS
+	Arg  Expr   // nil for COUNT(*)
+	Star bool
+}
+
+func (*FuncCall) expr() {}
+
+// String implements Expr.
+func (f *FuncCall) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	return fmt.Sprintf("%s(%s)", f.Name, f.Arg)
+}
+
+// AggregateFuncs names the supported aggregates.
+var AggregateFuncs = map[string]bool{"SUM": true, "COUNT": true, "AVG": true, "MIN": true, "MAX": true}
+
+// SelectItem is one projection target.
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// TableRef is one FROM-clause operand. For explicit JOIN syntax, On holds
+// the join predicate; comma-joins leave On nil (the predicate lives in
+// WHERE).
+type TableRef struct {
+	Table string
+	Alias string
+	On    Expr
+}
+
+// Name returns the effective relation name (alias if present).
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a parsed SELECT.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	// Limit bounds the result size; negative means no limit.
+	Limit int64
+}
+
+func (*SelectStmt) stmt() {}
+
+// HasAggregates reports whether any projection item is an aggregate call.
+func (s *SelectStmt) HasAggregates() bool {
+	for _, it := range s.Items {
+		if it.Star {
+			continue
+		}
+		if exprHasAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprHasAggregate(e Expr) bool {
+	switch ex := e.(type) {
+	case *FuncCall:
+		if AggregateFuncs[ex.Name] {
+			return true
+		}
+		return ex.Arg != nil && exprHasAggregate(ex.Arg)
+	case *BinaryExpr:
+		return exprHasAggregate(ex.L) || exprHasAggregate(ex.R)
+	case *UnaryExpr:
+		return exprHasAggregate(ex.E)
+	default:
+		return false
+	}
+}
+
+// InsertStmt is a parsed INSERT.
+type InsertStmt struct {
+	Table string
+	Rows  [][]Expr
+}
+
+func (*InsertStmt) stmt() {}
+
+// Assignment is one SET clause of an UPDATE.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// UpdateStmt is a parsed UPDATE.
+type UpdateStmt struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+func (*UpdateStmt) stmt() {}
+
+// DeleteStmt is a parsed DELETE.
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*DeleteStmt) stmt() {}
+
+// ColumnDef is one column of a CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Type relation.Type
+}
+
+// CreateTableStmt is a parsed CREATE TABLE.
+type CreateTableStmt struct {
+	Table   string
+	Columns []ColumnDef
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// DropTableStmt is a parsed DROP TABLE.
+type DropTableStmt struct {
+	Table string
+}
+
+func (*DropTableStmt) stmt() {}
+
+// TriggerKind classifies CQ trigger specifications (Section 3.1 lists the
+// forms; Section 3.2 adds epsilon specifications).
+type TriggerKind int
+
+// Trigger kinds.
+const (
+	// TriggerEvery fires on a fixed period of logical ticks / wall
+	// interval ("a direct specification of time").
+	TriggerEvery TriggerKind = iota + 1
+	// TriggerEpsilon fires when the accumulated change magnitude of the
+	// monitored expression exceeds the bound (an E-spec, Section 3.2).
+	TriggerEpsilon
+	// TriggerUpdates fires after n relevant update rows.
+	TriggerUpdates
+)
+
+// TriggerSpec is the parsed TRIGGER clause.
+type TriggerSpec struct {
+	Kind    TriggerKind
+	Every   int64   // TriggerEvery: period
+	Bound   float64 // TriggerEpsilon: epsilon bound
+	On      Expr    // TriggerEpsilon: monitored numeric expression (column)
+	Updates int64   // TriggerUpdates: row count
+}
+
+// ResultMode selects what a CQ delivers on each refresh (Section 4.3,
+// step 4 enumerates the three assembly modes).
+type ResultMode int
+
+// Result modes.
+const (
+	ModeDifferential ResultMode = iota + 1
+	ModeComplete
+	ModeDeletions
+)
+
+// String names the mode.
+func (m ResultMode) String() string {
+	switch m {
+	case ModeDifferential:
+		return "DIFFERENTIAL"
+	case ModeComplete:
+		return "COMPLETE"
+	case ModeDeletions:
+		return "DELETIONS"
+	default:
+		return fmt.Sprintf("ResultMode(%d)", int(m))
+	}
+}
+
+// StopSpec is the parsed STOP clause. Zero value = never stop.
+type StopSpec struct {
+	AfterN int64 // stop after N executions (0 = unbounded)
+}
+
+// CreateCQStmt is a parsed CREATE CONTINUAL QUERY statement — the triple
+// (Q, Tcq, Stop) of Section 3.1 plus the result mode.
+type CreateCQStmt struct {
+	Name    string
+	Select  *SelectStmt
+	Trigger TriggerSpec
+	Mode    ResultMode
+	Stop    StopSpec
+}
+
+func (*CreateCQStmt) stmt() {}

@@ -1,0 +1,202 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SyntaxError reports a lexical or grammatical error with its position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sql: line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lexer turns input text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos+1 < len(l.src) {
+				if l.peekByte() == '*' && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next scans one token.
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	startPos, startLine, startCol := l.pos, l.line, l.col
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: startPos, Line: startLine, Col: startCol}, nil
+	}
+	mk := func(kind TokenKind, text string) Token {
+		return Token{Kind: kind, Text: text, Pos: startPos, Line: startLine, Col: startCol}
+	}
+	c := l.peekByte()
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		word := l.src[startPos:l.pos]
+		if IsKeyword(strings.ToUpper(word)) {
+			return mk(TokKeyword, strings.ToUpper(word)), nil
+		}
+		return mk(TokIdent, word), nil
+
+	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		sawDot, sawExp := false, false
+		for l.pos < len(l.src) {
+			c := l.peekByte()
+			switch {
+			case isDigit(c):
+				l.advance()
+			case c == '.' && !sawDot && !sawExp:
+				sawDot = true
+				l.advance()
+			case (c == 'e' || c == 'E') && !sawExp && l.pos > startPos:
+				sawExp = true
+				l.advance()
+				if l.pos < len(l.src) && (l.peekByte() == '+' || l.peekByte() == '-') {
+					l.advance()
+				}
+				if l.pos >= len(l.src) || !isDigit(l.peekByte()) {
+					return Token{}, l.errf("malformed exponent in number")
+				}
+			default:
+				goto doneNum
+			}
+		}
+	doneNum:
+		return mk(TokNumber, l.src[startPos:l.pos]), nil
+
+	case c == '\'':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, l.errf("unterminated string literal")
+			}
+			ch := l.advance()
+			if ch == '\'' {
+				// '' escapes a quote.
+				if l.pos < len(l.src) && l.peekByte() == '\'' {
+					l.advance()
+					sb.WriteByte('\'')
+					continue
+				}
+				break
+			}
+			sb.WriteByte(ch)
+		}
+		return mk(TokString, sb.String()), nil
+
+	default:
+		// Multi-byte operators first.
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<=", ">=", "<>", "!=":
+			l.advance()
+			l.advance()
+			if two == "<>" {
+				two = "!="
+			}
+			return mk(TokOp, two), nil
+		}
+		switch c {
+		case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', '.', ';':
+			l.advance()
+			return mk(TokOp, string(c)), nil
+		}
+		return Token{}, l.errf("unexpected character %q", string(c))
+	}
+}
+
+// Lex tokenizes the whole input (exported for tests and tooling).
+func Lex(src string) ([]Token, error) {
+	l := newLexer(src)
+	var out []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

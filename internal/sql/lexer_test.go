@@ -1,0 +1,135 @@
+package sql
+
+import (
+	"errors"
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicQuery(t *testing.T) {
+	toks, err := Lex("SELECT name, price FROM stocks WHERE price > 120")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TokKeyword, "SELECT"}, {TokIdent, "name"}, {TokOp, ","},
+		{TokIdent, "price"}, {TokKeyword, "FROM"}, {TokIdent, "stocks"},
+		{TokKeyword, "WHERE"}, {TokIdent, "price"}, {TokOp, ">"},
+		{TokNumber, "120"}, {TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = %v/%q, want %v/%q", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	tests := []struct {
+		in   string
+		text string
+	}{
+		{"42", "42"},
+		{"3.14", "3.14"},
+		{".5", ".5"},
+		{"1e6", "1e6"},
+		{"2.5E-3", "2.5E-3"},
+		{"1e+9", "1e+9"},
+	}
+	for _, tt := range tests {
+		toks, err := Lex(tt.in)
+		if err != nil {
+			t.Errorf("Lex(%q): %v", tt.in, err)
+			continue
+		}
+		if toks[0].Kind != TokNumber || toks[0].Text != tt.text {
+			t.Errorf("Lex(%q) = %v/%q", tt.in, toks[0].Kind, toks[0].Text)
+		}
+	}
+	if _, err := Lex("1e"); err == nil {
+		t.Error("malformed exponent should error")
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := Lex("'IBM'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokString || toks[0].Text != "IBM" {
+		t.Errorf("got %v/%q", toks[0].Kind, toks[0].Text)
+	}
+	toks, err = Lex("'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "it's" {
+		t.Errorf("escaped quote: %q", toks[0].Text)
+	}
+	if _, err := Lex("'unterminated"); err == nil {
+		t.Error("unterminated string should error")
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex("<= >= <> != = < > + - * / % ( ) . ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<=", ">=", "!=", "!=", "=", "<", ">", "+", "-", "*", "/", "%", "(", ")", ".", ";"}
+	for i, w := range want {
+		if toks[i].Text != w {
+			t.Errorf("op %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("SELECT -- line comment\n/* block\ncomment */ 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[1].Text != "1" {
+		t.Errorf("comments not skipped: %v", toks)
+	}
+	if _, err := Lex("/* unterminated"); err == nil {
+		t.Error("unterminated block comment should error")
+	}
+}
+
+func TestLexErrorsCarryPosition(t *testing.T) {
+	_, err := Lex("SELECT\n  @")
+	var serr *SyntaxError
+	if !errors.As(err, &serr) {
+		t.Fatalf("err = %T %v", err, err)
+	}
+	if serr.Line != 2 || serr.Col != 3 {
+		t.Errorf("position = %d:%d, want 2:3", serr.Line, serr.Col)
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := Lex("select From WhErE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"SELECT", "FROM", "WHERE"} {
+		if toks[i].Kind != TokKeyword || toks[i].Text != want {
+			t.Errorf("token %d = %v/%q", i, toks[i].Kind, toks[i].Text)
+		}
+	}
+	_ = kinds(toks)
+}

@@ -1,0 +1,807 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/diorama/continual/internal/relation"
+)
+
+// Parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a single statement (a trailing semicolon is allowed).
+func Parse(src string) (Statement, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptOp(";")
+	if !p.atEOF() {
+		return nil, p.errf("unexpected %s after statement", p.cur())
+	}
+	return stmt, nil
+}
+
+// ParseSelect parses a SELECT statement specifically.
+func ParseSelect(src string) (*SelectStmt, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, &SyntaxError{Line: 1, Col: 1, Msg: "expected a SELECT statement"}
+	}
+	return sel, nil
+}
+
+// ParseExpr parses a standalone expression (used for trigger conditions).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("unexpected %s after expression", p.cur())
+	}
+	return e, nil
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().Kind == TokEOF }
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return &SyntaxError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) advance() Token {
+	t := p.cur()
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// acceptKeyword consumes the keyword if present.
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().Kind == TokKeyword && p.cur().Text == kw {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// expectKeyword consumes the keyword or errors.
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, got %s", kw, p.cur())
+	}
+	return nil
+}
+
+// peekKeyword reports whether the current token is the keyword.
+func (p *parser) peekKeyword(kw string) bool {
+	return p.cur().Kind == TokKeyword && p.cur().Text == kw
+}
+
+// acceptOp consumes the operator if present.
+func (p *parser) acceptOp(op string) bool {
+	if p.cur().Kind == TokOp && p.cur().Text == op {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// expectOp consumes the operator or errors.
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errf("expected %q, got %s", op, p.cur())
+	}
+	return nil
+}
+
+// expectIdent consumes an identifier (or non-reserved keyword used as a
+// name) and returns its text.
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.Kind == TokIdent {
+		p.advance()
+		return t.Text, nil
+	}
+	return "", p.errf("expected identifier, got %s", t)
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.peekKeyword("SELECT"):
+		return p.parseSelect()
+	case p.peekKeyword("INSERT"):
+		return p.parseInsert()
+	case p.peekKeyword("UPDATE"):
+		return p.parseUpdate()
+	case p.peekKeyword("DELETE"):
+		return p.parseDelete()
+	case p.peekKeyword("CREATE"):
+		return p.parseCreate()
+	case p.peekKeyword("DROP"):
+		return p.parseDrop()
+	default:
+		return nil, p.errf("expected a statement, got %s", p.cur())
+	}
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{Limit: -1}
+	sel.Distinct = p.acceptKeyword("DISTINCT")
+
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	first, err := p.parseTableRef(false)
+	if err != nil {
+		return nil, err
+	}
+	sel.From = append(sel.From, first)
+	for {
+		switch {
+		case p.acceptOp(","):
+			ref, err := p.parseTableRef(false)
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, ref)
+		case p.peekKeyword("INNER") || p.peekKeyword("JOIN"):
+			if p.acceptKeyword("INNER") {
+				if err := p.expectKeyword("JOIN"); err != nil {
+					return nil, err
+				}
+			} else {
+				p.advance() // JOIN
+			}
+			joined, err := p.parseTableRef(true)
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, joined)
+		default:
+			goto fromDone
+		}
+	}
+fromDone:
+
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		n, err := p.parseIntLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, p.errf("LIMIT must be non-negative")
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptOp("*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	} else if p.cur().Kind == TokIdent {
+		item.Alias = p.advance().Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef(withOn bool) (TableRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: name}
+	if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = alias
+	} else if p.cur().Kind == TokIdent {
+		ref.Alias = p.advance().Text
+	}
+	if withOn {
+		if err := p.expectKeyword("ON"); err != nil {
+			return TableRef{}, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.On = on
+	}
+	return ref, nil
+}
+
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: table}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseUpdate() (*UpdateStmt, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStmt{Table: table}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Set = append(stmt.Set, Assignment{Column: col, Value: e})
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseDelete() (*DeleteStmt, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &DeleteStmt{Table: table}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("TABLE") {
+		return p.parseCreateTable()
+	}
+	if p.acceptKeyword("CONTINUAL") {
+		if err := p.expectKeyword("QUERY"); err != nil {
+			return nil, err
+		}
+		return p.parseCreateCQ()
+	}
+	return nil, p.errf("expected TABLE or CONTINUAL QUERY after CREATE")
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTableStmt{Table: table}, nil
+}
+
+func (p *parser) parseCreateTable() (*CreateTableStmt, error) {
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	stmt := &CreateTableStmt{Table: table}
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		t := p.cur()
+		if t.Kind != TokKeyword {
+			return nil, p.errf("expected column type, got %s", t)
+		}
+		var typ relation.Type
+		switch t.Text {
+		case "INT":
+			typ = relation.TInt
+		case "FLOAT":
+			typ = relation.TFloat
+		case "STRING":
+			typ = relation.TString
+		case "BOOL":
+			typ = relation.TBool
+		default:
+			return nil, p.errf("unknown column type %s", t)
+		}
+		p.advance()
+		stmt.Columns = append(stmt.Columns, ColumnDef{Name: name, Type: typ})
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseCreateCQ() (*CreateCQStmt, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &CreateCQStmt{
+		Name:   name,
+		Select: sel,
+		// Defaults: re-evaluate on every update batch, deliver differences.
+		Trigger: TriggerSpec{Kind: TriggerUpdates, Updates: 1},
+		Mode:    ModeDifferential,
+	}
+	if p.acceptKeyword("TRIGGER") {
+		switch {
+		case p.acceptKeyword("EVERY"):
+			n, err := p.parseIntLiteral()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Trigger = TriggerSpec{Kind: TriggerEvery, Every: n}
+		case p.acceptKeyword("EPSILON"):
+			bound, err := p.parseNumberLiteral()
+			if err != nil {
+				return nil, err
+			}
+			spec := TriggerSpec{Kind: TriggerEpsilon, Bound: bound}
+			if p.acceptKeyword("ON") {
+				on, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				spec.On = on
+			}
+			stmt.Trigger = spec
+		case p.acceptKeyword("UPDATES"):
+			n, err := p.parseIntLiteral()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Trigger = TriggerSpec{Kind: TriggerUpdates, Updates: n}
+		default:
+			return nil, p.errf("expected EVERY, EPSILON or UPDATES after TRIGGER")
+		}
+	}
+	if p.acceptKeyword("MODE") {
+		switch {
+		case p.acceptKeyword("DIFFERENTIAL"):
+			stmt.Mode = ModeDifferential
+		case p.acceptKeyword("COMPLETE"):
+			stmt.Mode = ModeComplete
+		case p.acceptKeyword("DELETIONS"):
+			stmt.Mode = ModeDeletions
+		default:
+			return nil, p.errf("expected DIFFERENTIAL, COMPLETE or DELETIONS after MODE")
+		}
+	}
+	if p.acceptKeyword("STOP") {
+		switch {
+		case p.acceptKeyword("AFTER"):
+			n, err := p.parseIntLiteral()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Stop = StopSpec{AfterN: n}
+		case p.acceptKeyword("NEVER"):
+			stmt.Stop = StopSpec{}
+		default:
+			return nil, p.errf("expected AFTER or NEVER after STOP")
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseIntLiteral() (int64, error) {
+	t := p.cur()
+	if t.Kind != TokNumber {
+		return 0, p.errf("expected integer, got %s", t)
+	}
+	n, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil {
+		return 0, p.errf("bad integer %q", t.Text)
+	}
+	p.advance()
+	return n, nil
+}
+
+func (p *parser) parseNumberLiteral() (float64, error) {
+	t := p.cur()
+	if t.Kind != TokNumber {
+		return 0, p.errf("expected number, got %s", t)
+	}
+	f, err := strconv.ParseFloat(t.Text, 64)
+	if err != nil {
+		return 0, p.errf("bad number %q", t.Text)
+	}
+	p.advance()
+	return f, nil
+}
+
+// Expression grammar, lowest to highest precedence:
+//
+//	expr    := orExpr
+//	orExpr  := andExpr (OR andExpr)*
+//	andExpr := notExpr (AND notExpr)*
+//	notExpr := NOT notExpr | cmpExpr
+//	cmpExpr := addExpr ((= != < <= > >=) addExpr)?
+//	addExpr := mulExpr ((+ -) mulExpr)*
+//	mulExpr := unary ((* / %) unary)*
+//	unary   := - unary | primary
+//	primary := literal | funcCall | columnRef | ( expr )
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"=", "!=", "<=", ">=", "<", ">"} {
+		if p.acceptOp(op) {
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptOp("+"):
+			op = "+"
+		case p.acceptOp("-"):
+			op = "-"
+		default:
+			return left, nil
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptOp("*"):
+			op = "*"
+		case p.acceptOp("/"):
+			op = "/"
+		case p.acceptOp("%"):
+			op = "%"
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptOp("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.advance()
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.Text)
+			}
+			return &Literal{Value: relation.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.Text)
+		}
+		return &Literal{Value: relation.Int(n)}, nil
+
+	case TokString:
+		p.advance()
+		return &Literal{Value: relation.Str(t.Text)}, nil
+
+	case TokKeyword:
+		switch t.Text {
+		case "TRUE":
+			p.advance()
+			return &Literal{Value: relation.Bool(true)}, nil
+		case "FALSE":
+			p.advance()
+			return &Literal{Value: relation.Bool(false)}, nil
+		case "NULL":
+			p.advance()
+			return &Literal{Value: relation.NullValue()}, nil
+		case "SUM", "COUNT", "AVG", "MIN", "MAX", "ABS":
+			p.advance()
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			fc := &FuncCall{Name: t.Text}
+			if t.Text == "COUNT" && p.acceptOp("*") {
+				fc.Star = true
+			} else {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				fc.Arg = arg
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		return nil, p.errf("unexpected keyword %s in expression", t)
+
+	case TokIdent:
+		p.advance()
+		name := t.Text
+		if p.acceptOp(".") {
+			part, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			name = name + "." + part
+		}
+		return &ColumnRef{Name: name}, nil
+
+	case TokOp:
+		if t.Text == "(" {
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected %s in expression", t)
+}

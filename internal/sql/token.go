@@ -1,0 +1,79 @@
+// Package sql implements the CQL dialect of the reproduction: a lexer and
+// recursive-descent parser for select-project-join queries, DML, DDL and
+// the continual-query definition statement.
+//
+// The dialect covers what the paper needs and no more:
+//
+//	SELECT [DISTINCT] cols|* FROM t [alias] [, t2 | JOIN t2 ON e]... [WHERE e] [GROUP BY cols]
+//	INSERT INTO t VALUES (e, ...)[, (e, ...)]...
+//	UPDATE t SET c = e [, c = e]... [WHERE e]
+//	DELETE FROM t [WHERE e]
+//	CREATE TABLE t (c TYPE, ...)
+//	CREATE CONTINUAL QUERY name AS select
+//	       [TRIGGER EVERY n | TRIGGER EPSILON n ON expr | TRIGGER UPDATES n]
+//	       [MODE DIFFERENTIAL|COMPLETE|DELETIONS]
+//	       [STOP AFTER n]
+//
+// Aggregates SUM/COUNT/AVG/MIN/MAX are supported in the projection list
+// (the checking-account example of Section 5.3 is `SELECT SUM(amount)
+// FROM CheckingAccounts`).
+package sql
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota + 1
+	TokIdent
+	TokNumber
+	TokString
+	TokKeyword
+	TokOp // operators and punctuation
+)
+
+// Token is one lexical token with its source position (1-based).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int // byte offset in the input
+	Line int
+	Col  int
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords of the dialect, stored uppercase.
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "AS": true,
+	"ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"JOIN": true, "INNER": true, "ON": true,
+	"AND": true, "OR": true, "NOT": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true,
+	"CREATE": true, "TABLE": true, "DROP": true,
+	"CONTINUAL": true, "QUERY": true,
+	"TRIGGER": true, "EVERY": true, "EPSILON": true, "UPDATES": true,
+	"MODE": true, "DIFFERENTIAL": true, "COMPLETE": true, "DELETIONS": true,
+	"STOP": true, "AFTER": true, "NEVER": true,
+	"INT": true, "FLOAT": true, "STRING": true, "BOOL": true,
+	"TRUE": true, "FALSE": true, "NULL": true,
+	"SUM": true, "COUNT": true, "AVG": true, "MIN": true, "MAX": true,
+	"ABS": true,
+}
+
+// IsKeyword reports whether the uppercase word is a reserved keyword.
+func IsKeyword(upper string) bool { return keywords[upper] }

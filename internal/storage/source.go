@@ -1,0 +1,46 @@
+package storage
+
+import (
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/vclock"
+)
+
+// LiveView adapts the store's current contents to the query executor's
+// Source interface (satisfied structurally; storage does not import the
+// algebra package). Relations returned are the live ones — callers must
+// not mutate them.
+type LiveView struct{ s *Store }
+
+// Live returns a Source view of the current contents.
+func (s *Store) Live() LiveView { return LiveView{s: s} }
+
+// Relation implements the executor's Source contract.
+func (v LiveView) Relation(table string) (*relation.Relation, error) {
+	return v.s.Contents(table)
+}
+
+// Schema implements the planner's Catalog contract.
+func (v LiveView) Schema(table string) (relation.Schema, error) {
+	return v.s.Schema(table)
+}
+
+// HistoricView adapts a point-in-time reconstruction to the Source
+// interface. Each Relation call reconstructs the table as of the view's
+// timestamp (the state after the CQ's last execution, DRA input (ii)).
+type HistoricView struct {
+	s  *Store
+	ts vclock.Timestamp
+}
+
+// At returns a Source view of the store as of logical time ts.
+func (s *Store) At(ts vclock.Timestamp) HistoricView { return HistoricView{s: s, ts: ts} }
+
+// Relation implements the executor's Source contract.
+func (v HistoricView) Relation(table string) (*relation.Relation, error) {
+	return v.s.SnapshotAt(table, v.ts)
+}
+
+// Schema implements the planner's Catalog contract.
+func (v HistoricView) Schema(table string) (relation.Schema, error) {
+	return v.s.Schema(table)
+}

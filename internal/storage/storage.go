@@ -1,0 +1,460 @@
+// Package storage implements the in-memory multi-table store that plays
+// the role of an information source in the reproduction. Transactions
+// (Begin/Insert/Update/Delete/Commit) mutate base relations and, on
+// commit, append the net change of the transaction to the table's
+// differential relation, timestamped with the store's logical clock —
+// exactly the capture discipline of Example 1 in the paper.
+//
+// The store keeps, per table, the current contents plus the accumulated
+// differential relation. Any earlier state within the retained delta
+// window can be reconstructed with SnapshotAt, which is how DRA obtains
+// "the contents of each base relation after the last execution of the CQ"
+// (input (ii) of Algorithm 1) without the store having to keep explicit
+// snapshots.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/diorama/continual/internal/delta"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/vclock"
+)
+
+// Errors returned by the store.
+var (
+	ErrNoSuchTable   = errors.New("storage: no such table")
+	ErrTableExists   = errors.New("storage: table already exists")
+	ErrTxDone        = errors.New("storage: transaction already finished")
+	ErrNoSuchTuple   = errors.New("storage: no such tuple")
+	ErrStaleWindow   = errors.New("storage: requested snapshot is older than the retained delta window")
+	ErrWriteConflict = errors.New("storage: write-write conflict")
+)
+
+// Table is one base relation plus its differential relation.
+type Table struct {
+	name string
+	rel  *relation.Relation
+	dlt  *delta.Delta
+	// lowWater is the timestamp up to (and including) which delta rows
+	// have been garbage collected; SnapshotAt below it is impossible.
+	lowWater vclock.Timestamp
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() relation.Schema { return t.rel.Schema() }
+
+// Store is a named collection of tables sharing one logical clock.
+// All exported methods are safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	clock  *vclock.Clock
+	tables map[string]*Table
+	nextID relation.TID
+}
+
+// NewStore creates an empty store with a fresh logical clock.
+func NewStore() *Store {
+	return &Store{
+		clock:  vclock.New(),
+		tables: make(map[string]*Table),
+		nextID: 1,
+	}
+}
+
+// Clock exposes the store's logical clock (read-only use intended).
+func (s *Store) Clock() *vclock.Clock { return s.clock }
+
+// Now returns the current logical time.
+func (s *Store) Now() vclock.Timestamp { return s.clock.Now() }
+
+// CreateTable registers a new empty table.
+func (s *Store) CreateTable(name string, schema relation.Schema) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tables[name]; dup {
+		return fmt.Errorf("%w: %q", ErrTableExists, name)
+	}
+	s.tables[name] = &Table{
+		name: name,
+		rel:  relation.New(schema),
+		dlt:  delta.New(schema),
+	}
+	return nil
+}
+
+// DropTable removes a table.
+func (s *Store) DropTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	delete(s.tables, name)
+	return nil
+}
+
+// TableNames lists the tables in sorted order.
+func (s *Store) TableNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Schema returns the schema of the named table.
+func (s *Store) Schema(table string) (relation.Schema, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[table]
+	if !ok {
+		return relation.Schema{}, fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+	}
+	return t.rel.Schema(), nil
+}
+
+// Snapshot returns a deep copy of the current contents of a table.
+func (s *Store) Snapshot(table string) (*relation.Relation, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+	}
+	return t.rel.Clone(), nil
+}
+
+// Contents returns the live relation of a table for read-only use by the
+// query engine. Callers must not mutate it and must not retain it across
+// commits. Use Snapshot for an owned copy.
+func (s *Store) Contents(table string) (*relation.Relation, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+	}
+	return t.rel, nil
+}
+
+// SnapshotAt reconstructs the contents of the table as of logical time ts
+// (i.e. including every commit with timestamp <= ts) by unapplying the
+// delta suffix from the current contents.
+func (s *Store) SnapshotAt(table string, ts vclock.Timestamp) (*relation.Relation, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+	}
+	if ts < t.lowWater {
+		return nil, fmt.Errorf("%w: want %d, low water %d", ErrStaleWindow, ts, t.lowWater)
+	}
+	snap := t.rel.Clone()
+	if err := t.dlt.After(ts).Unapply(snap); err != nil {
+		return nil, fmt.Errorf("snapshot %q at %d: %w", table, ts, err)
+	}
+	return snap, nil
+}
+
+// DeltaSince returns a copy of the differential relation rows of the
+// table with timestamps strictly greater than ts.
+func (s *Store) DeltaSince(table string, ts vclock.Timestamp) (*delta.Delta, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+	}
+	if ts < t.lowWater {
+		return nil, fmt.Errorf("%w: want >%d, low water %d", ErrStaleWindow, ts, t.lowWater)
+	}
+	return t.dlt.After(ts).Clone(), nil
+}
+
+// DeltaLen returns the number of retained delta rows for a table.
+func (s *Store) DeltaLen(table string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[table]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+	}
+	return t.dlt.Len(), nil
+}
+
+// CollectGarbage drops delta rows with timestamps <= horizon on every
+// table (Section 5.4: horizon is the lower boundary of the system active
+// delta zone). It returns the total number of rows collected.
+func (s *Store) CollectGarbage(horizon vclock.Timestamp) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, t := range s.tables {
+		total += t.dlt.TruncateBefore(horizon)
+		if horizon > t.lowWater {
+			t.lowWater = horizon
+		}
+	}
+	return total
+}
+
+// NewTID allocates a fresh tuple identifier.
+func (s *Store) NewTID() relation.TID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tid := s.nextID
+	s.nextID++
+	return tid
+}
+
+// writeOp is one buffered mutation inside a transaction.
+type writeOp struct {
+	table string
+	row   delta.Row // Old/New as in a differential row; TS filled at commit
+}
+
+// Tx is a transaction. Mutations are buffered in the write set and become
+// visible (and are appended to the differential relations) atomically at
+// Commit, stamped with a single commit timestamp — so the differential
+// relation records the net effect per transaction, as in Example 1.
+type Tx struct {
+	store *Store
+	ops   []writeOp
+	done  bool
+	// pending maps table/tid to the index in ops of the buffered write,
+	// for read-your-writes and intra-tx folding. Indexes (not pointers)
+	// are stored because append may reallocate ops.
+	pending map[string]map[relation.TID]int
+}
+
+// Begin starts a transaction.
+func (s *Store) Begin() *Tx {
+	return &Tx{store: s, pending: make(map[string]map[relation.TID]int)}
+}
+
+func (tx *Tx) pendingFor(table string) map[relation.TID]int {
+	m, ok := tx.pending[table]
+	if !ok {
+		m = make(map[relation.TID]int)
+		tx.pending[table] = m
+	}
+	return m
+}
+
+// pendingRow returns the buffered write for table/tid, if any. The pointer
+// is valid only until the next append to tx.ops.
+func (tx *Tx) pendingRow(table string, tid relation.TID) (*delta.Row, bool) {
+	i, ok := tx.pending[table][tid]
+	if !ok {
+		return nil, false
+	}
+	return &tx.ops[i].row, true
+}
+
+// Insert buffers an insertion and returns the assigned tid.
+func (tx *Tx) Insert(table string, values []relation.Value) (relation.TID, error) {
+	if tx.done {
+		return 0, ErrTxDone
+	}
+	schema, err := tx.store.Schema(table)
+	if err != nil {
+		return 0, err
+	}
+	if len(values) != schema.Len() {
+		return 0, fmt.Errorf("storage: insert into %q: %w", table, relation.ErrArity)
+	}
+	tid := tx.store.NewTID()
+	op := writeOp{table: table, row: delta.Row{TID: tid, New: cloneValues(values)}}
+	tx.ops = append(tx.ops, op)
+	tx.pendingFor(table)[tid] = len(tx.ops) - 1
+	return tid, nil
+}
+
+// InsertWithTID buffers an insertion with a caller-chosen tid (used by
+// translators replaying external identities, e.g. Example 1's tids).
+func (tx *Tx) InsertWithTID(table string, tid relation.TID, values []relation.Value) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	schema, err := tx.store.Schema(table)
+	if err != nil {
+		return err
+	}
+	if len(values) != schema.Len() {
+		return fmt.Errorf("storage: insert into %q: %w", table, relation.ErrArity)
+	}
+	tx.ops = append(tx.ops, writeOp{table: table, row: delta.Row{TID: tid, New: cloneValues(values)}})
+	tx.pendingFor(table)[tid] = len(tx.ops) - 1
+	return nil
+}
+
+// currentValues resolves the visible values of a tuple inside the tx:
+// pending writes shadow the committed state.
+func (tx *Tx) currentValues(table string, tid relation.TID) ([]relation.Value, error) {
+	if p, ok := tx.pendingRow(table, tid); ok {
+		if p.New == nil {
+			return nil, fmt.Errorf("%w: tid %d deleted in this tx", ErrNoSuchTuple, tid)
+		}
+		return p.New, nil
+	}
+	tx.store.mu.RLock()
+	defer tx.store.mu.RUnlock()
+	t, ok := tx.store.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+	}
+	tu, ok := t.rel.Lookup(tid)
+	if !ok {
+		return nil, fmt.Errorf("%w: tid %d in %q", ErrNoSuchTuple, tid, table)
+	}
+	return tu.Values, nil
+}
+
+// Update buffers an in-place modification of the tuple with the given tid.
+func (tx *Tx) Update(table string, tid relation.TID, values []relation.Value) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	schema, err := tx.store.Schema(table)
+	if err != nil {
+		return err
+	}
+	if len(values) != schema.Len() {
+		return fmt.Errorf("storage: update %q: %w", table, relation.ErrArity)
+	}
+	old, err := tx.currentValues(table, tid)
+	if err != nil {
+		return err
+	}
+	if p, ok := tx.pendingRow(table, tid); ok {
+		// Fold into the pending op: keep the original Old, replace New.
+		p.New = cloneValues(values)
+		return nil
+	}
+	tx.ops = append(tx.ops, writeOp{table: table, row: delta.Row{TID: tid, Old: cloneValues(old), New: cloneValues(values)}})
+	tx.pendingFor(table)[tid] = len(tx.ops) - 1
+	return nil
+}
+
+// Delete buffers a deletion of the tuple with the given tid.
+func (tx *Tx) Delete(table string, tid relation.TID) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	old, err := tx.currentValues(table, tid)
+	if err != nil {
+		return err
+	}
+	if p, ok := tx.pendingRow(table, tid); ok {
+		if p.Old == nil {
+			// Inserted in this tx: the op nets to nothing. Mark it void.
+			p.New = nil
+			p.Old = nil
+			return nil
+		}
+		p.New = nil
+		return nil
+	}
+	tx.ops = append(tx.ops, writeOp{table: table, row: delta.Row{TID: tid, Old: cloneValues(old)}})
+	tx.pendingFor(table)[tid] = len(tx.ops) - 1
+	return nil
+}
+
+// Commit applies the write set atomically and appends the net per-tuple
+// changes to the differential relations with a single commit timestamp.
+func (tx *Tx) Commit() (vclock.Timestamp, error) {
+	if tx.done {
+		return 0, ErrTxDone
+	}
+	tx.done = true
+	s := tx.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Validate first so commit is all-or-nothing.
+	for _, op := range tx.ops {
+		if op.row.Old == nil && op.row.New == nil {
+			continue // voided op (insert+delete in same tx)
+		}
+		t, ok := s.tables[op.table]
+		if !ok {
+			return 0, fmt.Errorf("%w: %q", ErrNoSuchTable, op.table)
+		}
+		switch op.row.Kind() {
+		case delta.Insert:
+			if t.rel.Has(op.row.TID) {
+				return 0, fmt.Errorf("%w: insert tid %d exists in %q", ErrWriteConflict, op.row.TID, op.table)
+			}
+		case delta.Delete, delta.Modify:
+			cur, ok := t.rel.Lookup(op.row.TID)
+			if !ok {
+				return 0, fmt.Errorf("%w: tid %d gone from %q", ErrWriteConflict, op.row.TID, op.table)
+			}
+			if !valuesEqual(cur.Values, op.row.Old) {
+				return 0, fmt.Errorf("%w: tid %d changed under tx in %q", ErrWriteConflict, op.row.TID, op.table)
+			}
+		}
+	}
+
+	ts := s.clock.Tick()
+	for i := range tx.ops {
+		op := &tx.ops[i]
+		if op.row.Old == nil && op.row.New == nil {
+			continue
+		}
+		t := s.tables[op.table]
+		op.row.TS = ts
+		switch op.row.Kind() {
+		case delta.Insert:
+			_ = t.rel.Insert(relation.Tuple{TID: op.row.TID, Values: cloneValues(op.row.New)})
+		case delta.Delete:
+			_ = t.rel.Delete(op.row.TID)
+		case delta.Modify:
+			_ = t.rel.Update(op.row.TID, cloneValues(op.row.New))
+		}
+		if err := t.dlt.Append(op.row); err != nil {
+			// Cannot happen: single writer under s.mu, monotone clock.
+			return 0, fmt.Errorf("storage: delta append: %w", err)
+		}
+	}
+	return ts, nil
+}
+
+// Abort discards the transaction.
+func (tx *Tx) Abort() {
+	tx.done = true
+	tx.ops = nil
+	tx.pending = nil
+}
+
+func cloneValues(vs []relation.Value) []relation.Value {
+	if vs == nil {
+		return nil
+	}
+	out := make([]relation.Value, len(vs))
+	copy(out, vs)
+	return out
+}
+
+func valuesEqual(a, b []relation.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,390 @@
+package storage
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/vclock"
+)
+
+func stockSchema() relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "name", Type: relation.TString},
+		relation.Column{Name: "price", Type: relation.TFloat},
+	)
+}
+
+func newStockStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	if err := s.CreateTable("stocks", stockSchema()); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustCommit(t *testing.T, tx *Tx) vclock.Timestamp {
+	t.Helper()
+	ts, err := tx.Commit()
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	return ts
+}
+
+func TestCreateDropTable(t *testing.T) {
+	s := newStockStore(t)
+	if err := s.CreateTable("stocks", stockSchema()); !errors.Is(err, ErrTableExists) {
+		t.Errorf("duplicate create err = %v", err)
+	}
+	if got := s.TableNames(); len(got) != 1 || got[0] != "stocks" {
+		t.Errorf("TableNames = %v", got)
+	}
+	if err := s.DropTable("stocks"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropTable("stocks"); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("double drop err = %v", err)
+	}
+}
+
+func TestTransactionCommitAppliesAndCapturesDelta(t *testing.T) {
+	s := newStockStore(t)
+	tx := s.Begin()
+	tid, err := tx.Insert("stocks", []relation.Value{relation.Str("IBM"), relation.Float(75)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := mustCommit(t, tx)
+
+	snap, _ := s.Snapshot("stocks")
+	if snap.Len() != 1 {
+		t.Fatalf("after commit: %d tuples", snap.Len())
+	}
+	d, err := s.DeltaSince("stocks", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 || d.Rows()[0].TID != tid || d.Rows()[0].TS != ts {
+		t.Fatalf("delta capture wrong: %+v", d.Rows())
+	}
+	if d.Rows()[0].Old != nil {
+		t.Error("insert row should have nil old half")
+	}
+}
+
+func TestTransactionAbortIsInvisible(t *testing.T) {
+	s := newStockStore(t)
+	tx := s.Begin()
+	if _, err := tx.Insert("stocks", []relation.Value{relation.Str("IBM"), relation.Float(75)}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	snap, _ := s.Snapshot("stocks")
+	if snap.Len() != 0 {
+		t.Error("aborted insert visible")
+	}
+	if _, err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Errorf("commit after abort err = %v", err)
+	}
+}
+
+func TestExample1Transaction(t *testing.T) {
+	// Seed the base relation, then run the paper's transaction T.
+	s := newStockStore(t)
+	seed := s.Begin()
+	decTID, _ := seed.Insert("stocks", []relation.Value{relation.Str("DEC"), relation.Float(150)})
+	qliTID, _ := seed.Insert("stocks", []relation.Value{relation.Str("QLI"), relation.Float(145)})
+	seedTS := mustCommit(t, seed)
+
+	tx := s.Begin()
+	if _, err := tx.Insert("stocks", []relation.Value{relation.Str("MAC"), relation.Float(117)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update("stocks", decTID, []relation.Value{relation.Str("DEC"), relation.Float(149)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete("stocks", qliTID); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	d, err := s.DeltaSince("stocks", seedTS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, del, mod := d.Counts()
+	if ins != 1 || del != 1 || mod != 1 {
+		t.Fatalf("delta counts = %d/%d/%d, want 1/1/1", ins, del, mod)
+	}
+	insView := d.Insertions()
+	if insView.Len() != 2 { // MAC + new DEC
+		t.Errorf("insertions view len = %d, want 2", insView.Len())
+	}
+	delView := d.Deletions()
+	if delView.Len() != 2 { // QLI + old DEC
+		t.Errorf("deletions view len = %d, want 2", delView.Len())
+	}
+}
+
+func TestReadYourWritesAndFolding(t *testing.T) {
+	s := newStockStore(t)
+	tx := s.Begin()
+	tid, _ := tx.Insert("stocks", []relation.Value{relation.Str("A"), relation.Float(1)})
+	// Update of a tuple inserted in the same tx folds into the insert.
+	if err := tx.Update("stocks", tid, []relation.Value{relation.Str("A"), relation.Float(2)}); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	d, _ := s.DeltaSince("stocks", 0)
+	if d.Len() != 1 || d.Rows()[0].Kind().String() != "insert" {
+		t.Fatalf("insert+update should fold to one insert, got %+v", d.Rows())
+	}
+	snap, _ := s.Snapshot("stocks")
+	tu, _ := snap.Lookup(tid)
+	if tu.Values[1].AsFloat() != 2 {
+		t.Error("folded insert should carry final value")
+	}
+}
+
+func TestInsertThenDeleteNetsToNothing(t *testing.T) {
+	s := newStockStore(t)
+	tx := s.Begin()
+	tid, _ := tx.Insert("stocks", []relation.Value{relation.Str("A"), relation.Float(1)})
+	if err := tx.Delete("stocks", tid); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	d, _ := s.DeltaSince("stocks", 0)
+	if d.Len() != 0 {
+		t.Fatalf("insert+delete in one tx should vanish, got %+v", d.Rows())
+	}
+	snap, _ := s.Snapshot("stocks")
+	if snap.Len() != 0 {
+		t.Error("phantom tuple after voided insert")
+	}
+}
+
+func TestUpdateThenDeleteFoldsToDelete(t *testing.T) {
+	s := newStockStore(t)
+	tx := s.Begin()
+	tid, _ := tx.Insert("stocks", []relation.Value{relation.Str("A"), relation.Float(1)})
+	mustCommit(t, tx)
+
+	tx2 := s.Begin()
+	_ = tx2.Update("stocks", tid, []relation.Value{relation.Str("A"), relation.Float(2)})
+	_ = tx2.Delete("stocks", tid)
+	mustCommit(t, tx2)
+
+	d, _ := s.DeltaSince("stocks", 1)
+	if d.Len() != 1 {
+		t.Fatalf("rows = %+v", d.Rows())
+	}
+	r := d.Rows()[0]
+	if r.New != nil || r.Old == nil || r.Old[1].AsFloat() != 1 {
+		t.Errorf("update+delete should fold to delete of original value, got %+v", r)
+	}
+}
+
+func TestWriteConflictDetected(t *testing.T) {
+	s := newStockStore(t)
+	tx := s.Begin()
+	tid, _ := tx.Insert("stocks", []relation.Value{relation.Str("A"), relation.Float(1)})
+	mustCommit(t, tx)
+
+	t1 := s.Begin()
+	t2 := s.Begin()
+	if err := t1.Update("stocks", tid, []relation.Value{relation.Str("A"), relation.Float(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Update("stocks", tid, []relation.Value{relation.Str("A"), relation.Float(3)}); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, t1)
+	if _, err := t2.Commit(); !errors.Is(err, ErrWriteConflict) {
+		t.Errorf("second writer should conflict, got %v", err)
+	}
+}
+
+func TestSnapshotAtReconstructsHistory(t *testing.T) {
+	s := newStockStore(t)
+	tx := s.Begin()
+	tid, _ := tx.Insert("stocks", []relation.Value{relation.Str("IBM"), relation.Float(75)})
+	ts1 := mustCommit(t, tx)
+
+	tx2 := s.Begin()
+	_ = tx2.Update("stocks", tid, []relation.Value{relation.Str("IBM"), relation.Float(80)})
+	ts2 := mustCommit(t, tx2)
+
+	tx3 := s.Begin()
+	_ = tx3.Delete("stocks", tid)
+	mustCommit(t, tx3)
+
+	at1, err := s.SnapshotAt("stocks", ts1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, ok := at1.Lookup(tid)
+	if !ok || tu.Values[1].AsFloat() != 75 {
+		t.Errorf("SnapshotAt(ts1) = %v, want IBM@75", tu)
+	}
+	at2, _ := s.SnapshotAt("stocks", ts2)
+	tu, ok = at2.Lookup(tid)
+	if !ok || tu.Values[1].AsFloat() != 80 {
+		t.Errorf("SnapshotAt(ts2) = %v, want IBM@80", tu)
+	}
+	at0, _ := s.SnapshotAt("stocks", 0)
+	if at0.Len() != 0 {
+		t.Errorf("SnapshotAt(0) should be empty, got %d", at0.Len())
+	}
+}
+
+func TestGarbageCollectionAndStaleWindow(t *testing.T) {
+	s := newStockStore(t)
+	var times []vclock.Timestamp
+	for i := 0; i < 5; i++ {
+		tx := s.Begin()
+		if _, err := tx.Insert("stocks", []relation.Value{relation.Str("S"), relation.Float(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, mustCommit(t, tx))
+	}
+	if n := s.CollectGarbage(times[2]); n != 3 {
+		t.Fatalf("collected %d rows, want 3", n)
+	}
+	if _, err := s.DeltaSince("stocks", times[1]); !errors.Is(err, ErrStaleWindow) {
+		t.Errorf("stale DeltaSince err = %v", err)
+	}
+	if _, err := s.SnapshotAt("stocks", times[1]); !errors.Is(err, ErrStaleWindow) {
+		t.Errorf("stale SnapshotAt err = %v", err)
+	}
+	// Still works at or after the horizon.
+	if _, err := s.DeltaSince("stocks", times[2]); err != nil {
+		t.Errorf("DeltaSince at horizon: %v", err)
+	}
+	d, _ := s.DeltaSince("stocks", times[2])
+	if d.Len() != 2 {
+		t.Errorf("remaining delta rows = %d, want 2", d.Len())
+	}
+}
+
+func TestErrorsOnMissingTableAndTuple(t *testing.T) {
+	s := newStockStore(t)
+	tx := s.Begin()
+	if _, err := tx.Insert("nope", []relation.Value{relation.Str("x"), relation.Float(1)}); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("insert missing table err = %v", err)
+	}
+	if err := tx.Update("stocks", 999, []relation.Value{relation.Str("x"), relation.Float(1)}); !errors.Is(err, ErrNoSuchTuple) {
+		t.Errorf("update missing tuple err = %v", err)
+	}
+	if err := tx.Delete("stocks", 999); !errors.Is(err, ErrNoSuchTuple) {
+		t.Errorf("delete missing tuple err = %v", err)
+	}
+	if _, err := tx.Insert("stocks", []relation.Value{relation.Str("x")}); !errors.Is(err, relation.ErrArity) {
+		t.Errorf("arity err = %v", err)
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	s := newStockStore(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tx := s.Begin()
+				if _, err := tx.Insert("stocks", []relation.Value{relation.Str("S"), relation.Float(float64(i))}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := tx.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := s.Snapshot("stocks"); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.DeltaSince("stocks", 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap, _ := s.Snapshot("stocks")
+	if snap.Len() != 400 {
+		t.Errorf("final count = %d, want 400", snap.Len())
+	}
+	d, _ := s.DeltaSince("stocks", 0)
+	if d.Len() != 400 {
+		t.Errorf("delta rows = %d, want 400", d.Len())
+	}
+}
+
+// Property: for random committed histories, SnapshotAt(t) equals the
+// shadow state tracked at time t, for every commit point t.
+func TestSnapshotAtMatchesShadowProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := newStockStore(t)
+	type point struct {
+		ts    vclock.Timestamp
+		state *relation.Relation
+	}
+	var history []point
+	live := []relation.TID{}
+	for i := 0; i < 40; i++ {
+		tx := s.Begin()
+		nops := 1 + rng.Intn(3)
+		for j := 0; j < nops; j++ {
+			switch op := rng.Intn(3); {
+			case op == 0 || len(live) == 0:
+				tid, err := tx.Insert("stocks", []relation.Value{relation.Str("S"), relation.Float(float64(rng.Intn(100)))})
+				if err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, tid)
+			case op == 1:
+				victim := live[rng.Intn(len(live))]
+				if err := tx.Update("stocks", victim, []relation.Value{relation.Str("S"), relation.Float(float64(rng.Intn(100)))}); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				k := rng.Intn(len(live))
+				victim := live[k]
+				if err := tx.Delete("stocks", victim); err != nil {
+					t.Fatal(err)
+				}
+				live = append(live[:k], live[k+1:]...)
+			}
+		}
+		ts := mustCommit(t, tx)
+		snap, err := s.Snapshot("stocks")
+		if err != nil {
+			t.Fatal(err)
+		}
+		history = append(history, point{ts: ts, state: snap})
+	}
+	for _, p := range history {
+		got, err := s.SnapshotAt("stocks", p.ts)
+		if err != nil {
+			t.Fatalf("SnapshotAt(%d): %v", p.ts, err)
+		}
+		if !got.EqualByTID(p.state) {
+			t.Fatalf("SnapshotAt(%d) diverges from shadow", p.ts)
+		}
+	}
+}

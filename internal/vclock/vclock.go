@@ -1,0 +1,50 @@
+// Package vclock provides the logical clock used for all algorithm-visible
+// timestamps in the continual query system.
+//
+// The paper (Section 4.1) requires only "a system clock, or any other
+// monotonically increasing source of timestamps". Using a logical counter
+// instead of wall-clock time makes every algorithm in this repository
+// deterministic and therefore testable: two runs of the same update
+// sequence produce identical differential relations.
+package vclock
+
+import "sync"
+
+// Timestamp is a point on the logical time line. Timestamp 0 is "before
+// everything"; the first tick returns 1.
+type Timestamp uint64
+
+// Clock is a monotonically increasing logical clock. The zero value is
+// ready to use.
+type Clock struct {
+	mu  sync.Mutex
+	now Timestamp
+}
+
+// New returns a clock whose first Tick yields 1.
+func New() *Clock { return &Clock{} }
+
+// Tick advances the clock and returns the new timestamp.
+func (c *Clock) Tick() Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now++
+	return c.now
+}
+
+// Now returns the current timestamp without advancing the clock.
+func (c *Clock) Now() Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// AdvanceTo moves the clock forward to at least t. It never moves the
+// clock backwards.
+func (c *Clock) AdvanceTo(t Timestamp) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+}

@@ -1,0 +1,67 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTickMonotonic(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock Now = %d", c.Now())
+	}
+	prev := Timestamp(0)
+	for i := 0; i < 100; i++ {
+		ts := c.Tick()
+		if ts <= prev {
+			t.Fatalf("Tick not increasing: %d after %d", ts, prev)
+		}
+		prev = ts
+	}
+	if c.Now() != prev {
+		t.Errorf("Now = %d, want %d", c.Now(), prev)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	c := New()
+	c.AdvanceTo(10)
+	if c.Now() != 10 {
+		t.Fatalf("AdvanceTo(10): Now = %d", c.Now())
+	}
+	c.AdvanceTo(5) // never backwards
+	if c.Now() != 10 {
+		t.Errorf("AdvanceTo(5) moved clock backwards to %d", c.Now())
+	}
+	if got := c.Tick(); got != 11 {
+		t.Errorf("Tick after AdvanceTo = %d, want 11", got)
+	}
+}
+
+func TestTickConcurrentUnique(t *testing.T) {
+	c := New()
+	const n = 64
+	const per = 100
+	seen := make([]Timestamp, n*per)
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				seen[g*per+i] = c.Tick()
+			}
+		}(g)
+	}
+	wg.Wait()
+	uniq := make(map[Timestamp]bool, len(seen))
+	for _, ts := range seen {
+		if uniq[ts] {
+			t.Fatalf("duplicate timestamp %d", ts)
+		}
+		uniq[ts] = true
+	}
+	if c.Now() != Timestamp(n*per) {
+		t.Errorf("final Now = %d, want %d", c.Now(), n*per)
+	}
+}

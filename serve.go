@@ -1,0 +1,86 @@
+package continual
+
+import (
+	"github.com/diorama/continual/internal/remote"
+)
+
+// Listener is a handle on a serving endpoint.
+type Listener struct {
+	srv  *remote.Server
+	addr string
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.addr }
+
+// Close stops serving and closes all client connections.
+func (l *Listener) Close() error { return l.srv.Close() }
+
+// ListenAndServe exposes this engine's tables over TCP so remote clients
+// can snapshot them, pull differential windows, and run one-shot queries
+// — the server side of the paper's client/server split (Section 5.1:
+// "each server only generates delta relations when communicating with
+// the clients"). Use "127.0.0.1:0" to pick a free port.
+func (db *DB) ListenAndServe(addr string) (*Listener, error) {
+	srv := remote.NewServer(db.store)
+	bound, err := srv.Serve(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{srv: srv, addr: bound}, nil
+}
+
+// Mirror is a client-side continual query over a remote engine: the
+// operand tables are snapshotted once, and every Refresh pulls only the
+// differential windows since the last refresh, re-evaluating the query
+// locally with the DRA — "shifting the processing to the client side"
+// (Section 6).
+type Mirror struct {
+	client *remote.Client
+	cq     *remote.MirrorCQ
+}
+
+// DialMirror connects to a serving engine and installs a client-side
+// continual query.
+func DialMirror(addr, query string) (*Mirror, error) {
+	client, err := remote.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	cq, err := remote.NewMirrorCQ(client, query)
+	if err != nil {
+		_ = client.Close()
+		return nil, err
+	}
+	return &Mirror{client: client, cq: cq}, nil
+}
+
+// Result returns the current locally cached result.
+func (m *Mirror) Result() *Rows { return fromRelation(m.cq.Result()) }
+
+// Refresh pulls the pending differential windows and re-evaluates the
+// query locally, returning what changed.
+func (m *Mirror) Refresh() (*Change, error) {
+	d, err := m.cq.Refresh()
+	if err != nil {
+		return nil, err
+	}
+	change := &Change{
+		Inserted: rowsData(d.Insertions()),
+		Deleted:  rowsData(d.Deletions()),
+		Modified: modifications(d.Modifications()),
+	}
+	cols := d.Schema()
+	change.Columns = make([]string, cols.Len())
+	for i := range change.Columns {
+		change.Columns[i] = cols.Col(i).Name
+	}
+	return change, nil
+}
+
+// BytesReceived reports the total bytes shipped from the server to this
+// mirror — the measurable half of the network-traffic argument (§5.1).
+func (m *Mirror) BytesReceived() int64 { return m.client.BytesRead() }
+
+// Close disconnects the mirror.
+func (m *Mirror) Close() error { return m.client.Close() }

@@ -1,0 +1,97 @@
+package continual
+
+import (
+	"fmt"
+
+	"github.com/diorama/continual/internal/diom"
+	"github.com/diorama/continual/internal/relation"
+)
+
+// Feed is a handle on an append-only source: rows pushed here become
+// insertions in the source's table after the next Pump.
+type Feed struct {
+	feed *diom.FeedSource
+}
+
+// Push appends a row to the feed. Values must match the feed's columns
+// (int/int64, float64, string, bool, or nil).
+func (f *Feed) Push(values ...any) error {
+	vals := make([]relation.Value, len(values))
+	for i, v := range values {
+		rv, err := toValue(v)
+		if err != nil {
+			return err
+		}
+		vals[i] = rv
+	}
+	return f.feed.Push(vals...)
+}
+
+// Column declares one column of a feed table.
+type Column struct {
+	Name string
+	Type ColumnType
+}
+
+// ColumnType enumerates public column types.
+type ColumnType int
+
+// Column types.
+const (
+	Int ColumnType = iota + 1
+	Float
+	String
+	Bool
+)
+
+func (t ColumnType) internal() (relation.Type, error) {
+	switch t {
+	case Int:
+		return relation.TInt, nil
+	case Float:
+		return relation.TFloat, nil
+	case String:
+		return relation.TString, nil
+	case Bool:
+		return relation.TBool, nil
+	default:
+		return 0, fmt.Errorf("continual: unknown column type %d", t)
+	}
+}
+
+// NewFeed registers an append-only feed source; its rows appear in a
+// table named after it. Continual queries can range over feed tables
+// exactly like base tables.
+func (db *DB) NewFeed(name string, columns ...Column) (*Feed, error) {
+	cols := make([]relation.Column, len(columns))
+	for i, c := range columns {
+		typ, err := c.Type.internal()
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = relation.Column{Name: c.Name, Type: typ}
+	}
+	schema, err := relation.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	feed := diom.NewFeedSource(name, schema)
+	if err := db.mediator.RegisterSource(feed); err != nil {
+		return nil, err
+	}
+	return &Feed{feed: feed}, nil
+}
+
+// WatchDir registers a file-system source: the directory tree is polled
+// on every Pump and its files appear as rows (path, size, modtime) in a
+// table named after the source. Creations, removals and content changes
+// become insertions, deletions and modifications — the paper's
+// middleware-captured file system updates (Section 5.5).
+func (db *DB) WatchDir(name, dir string) error {
+	return db.mediator.RegisterSource(diom.NewFileSource(name, dir))
+}
+
+// Pump polls every registered source once and applies its updates. It
+// returns the number of update rows applied. Call Poll (or run Start)
+// afterwards to let triggers observe the new updates.
+func (db *DB) Pump() (int, error) { return db.mediator.PumpOnce() }

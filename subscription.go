@@ -1,0 +1,107 @@
+package continual
+
+import (
+	"github.com/diorama/continual/internal/cq"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/sql"
+)
+
+// Subscription is a handle on a registered continual query: its current
+// result, its update stream, and its lifecycle.
+type Subscription struct {
+	db      *DB
+	name    string
+	initial *Rows
+	updates chan Change
+	cancel  func()
+}
+
+// Name returns the continual query's name.
+func (s *Subscription) Name() string { return s.name }
+
+// Initial returns the result of the query's initial execution.
+func (s *Subscription) Initial() *Rows { return s.initial }
+
+// Result returns a snapshot of the query's current complete result
+// (maintained incrementally by the engine).
+func (s *Subscription) Result() (*Rows, error) {
+	rel, err := s.db.manager.Result(s.name)
+	if err != nil {
+		return nil, err
+	}
+	return fromRelation(rel), nil
+}
+
+// Updates streams one Change per refresh that produced a difference (or
+// per refresh at all, with NotifyEmpty). The channel closes when the
+// query is dropped or the engine closes.
+func (s *Subscription) Updates() <-chan Change { return s.updates }
+
+// Refresh forces a re-evaluation regardless of the trigger condition.
+func (s *Subscription) Refresh() error { return s.db.manager.Refresh(s.name) }
+
+// Drop unregisters the continual query.
+func (s *Subscription) Drop() error { return s.db.manager.Drop(s.name) }
+
+// onNotification converts an internal notification to the public Change
+// type and enqueues it. It is invoked synchronously while the manager
+// delivers a refresh, so when Poll returns the Change is already
+// buffered. Sends never block; if the subscriber is 64 changes behind,
+// the oldest pending deliveries win and new ones are dropped.
+func (s *Subscription) onNotification(n cq.Notification, closed bool) {
+	if closed {
+		close(s.updates)
+		return
+	}
+	change := Change{
+		CQ:         n.CQName,
+		Seq:        n.Seq,
+		Terminated: n.Terminated,
+	}
+	switch {
+	case n.Inserted != nil:
+		change.Columns = columnsOf(n.Inserted)
+	case n.Deleted != nil:
+		change.Columns = columnsOf(n.Deleted)
+	case n.Complete != nil:
+		change.Columns = columnsOf(n.Complete)
+	}
+	change.Inserted = rowsData(n.Inserted)
+	change.Deleted = rowsData(n.Deleted)
+	change.Modified = modifications(n.Modified)
+	if n.Mode == sql.ModeComplete {
+		change.Complete = rowsData(n.Complete)
+	}
+	select {
+	case s.updates <- change:
+	default:
+	}
+}
+
+func columnsOf(rel *relation.Relation) []string {
+	if rel == nil {
+		return nil
+	}
+	out := make([]string, rel.Schema().Len())
+	for i := range out {
+		out[i] = rel.Schema().Col(i).Name
+	}
+	return out
+}
+
+// subscribe wires a freshly registered CQ to a Subscription with
+// synchronous delivery.
+func (db *DB) subscribe(name string, initial *relation.Relation) (*Subscription, error) {
+	sub := &Subscription{
+		db:      db,
+		name:    name,
+		initial: fromRelation(initial),
+		updates: make(chan Change, 64),
+	}
+	cancel, err := db.manager.SubscribeFunc(name, sub.onNotification)
+	if err != nil {
+		return nil, err
+	}
+	sub.cancel = cancel
+	return sub, nil
+}
