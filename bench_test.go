@@ -16,6 +16,7 @@ import (
 	"github.com/diorama/continual/internal/delta"
 	"github.com/diorama/continual/internal/dra"
 	"github.com/diorama/continual/internal/epsilon"
+	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/relation"
 	"github.com/diorama/continual/internal/remote"
 	"github.com/diorama/continual/internal/sql"
@@ -921,5 +922,25 @@ func BenchmarkA5MaintainedJoin(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkObsOverhead measures the cost of the obs instrumentation on
+// the hot refresh path: the E2 selection refresh with the engine
+// attached to a live registry vs fully uninstrumented (Metrics=nil).
+// The instrumented path should stay within a few percent — per refresh
+// it adds a handful of atomic adds, one histogram slot claim, and a
+// span record.
+func BenchmarkObsOverhead(b *testing.B) {
+	const query = "SELECT * FROM stocks WHERE price > 120"
+	b.Run("uninstrumented", func(b *testing.B) {
+		f := newBenchFixture(b, benchBaseRows, 3, query)
+		f.runDRA(b, dra.NewEngine())
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		f := newBenchFixture(b, benchBaseRows, 3, query)
+		engine := dra.NewEngine()
+		engine.Instrument(obs.NewRegistry())
+		f.runDRA(b, engine)
 	})
 }

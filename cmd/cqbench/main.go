@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"github.com/diorama/continual/internal/bench"
+	"github.com/diorama/continual/internal/obs"
 )
 
 func main() {
@@ -29,6 +30,7 @@ func run(args []string) error {
 	runIDs := fs.String("run", "", "comma-separated experiment ids (default: all)")
 	rows := fs.Int("rows", 0, "override base relation size")
 	iters := fs.Int("iters", 0, "override measured iterations per point")
+	stats := fs.Bool("stats", true, "print a metrics snapshot after each experiment")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,11 +69,23 @@ func run(args []string) error {
 	fmt.Printf("cqbench: %d experiments, base rows = %d, iterations = %d\n\n",
 		len(selected), scale.BaseRows, scale.Iterations)
 	for _, e := range selected {
+		// Fresh registry per experiment so the printed snapshot covers
+		// just that run.
+		if *stats {
+			scale.Metrics = obs.NewRegistry()
+		}
 		table, err := e.Run(scale)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		table.Render(os.Stdout)
+		if *stats {
+			if snap := scale.Metrics.Snapshot(); !snap.Empty() {
+				fmt.Printf("%s metrics:\n", e.ID)
+				snap.WriteTable(os.Stdout)
+				fmt.Println()
+			}
+		}
 	}
 	return nil
 }

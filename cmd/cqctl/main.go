@@ -5,9 +5,11 @@
 //	cqctl snapshot stocks
 //	cqctl delta stocks 0
 //	cqctl watch 'SELECT * FROM stocks WHERE price > 120' -interval 1s
+//	cqctl stats
 //
 // watch installs a client-side continual query (a mirror evaluated by
-// DRA over shipped deltas) and prints each change as it arrives.
+// DRA over shipped deltas) and prints each change as it arrives. stats
+// fetches the daemon's metrics snapshot and renders it as a table.
 package main
 
 import (
@@ -38,7 +40,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: cqctl [flags] tables|query|snapshot|delta|watch ...")
+		return fmt.Errorf("usage: cqctl [flags] tables|query|snapshot|delta|watch|stats ...")
 	}
 
 	client, err := remote.Dial(*addr)
@@ -131,6 +133,14 @@ func run(args []string) error {
 				return nil
 			}
 		}
+
+	case "stats":
+		snap, err := client.Stats()
+		if err != nil {
+			return err
+		}
+		snap.WriteTable(os.Stdout)
+		return nil
 
 	default:
 		return fmt.Errorf("unknown command %q", rest[0])

@@ -3,21 +3,29 @@
 // library) can snapshot tables, pull differential windows, or run
 // queries. Tables and seed data load from a simple schema script.
 //
-//	cqd -listen 127.0.0.1:7070 -init schema.sql
+//	cqd -listen 127.0.0.1:7070 -init schema.sql -http 127.0.0.1:7071
 //
 // The init script holds one statement per line (or ;-separated): CREATE
 // TABLE and INSERT statements in the engine's dialect. A demo dataset is
 // loaded with -demo.
+//
+// With -http set, the daemon also serves its metrics over HTTP:
+// GET /stats returns the metrics snapshot as JSON and GET /debug/traces
+// the recent spans. The same snapshot is available over the TCP
+// protocol via `cqctl stats`.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
+	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/relation"
 	"github.com/diorama/continual/internal/remote"
 	"github.com/diorama/continual/internal/sql"
@@ -35,6 +43,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("cqd", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7070", "listen address")
+	httpAddr := fs.String("http", "", "HTTP stats address (/stats, /debug/traces; empty disables)")
 	initFile := fs.String("init", "", "schema/seed script")
 	demo := fs.Bool("demo", false, "load the demo stock dataset")
 	demoRows := fs.Int("demo-rows", 1000, "demo dataset size")
@@ -43,6 +52,8 @@ func run(args []string) error {
 	}
 
 	store := storage.NewStore()
+	reg := obs.NewRegistry()
+	store.Instrument(reg)
 	if *initFile != "" {
 		if err := loadScript(store, *initFile); err != nil {
 			return err
@@ -59,6 +70,7 @@ func run(args []string) error {
 	}
 
 	srv := remote.NewServer(store)
+	srv.Instrument(reg)
 	addr, err := srv.Serve(*listen)
 	if err != nil {
 		return err
@@ -69,10 +81,23 @@ func run(args []string) error {
 		fmt.Printf("  %s %s\n", t, schema)
 	}
 
+	var httpLn net.Listener
+	if *httpAddr != "" {
+		httpLn, err = net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return fmt.Errorf("http listen: %w", err)
+		}
+		go func() { _ = http.Serve(httpLn, obs.Mux(reg)) }()
+		fmt.Printf("cqd: stats on http://%s/stats\n", httpLn.Addr())
+	}
+
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 	<-sigs
 	fmt.Println("cqd: shutting down")
+	if httpLn != nil {
+		_ = httpLn.Close()
+	}
 	return srv.Close()
 }
 

@@ -33,6 +33,7 @@ import (
 	"github.com/diorama/continual/internal/cq"
 	"github.com/diorama/continual/internal/diom"
 	"github.com/diorama/continual/internal/epsilon"
+	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/sql"
 	"github.com/diorama/continual/internal/storage"
 )
@@ -56,15 +57,27 @@ type DB struct {
 	store    *storage.Store
 	manager  *cq.Manager
 	mediator *diom.Mediator
+	metrics  *obs.Registry
 }
 
-// Open creates an empty engine.
+// Open creates an empty engine. The engine is instrumented: every layer
+// reports into a metrics registry readable via Stats, WriteStats and
+// StatsHandler. The hot-path cost is a handful of atomic adds per
+// refresh.
 func Open() *DB {
 	store := storage.NewStore()
+	reg := obs.NewRegistry()
+	store.Instrument(reg)
+	manager := cq.NewManagerConfig(store, cq.Config{
+		UseDRA:  true,
+		AutoGC:  true,
+		Metrics: reg,
+	})
 	return &DB{
 		store:    store,
-		manager:  cq.NewManager(store),
+		manager:  manager,
 		mediator: diom.NewMediator(store),
+		metrics:  reg,
 	}
 }
 

@@ -104,7 +104,7 @@ func E2(scale Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	engine := dra.NewEngine()
+	engine := scale.NewEngine()
 	for round := 1; round <= 5; round++ {
 		if err := f.gen.Batch(3); err != nil {
 			return nil, err
@@ -143,7 +143,7 @@ func E3(scale Scale) (*Table, error) {
 		if err := f.gen.Batch(n); err != nil {
 			return nil, err
 		}
-		draT, fullT, rows, err := f.measurePair(dra.NewEngine(), scale.Iterations)
+		draT, fullT, rows, err := f.measurePair(scale.NewEngine(), scale.Iterations)
 		if err != nil {
 			return nil, err
 		}
@@ -174,7 +174,7 @@ func E4(scale Scale) (*Table, error) {
 		if err := f.gen.Batch(scale.BaseRows / 100); err != nil {
 			return nil, err
 		}
-		draT, fullT, _, err := f.measurePair(dra.NewEngine(), scale.Iterations)
+		draT, fullT, _, err := f.measurePair(scale.NewEngine(), scale.Iterations)
 		if err != nil {
 			return nil, err
 		}
@@ -321,7 +321,7 @@ func E5(scale Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		engine := dra.NewEngine()
+		engine := scale.NewEngine()
 		ts := jf.store.Now()
 		draT, err := stopwatch(scale.Iterations, func() error {
 			_, err := engine.Reevaluate(jf.plan, ctx, ts)
@@ -364,7 +364,7 @@ func E12(scale Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		engine := dra.NewEngine()
+		engine := scale.NewEngine()
 		skipped := 0
 		var draTotal, fullTotal time.Duration
 		for round := 0; round < rounds; round++ {
@@ -438,7 +438,7 @@ func E13(scale Scale) (*Table, error) {
 		if err := f.gen.Batch(20); err != nil {
 			return nil, err
 		}
-		draT, fullT, _, err := f.measurePair(dra.NewEngine(), scale.Iterations)
+		draT, fullT, _, err := f.measurePair(scale.NewEngine(), scale.Iterations)
 		if err != nil {
 			return nil, err
 		}
@@ -475,7 +475,7 @@ func A2(scale Scale) (*Table, error) {
 				return nil, err
 			}
 		}
-		engine := dra.NewEngine()
+		engine := scale.NewEngine()
 		engine.CompactDeltas = compact
 		ctx, err := jf.ctx()
 		if err != nil {
@@ -524,7 +524,7 @@ func ablateJoin(scale Scale, id, title string, set func(*dra.Engine, bool)) (*Ta
 		if err != nil {
 			return nil, err
 		}
-		engine := dra.NewEngine()
+		engine := scale.NewEngine()
 		set(engine, on)
 		ts := jf.store.Now()
 		d, err := stopwatch(scale.Iterations, func() error {
@@ -558,7 +558,7 @@ func A5(scale Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	ij, err := dra.NewIncrementalJoin(dra.NewEngine(), jf.plan, jf.store.Live())
+	ij, err := dra.NewIncrementalJoin(scale.NewEngine(), jf.plan, jf.store.Live())
 	if err != nil {
 		return nil, err
 	}
@@ -598,7 +598,7 @@ func A5(scale Scale) (*Table, error) {
 		return nil, err
 	}
 	ts := jf.store.Now()
-	engine := dra.NewEngine()
+	engine := scale.NewEngine()
 	ttT, err := stopwatch(scale.Iterations, func() error {
 		_, err := engine.Reevaluate(jf.plan, ctx, ts)
 		return err

@@ -101,7 +101,7 @@ func E9(scale Scale) (*Table, error) {
 		if err := store.CreateTable("stocks", workload.StockSchema()); err != nil {
 			return nil, err
 		}
-		mgr := cq.NewManagerConfig(store, cq.Config{UseDRA: true, AutoGC: gc})
+		mgr := cq.NewManagerConfig(store, cq.Config{UseDRA: true, AutoGC: gc, Metrics: scale.Metrics})
 		gen := workload.NewStocks(store, "stocks", 9, workload.DefaultMix)
 		if err := gen.Seed(scale.BaseRows / 10); err != nil {
 			return nil, err
@@ -162,7 +162,7 @@ func E10(scale Scale) (*Table, error) {
 		if err := store.CreateTable("accounts", workload.AccountSchema()); err != nil {
 			return nil, err
 		}
-		mgr := cq.NewManager(store)
+		mgr := cq.NewManagerConfig(store, cq.Config{UseDRA: true, AutoGC: true, Metrics: scale.Metrics})
 		on, _ := sql.ParseExpr("amount")
 		if _, err := mgr.Register(cq.Def{
 			Name:    "banksum",
@@ -318,7 +318,7 @@ func A4(scale Scale) (*Table, error) {
 	}
 	plan = algebra.Optimize(plan)
 
-	engine := dra.NewEngine()
+	engine := scale.NewEngine()
 	ia, err := dra.NewIncrementalAggregate(engine, plan, store.Live())
 	if err != nil {
 		return nil, err

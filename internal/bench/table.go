@@ -10,6 +10,9 @@ import (
 	"io"
 	"strings"
 	"time"
+
+	"github.com/diorama/continual/internal/dra"
+	"github.com/diorama/continual/internal/obs"
 )
 
 // Table is one experiment's output, rendered in the row/series layout of
@@ -63,6 +66,21 @@ func (t *Table) Render(w io.Writer) {
 type Scale struct {
 	BaseRows   int // size of the base relation(s)
 	Iterations int // measured refreshes per point
+	// Metrics optionally instruments every engine and manager the
+	// experiments build; cqbench passes a registry here and prints its
+	// snapshot after each experiment. Nil keeps the measured code paths
+	// uninstrumented.
+	Metrics *obs.Registry
+}
+
+// NewEngine builds a DRA engine for an experiment, instrumented when the
+// scale carries a metrics registry.
+func (s Scale) NewEngine() *dra.Engine {
+	e := dra.NewEngine()
+	if s.Metrics != nil {
+		e.Instrument(s.Metrics)
+	}
+	return e
 }
 
 // Quick is the test-suite scale.

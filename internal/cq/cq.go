@@ -13,7 +13,7 @@ package cq
 import (
 	"errors"
 	"fmt"
-	"strings"
+	"sort"
 	"sync"
 	"time"
 
@@ -21,6 +21,7 @@ import (
 	"github.com/diorama/continual/internal/delta"
 	"github.com/diorama/continual/internal/dra"
 	"github.com/diorama/continual/internal/epsilon"
+	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/relation"
 	"github.com/diorama/continual/internal/sql"
 	"github.com/diorama/continual/internal/storage"
@@ -151,12 +152,19 @@ type Config struct {
 	// paper's truth-table re-evaluation. Off by default: the truth table
 	// is Algorithm 1 as published; this is the repository's extension.
 	IncrementalJoins bool
+	// Metrics attaches the manager (and its engine, unless the engine is
+	// already instrumented) to an obs registry. Nil disables
+	// instrumentation entirely: every hook reduces to a nil check, so
+	// the uninstrumented refresh path is benchmarkable against the
+	// instrumented one.
+	Metrics *obs.Registry
 }
 
 // Manager owns the registered continual queries over one store.
 type Manager struct {
 	store *storage.Store
 	cfg   Config
+	met   *metrics // nil when Config.Metrics is nil
 
 	mu     sync.Mutex
 	cqs    map[string]*instance
@@ -177,8 +185,24 @@ func NewManagerConfig(store *storage.Store, cfg Config) *Manager {
 	if cfg.Engine == nil {
 		cfg.Engine = dra.NewEngine()
 	}
-	return &Manager{store: store, cfg: cfg, cqs: make(map[string]*instance)}
+	if cfg.Metrics != nil && cfg.Engine.Metrics == nil {
+		cfg.Engine.Instrument(cfg.Metrics)
+	}
+	return &Manager{
+		store: store,
+		cfg:   cfg,
+		met:   newMetrics(cfg.Metrics),
+		cqs:   make(map[string]*instance),
+	}
 }
+
+// Stats returns a point-in-time snapshot of the metrics registry this
+// manager was configured with (empty when uninstrumented).
+func (m *Manager) Stats() obs.Snapshot { return m.cfg.Metrics.Snapshot() }
+
+// Traces returns the trace log of recent refresh spans (nil when
+// uninstrumented).
+func (m *Manager) Traces() *obs.TraceLog { return m.cfg.Metrics.Traces() }
 
 // Register installs a continual query, runs its initial execution, and
 // notifies subscribers attached later only with subsequent refreshes (the
@@ -260,7 +284,22 @@ func (m *Manager) Register(def Def) (*relation.Relation, error) {
 	inst.lastExec = m.store.Now()
 	inst.lastObs = inst.lastExec
 	m.cqs[def.Name] = inst
+	m.updateRegisteredLocked()
 	return initial.Clone(), nil
+}
+
+// updateRegisteredLocked recomputes the live-CQ gauge. Caller holds m.mu.
+func (m *Manager) updateRegisteredLocked() {
+	if m.met == nil {
+		return
+	}
+	live := 0
+	for _, inst := range m.cqs {
+		if !inst.terminated {
+			live++
+		}
+	}
+	m.met.registered.Set(int64(live))
 }
 
 // setupEpsilon resolves the monitored expression to the tables whose
@@ -356,7 +395,7 @@ func (m *Manager) Names() []string {
 	for n := range m.cqs {
 		names = append(names, n)
 	}
-	sortStrings(names)
+	sort.Strings(names)
 	return names
 }
 
@@ -402,6 +441,7 @@ func (m *Manager) Drop(name string) error {
 	}
 	closeSubs(inst)
 	delete(m.cqs, name)
+	m.updateRegisteredLocked()
 	return nil
 }
 
@@ -426,6 +466,9 @@ func (m *Manager) Poll() (int, error) {
 	if m.closed {
 		return 0, ErrClosed
 	}
+	if mm := m.met; mm != nil {
+		mm.polls.Inc()
+	}
 	fired := 0
 	for _, inst := range m.cqs {
 		if inst.terminated {
@@ -434,6 +477,12 @@ func (m *Manager) Poll() (int, error) {
 		should, err := m.observeAndTest(inst)
 		if err != nil {
 			return fired, err
+		}
+		if mm := m.met; mm != nil {
+			mm.triggerEvals.Inc()
+			if should {
+				mm.fireCounter(inst.trigger.Kind).Inc()
+			}
 		}
 		if !should {
 			continue
@@ -508,6 +557,12 @@ func (m *Manager) observeAndTest(inst *instance) (bool, error) {
 
 // refreshLocked re-evaluates the CQ and delivers the notification.
 func (m *Manager) refreshLocked(inst *instance) error {
+	var span *obs.Span
+	var start time.Time
+	if mm := m.met; mm != nil {
+		start = time.Now()
+		span = mm.traces.Start("cq.refresh:" + inst.def.Name)
+	}
 	execTS := m.store.Now()
 	var res *dra.Result
 	var err error
@@ -564,11 +619,30 @@ func (m *Manager) refreshLocked(inst *instance) error {
 		inst.terminated = true
 	}
 
+	if mm := m.met; mm != nil {
+		mm.refreshes.Inc()
+		mm.refreshNS.Observe(time.Since(start))
+		if inst.terminated {
+			mm.terminated.Inc()
+			m.updateRegisteredLocked()
+		}
+		span.SetField("seq", int64(inst.seq))
+		span.SetField("exec_ts", int64(execTS))
+		span.SetField("result_rows", int64(inst.prev.Len()))
+		if res.Delta != nil {
+			ins, del, mod := res.Delta.Counts()
+			span.SetField("inserted", int64(ins))
+			span.SetField("deleted", int64(del))
+			span.SetField("modified", int64(mod))
+		}
+		span.Finish()
+	}
+
 	note := m.buildNotification(inst, res)
 	if note.Empty() && !inst.def.NotifyEmpty && !note.Terminated {
 		return nil
 	}
-	deliver(inst, note)
+	m.deliver(inst, note)
 	return nil
 }
 
@@ -597,17 +671,30 @@ func (m *Manager) buildNotification(inst *instance, res *dra.Result) Notificatio
 	return note
 }
 
-func deliver(inst *instance, note Notification) {
+func (m *Manager) deliver(inst *instance, note Notification) {
+	delivered, dropped := 0, 0
 	for _, s := range inst.subs {
 		if s.fn != nil {
 			s.fn(note, false)
+			delivered++
 			continue
 		}
 		select {
 		case s.ch <- note:
+			delivered++
 		default:
 			s.dropped++
+			dropped++
 		}
+	}
+	if mm := m.met; mm != nil {
+		mm.notifications.Add(int64(delivered))
+		mm.drops.Add(int64(dropped))
+		depth := 0
+		for _, s := range inst.subs {
+			depth += len(s.ch)
+		}
+		mm.queueDepth.Set(int64(depth))
 	}
 }
 
@@ -660,7 +747,10 @@ func (m *Manager) gcLocked() {
 		// All terminated: everything is collectable.
 		horizon = m.store.Now()
 	}
-	m.store.CollectGarbage(horizon)
+	reclaimed := m.store.CollectGarbage(horizon)
+	if mm := m.met; mm != nil {
+		mm.gcReclaimed.Add(int64(reclaimed))
+	}
 }
 
 // CollectGarbage exposes the GC step for callers managing their own poll
@@ -742,14 +832,6 @@ func (m *Manager) Close() error {
 		closeSubs(inst)
 	}
 	return nil
-}
-
-func sortStrings(ss []string) {
-	for i := 1; i < len(ss); i++ {
-		for j := i; j > 0 && strings.Compare(ss[j], ss[j-1]) < 0; j-- {
-			ss[j], ss[j-1] = ss[j-1], ss[j]
-		}
-	}
 }
 
 // newMaintainer tries the incremental state keepers in turn; a nil, nil

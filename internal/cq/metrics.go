@@ -1,0 +1,64 @@
+package cq
+
+import (
+	"github.com/diorama/continual/internal/obs"
+	"github.com/diorama/continual/internal/sql"
+)
+
+// metrics is the manager's bundle of obs handles, resolved once from
+// Config.Metrics at construction. A nil *metrics (Config.Metrics == nil)
+// keeps every hook down to a nil check.
+type metrics struct {
+	registered    *obs.Gauge     // cq.registered: live (non-terminated) CQs
+	polls         *obs.Counter   // cq.polls
+	triggerEvals  *obs.Counter   // cq.trigger_evals: trigger conditions tested
+	firesEvery    *obs.Counter   // cq.trigger_fires.every
+	firesUpdates  *obs.Counter   // cq.trigger_fires.updates
+	firesEpsilon  *obs.Counter   // cq.trigger_fires.epsilon
+	firesDefault  *obs.Counter   // cq.trigger_fires.default
+	refreshes     *obs.Counter   // cq.refreshes
+	refreshNS     *obs.Histogram // cq.refresh_ns
+	notifications *obs.Counter   // cq.notifications: delivered to subscribers
+	drops         *obs.Counter   // cq.subscriber_drops: full-buffer discards
+	queueDepth    *obs.Gauge     // cq.notify_queue_depth: buffered, undrained
+	gcReclaimed   *obs.Counter   // cq.gc_reclaimed_rows
+	terminated    *obs.Counter   // cq.terminated: Stop conditions reached
+	traces        *obs.TraceLog  // cq.refresh spans
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		return nil
+	}
+	return &metrics{
+		registered:    reg.Gauge("cq.registered"),
+		polls:         reg.Counter("cq.polls"),
+		triggerEvals:  reg.Counter("cq.trigger_evals"),
+		firesEvery:    reg.Counter("cq.trigger_fires.every"),
+		firesUpdates:  reg.Counter("cq.trigger_fires.updates"),
+		firesEpsilon:  reg.Counter("cq.trigger_fires.epsilon"),
+		firesDefault:  reg.Counter("cq.trigger_fires.default"),
+		refreshes:     reg.Counter("cq.refreshes"),
+		refreshNS:     reg.Histogram("cq.refresh_ns"),
+		notifications: reg.Counter("cq.notifications"),
+		drops:         reg.Counter("cq.subscriber_drops"),
+		queueDepth:    reg.Gauge("cq.notify_queue_depth"),
+		gcReclaimed:   reg.Counter("cq.gc_reclaimed_rows"),
+		terminated:    reg.Counter("cq.terminated"),
+		traces:        reg.Traces(),
+	}
+}
+
+// fireCounter maps a trigger kind to its per-kind fire counter.
+func (m *metrics) fireCounter(kind sql.TriggerKind) *obs.Counter {
+	switch kind {
+	case sql.TriggerEvery:
+		return m.firesEvery
+	case sql.TriggerUpdates:
+		return m.firesUpdates
+	case sql.TriggerEpsilon:
+		return m.firesEpsilon
+	default:
+		return m.firesDefault
+	}
+}

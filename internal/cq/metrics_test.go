@@ -1,0 +1,169 @@
+package cq
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/diorama/continual/internal/obs"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/sql"
+	"github.com/diorama/continual/internal/storage"
+)
+
+func newInstrumentedManager(t *testing.T) (*Manager, *storage.Store, *obs.Registry) {
+	t.Helper()
+	store := newStoreWith(t, map[string]relation.Schema{"stocks": stockSchema()})
+	reg := obs.NewRegistry()
+	store.Instrument(reg)
+	mgr := NewManagerConfig(store, Config{UseDRA: true, AutoGC: true, Metrics: reg})
+	t.Cleanup(func() { _ = mgr.Close() })
+	return mgr, store, reg
+}
+
+func TestManagerMetrics(t *testing.T) {
+	mgr, store, _ := newInstrumentedManager(t)
+	insertStock(t, store, "DEC", 150)
+	insertStock(t, store, "IBM", 75)
+
+	if _, err := mgr.Register(Def{Name: "expensive", Query: "SELECT * FROM stocks WHERE price > 120"}); err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel, err := mgr.Subscribe("expensive", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	insertStock(t, store, "MAC", 130)
+	if _, err := mgr.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	<-ch
+
+	snap := mgr.Stats()
+	for name, min := range map[string]int64{
+		"cq.registered":     1,
+		"cq.polls":          1,
+		"cq.trigger_evals":  1,
+		"cq.refreshes":      1,
+		"cq.notifications":  1,
+		"dra.reevaluations": 1,
+	} {
+		if got := snap.Counters[name] + snap.Gauges[name]; got < min {
+			t.Errorf("%s = %d, want >= %d", name, got, min)
+		}
+	}
+	if got := snap.Histograms["cq.refresh_ns"].Count; got < 1 {
+		t.Errorf("cq.refresh_ns count = %d, want >= 1", got)
+	}
+	if mgr.Traces().Len() == 0 {
+		t.Error("no refresh spans recorded")
+	}
+
+	if err := mgr.Drop("expensive"); err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr.Stats().Gauge("cq.registered"); got != 0 {
+		t.Errorf("cq.registered after drop = %d, want 0", got)
+	}
+}
+
+// TestConcurrentPollSubscribeDropMetrics races Poll against
+// Subscribe/Drop/Register churn and concurrent snapshot reads, all with
+// metric emission on. Run under -race this checks the instrumentation
+// hooks introduce no data races on the notification or refresh paths.
+func TestConcurrentPollSubscribeDropMetrics(t *testing.T) {
+	mgr, store, reg := newInstrumentedManager(t)
+	insertStock(t, store, "DEC", 150)
+	if _, err := mgr.Register(Def{Name: "steady", Query: "SELECT * FROM stocks WHERE price > 100"}); err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 50
+	var wg sync.WaitGroup
+
+	// Writer: a stream of committed updates.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			insertStock(t, store, fmt.Sprintf("W%d", i), float64(50+i%200))
+		}
+	}()
+
+	// Poller: refreshes whatever triggers fired.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if _, err := mgr.Poll(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Subscriber churn: attach, drain a little, detach.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			ch, cancel, err := mgr.Subscribe("steady", 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			select {
+			case <-ch:
+			default:
+			}
+			cancel()
+		}
+	}()
+
+	// Register/Drop churn on a second CQ.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			name := fmt.Sprintf("churn%d", i)
+			if _, err := mgr.Register(Def{
+				Name:    name,
+				Query:   "SELECT * FROM stocks WHERE price > 180",
+				Trigger: sql.TriggerSpec{Kind: sql.TriggerEvery, Every: 2},
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := mgr.Drop(name); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Snapshot readers: Stats and trace reads race the writers above.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			_ = mgr.Stats()
+			_ = reg.Snapshot()
+			_ = mgr.Traces().Recent()
+		}
+	}()
+
+	wg.Wait()
+
+	snap := mgr.Stats()
+	if got := snap.Counter("cq.polls"); got != rounds {
+		t.Errorf("cq.polls = %d, want %d", got, rounds)
+	}
+	if got := snap.Gauge("cq.registered"); got != 1 {
+		t.Errorf("cq.registered = %d, want 1 (steady only)", got)
+	}
+	if snap.Counter("cq.refreshes") < 1 {
+		t.Error("no refreshes recorded under concurrent churn")
+	}
+}

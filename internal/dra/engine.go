@@ -38,9 +38,11 @@ package dra
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/diorama/continual/internal/algebra"
 	"github.com/diorama/continual/internal/delta"
+	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/relation"
 	"github.com/diorama/continual/internal/sql"
 	"github.com/diorama/continual/internal/vclock"
@@ -108,6 +110,11 @@ type Engine struct {
 	SkipIrrelevant bool
 
 	Stats Stats
+
+	// Metrics accumulates per-call Stats into the engine-wide obs
+	// registry and records a span per Reevaluate. Nil (the default)
+	// leaves the engine uninstrumented; see Instrument.
+	Metrics *Metrics
 }
 
 // NewEngine returns an engine with all optimizations enabled.
@@ -159,6 +166,12 @@ func (e *Engine) Reevaluate(plan algebra.Plan, ctx *Context, execTS vclock.Times
 		return nil, ErrNoPrev
 	}
 	e.Stats = Stats{}
+	var span *obs.Span
+	var start time.Time
+	if m := e.Metrics; m != nil {
+		start = time.Now()
+		span = m.startSpan()
+	}
 
 	var signed *delta.Signed
 	if supportsDifferential(plan) {
@@ -189,6 +202,9 @@ func (e *Engine) Reevaluate(plan algebra.Plan, ctx *Context, execTS vclock.Times
 	}
 
 	net := netSigned(signed)
+	if m := e.Metrics; m != nil {
+		m.observe(e.Stats, span, time.Since(start))
+	}
 	return &Result{
 		Signed: net,
 		Delta:  net.ToDelta(execTS),

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// histWindow is the number of recent samples a histogram retains for
+// quantile estimation. Power of two so the ring index is a mask.
+const histWindow = 1024
+
+// Histogram records durations (nanoseconds) and reports quantiles over a
+// sliding window of the last histWindow samples plus cumulative
+// count/sum/max over its whole lifetime.
+//
+// The hot path (Observe) is lock-free: an atomic fetch-add to claim a
+// ring slot and atomic stores for the sample and the aggregates.
+// Quantiles are computed at snapshot time by copying and sorting the
+// window, so observation cost does not depend on how often anything
+// reads the histogram. Concurrent Observe/Stat is race-free; a snapshot
+// taken mid-burst sees a consistent-enough mix of old and new samples,
+// which is the usual contract for monitoring quantiles.
+//
+// All methods are nil-safe no-ops on a nil receiver.
+type Histogram struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	max   atomic.Int64
+	next  atomic.Uint64 // ring write cursor (monotone)
+	ring  [histWindow]atomic.Int64
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	slot := h.next.Add(1) - 1
+	h.ring[slot&(histWindow-1)].Store(ns)
+}
+
+// HistogramStat is a point-in-time histogram summary. Quantiles are over
+// the sample window; Count/Sum/Max are lifetime cumulative.
+type HistogramStat struct {
+	Count int64 `json:"count"`
+	SumNS int64 `json:"sum_ns"`
+	MaxNS int64 `json:"max_ns"`
+	P50NS int64 `json:"p50_ns"`
+	P95NS int64 `json:"p95_ns"`
+	P99NS int64 `json:"p99_ns"`
+}
+
+// Mean returns the lifetime mean duration.
+func (s HistogramStat) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNS / s.Count)
+}
+
+// P50 returns the window median as a duration.
+func (s HistogramStat) P50() time.Duration { return time.Duration(s.P50NS) }
+
+// P95 returns the window 95th percentile as a duration.
+func (s HistogramStat) P95() time.Duration { return time.Duration(s.P95NS) }
+
+// P99 returns the window 99th percentile as a duration.
+func (s HistogramStat) P99() time.Duration { return time.Duration(s.P99NS) }
+
+// Max returns the lifetime maximum as a duration.
+func (s HistogramStat) Max() time.Duration { return time.Duration(s.MaxNS) }
+
+// Stat summarizes the histogram. Nil receivers yield the zero stat.
+func (h *Histogram) Stat() HistogramStat {
+	if h == nil {
+		return HistogramStat{}
+	}
+	st := HistogramStat{
+		Count: h.count.Load(),
+		SumNS: h.sum.Load(),
+		MaxNS: h.max.Load(),
+	}
+	n := h.next.Load()
+	filled := int(n)
+	if n > histWindow {
+		filled = histWindow
+	}
+	if filled == 0 {
+		return st
+	}
+	samples := make([]int64, filled)
+	for i := 0; i < filled; i++ {
+		samples[i] = h.ring[i].Load()
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	st.P50NS = quantile(samples, 0.50)
+	st.P95NS = quantile(samples, 0.95)
+	st.P99NS = quantile(samples, 0.99)
+	return st
+}
+
+// quantile picks the nearest-rank quantile from sorted samples.
+func quantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

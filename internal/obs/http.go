@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the registry snapshot as JSON — mount it at /stats.
+// Works with a nil registry (serves an empty snapshot).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// TracesHandler serves the recent refresh traces as JSON — mount it at
+// /debug/traces. Works with a nil log (serves an empty list).
+func TracesHandler(l *TraceLog) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		spans := l.Recent()
+		if spans == nil {
+			spans = []*Span{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(spans)
+	})
+}
+
+// Mux returns an http.Handler with the daemon's observability routes:
+// /stats and /debug/traces.
+func Mux(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/stats", Handler(r))
+	mux.Handle("/debug/traces", TracesHandler(r.Traces()))
+	return mux
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Snapshot is a point-in-time view of every instrument in a registry.
+// It is the wire/API form of the metrics: DB.Stats wraps it, cqd serves
+// it as JSON at /stats, and cqctl renders it as a table.
+type Snapshot struct {
+	Counters   map[string]int64         `json:"counters"`
+	Gauges     map[string]int64         `json:"gauges"`
+	Histograms map[string]HistogramStat `json:"histograms"`
+}
+
+// Counter returns a counter value by name (0 when absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Gauge returns a gauge value by name (0 when absent).
+func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+
+// Empty reports whether the snapshot carries no instruments.
+func (s Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0
+}
+
+// WriteTable renders the snapshot as aligned text, instruments sorted by
+// name within each section. This is the `cqctl stats` output format.
+func (s Snapshot) WriteTable(w io.Writer) {
+	writeKV := func(title string, m map[string]int64) {
+		if len(m) == 0 {
+			return
+		}
+		names := make([]string, 0, len(m))
+		width := 0
+		for k := range m {
+			names = append(names, k)
+			if len(k) > width {
+				width = len(k)
+			}
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "%s\n", title)
+		for _, k := range names {
+			fmt.Fprintf(w, "  %-*s  %d\n", width, k, m[k])
+		}
+	}
+	writeKV("counters", s.Counters)
+	writeKV("gauges", s.Gauges)
+	if len(s.Histograms) > 0 {
+		names := make([]string, 0, len(s.Histograms))
+		width := 0
+		for k := range s.Histograms {
+			names = append(names, k)
+			if len(k) > width {
+				width = len(k)
+			}
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "latencies\n")
+		for _, k := range names {
+			h := s.Histograms[k]
+			fmt.Fprintf(w, "  %-*s  count=%d mean=%s p50=%s p95=%s p99=%s max=%s\n",
+				width, k, h.Count,
+				fmtDur(h.Mean()), fmtDur(h.P50()), fmtDur(h.P95()), fmtDur(h.P99()), fmtDur(h.Max()))
+		}
+	}
+}
+
+// fmtDur rounds durations for table display.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.Round(time.Nanosecond).String()
+	}
+}

@@ -5,9 +5,12 @@ import (
 	"net"
 	"sync"
 
+	"time"
+
 	"github.com/diorama/continual/internal/algebra"
 	"github.com/diorama/continual/internal/delta"
 	"github.com/diorama/continual/internal/dra"
+	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/relation"
 	"github.com/diorama/continual/internal/vclock"
 )
@@ -18,6 +21,35 @@ type Client struct {
 	mu    sync.Mutex
 	conn  net.Conn
 	codec *codec
+
+	// obs instrumentation; nil unless Instrument was called.
+	met *clientMetrics
+}
+
+// clientMetrics is the client's bundle of obs handles.
+type clientMetrics struct {
+	requests *obs.Counter   // remote.client.requests
+	windows  *obs.Counter   // remote.client.windows_pulled
+	bytesIn  *obs.Counter   // remote.client.bytes_in
+	bytesOut *obs.Counter   // remote.client.bytes_out
+	rtt      *obs.Histogram // remote.client.rtt_ns: request round-trip time
+}
+
+// Instrument attaches the client to a metrics registry. Every request
+// afterwards records its round-trip latency and wire traffic.
+func (c *Client) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.met = &clientMetrics{
+		requests: reg.Counter("remote.client.requests"),
+		windows:  reg.Counter("remote.client.windows_pulled"),
+		bytesIn:  reg.Counter("remote.client.bytes_in"),
+		bytesOut: reg.Counter("remote.client.bytes_out"),
+		rtt:      reg.Histogram("remote.client.rtt_ns"),
+	}
 }
 
 // Dial connects to a server.
@@ -41,6 +73,12 @@ func (c *Client) BytesWritten() int64 { return c.codec.bytesWritten() }
 func (c *Client) roundTrip(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var start time.Time
+	var lastIn, lastOut int64
+	if c.met != nil {
+		start = time.Now()
+		lastIn, lastOut = c.codec.bytesRead(), c.codec.bytesWritten()
+	}
 	if err := c.codec.send(req); err != nil {
 		return Response{}, fmt.Errorf("remote: send: %w", err)
 	}
@@ -48,7 +86,28 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 	if err := c.codec.recv(&resp); err != nil {
 		return Response{}, fmt.Errorf("remote: recv: %w", err)
 	}
+	if m := c.met; m != nil {
+		m.requests.Inc()
+		m.rtt.Observe(time.Since(start))
+		m.bytesIn.Add(c.codec.bytesRead() - lastIn)
+		m.bytesOut.Add(c.codec.bytesWritten() - lastOut)
+		if req.Op == OpDeltaSince {
+			m.windows.Inc()
+		}
+	}
 	return resp, resp.asError()
+}
+
+// Stats fetches the server's metrics snapshot over the wire (OpStats).
+func (c *Client) Stats() (obs.Snapshot, error) {
+	resp, err := c.roundTrip(Request{Op: OpStats})
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	if resp.Stats == nil {
+		return obs.Snapshot{}, fmt.Errorf("remote: server returned no stats")
+	}
+	return *resp.Stats, nil
 }
 
 // ListTables returns the server's table names.

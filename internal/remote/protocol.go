@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"github.com/diorama/continual/internal/delta"
+	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/relation"
 	"github.com/diorama/continual/internal/vclock"
 )
@@ -34,6 +35,9 @@ const (
 	OpQuery
 	OpNow
 	OpApplyUpdates
+	// OpStats fetches the server's metrics snapshot (the same view cqd
+	// serves over HTTP at /stats); `cqctl stats` renders it.
+	OpStats
 )
 
 // Request is one client request.
@@ -56,6 +60,7 @@ type Response struct {
 	Rel     *WireRelation
 	Delta   []WireDeltaRow
 	Now     vclock.Timestamp
+	Stats   *obs.Snapshot
 }
 
 // WireColumn mirrors relation.Column for the wire.

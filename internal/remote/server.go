@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/diorama/continual/internal/algebra"
+	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/relation"
 	"github.com/diorama/continual/internal/storage"
 )
@@ -26,6 +27,47 @@ type Server struct {
 	queriesServed  int64
 	deltasServed   int64
 	tuplesExecuted int64
+
+	// obs instrumentation; nil unless Instrument was called.
+	met *serverMetrics
+	reg *obs.Registry
+}
+
+// serverMetrics is the server's bundle of obs handles, resolved once at
+// Instrument time.
+type serverMetrics struct {
+	requests   *obs.Counter // remote.requests
+	queries    *obs.Counter // remote.queries_served
+	windows    *obs.Counter // remote.windows_pulled: delta windows shipped
+	snapshots  *obs.Counter // remote.snapshots_served
+	updates    *obs.Counter // remote.updates_applied: pushed delta rows
+	tuples     *obs.Counter // remote.tuples_executed: server-side query scans
+	bytesIn    *obs.Counter // remote.bytes_in
+	bytesOut   *obs.Counter // remote.bytes_out
+	conns      *obs.Gauge   // remote.conns
+	connsTotal *obs.Counter // remote.conns_total
+}
+
+// Instrument attaches the server to a metrics registry. Call before
+// Serve; the registry also becomes the payload of OpStats so clients
+// (cqctl stats) can read the daemon's counters over the wire.
+func (s *Server) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.reg = reg
+	s.met = &serverMetrics{
+		requests:   reg.Counter("remote.requests"),
+		queries:    reg.Counter("remote.queries_served"),
+		windows:    reg.Counter("remote.windows_pulled"),
+		snapshots:  reg.Counter("remote.snapshots_served"),
+		updates:    reg.Counter("remote.updates_applied"),
+		tuples:     reg.Counter("remote.tuples_executed"),
+		bytesIn:    reg.Counter("remote.bytes_in"),
+		bytesOut:   reg.Counter("remote.bytes_out"),
+		conns:      reg.Gauge("remote.conns"),
+		connsTotal: reg.Counter("remote.conns_total"),
+	}
 }
 
 // ServerStats is a snapshot of server-side work counters, used by the
@@ -84,7 +126,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
+	if m := s.met; m != nil {
+		m.conns.Add(1)
+		m.connsTotal.Inc()
+		defer m.conns.Add(-1)
+	}
 	c := newCodec(conn)
+	var lastIn, lastOut int64
 	for {
 		var req Request
 		if err := c.recv(&req); err != nil {
@@ -93,6 +141,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		resp := s.handle(req)
 		if err := c.send(resp); err != nil {
 			return
+		}
+		if m := s.met; m != nil {
+			// Fold this request's wire traffic into the counters: one
+			// pair of adds per request, not per byte.
+			in, out := c.bytesRead(), c.bytesWritten()
+			m.requests.Inc()
+			m.bytesIn.Add(in - lastIn)
+			m.bytesOut.Add(out - lastOut)
+			lastIn, lastOut = in, out
 		}
 	}
 }
@@ -125,6 +182,9 @@ func (s *Server) handle(req Request) Response {
 		if err != nil {
 			return errResponse(err)
 		}
+		if m := s.met; m != nil {
+			m.snapshots.Inc()
+		}
 		return Response{Rel: toWireRelation(rel), Now: s.store.Now()}
 
 	case OpDeltaSince:
@@ -135,6 +195,9 @@ func (s *Server) handle(req Request) Response {
 		s.mu.Lock()
 		s.deltasServed++
 		s.mu.Unlock()
+		if m := s.met; m != nil {
+			m.windows.Inc()
+		}
 		return Response{Delta: toWireDelta(d), Now: s.store.Now()}
 
 	case OpQuery:
@@ -151,6 +214,10 @@ func (s *Server) handle(req Request) Response {
 		s.queriesServed++
 		s.tuplesExecuted += int64(ex.Stats.TuplesScanned)
 		s.mu.Unlock()
+		if m := s.met; m != nil {
+			m.queries.Inc()
+			m.tuples.Add(int64(ex.Stats.TuplesScanned))
+		}
 		return Response{Rel: toWireRelation(rel), Now: s.store.Now()}
 
 	case OpNow:
@@ -160,10 +227,36 @@ func (s *Server) handle(req Request) Response {
 		if err := s.applyUpdates(req); err != nil {
 			return errResponse(err)
 		}
+		if m := s.met; m != nil {
+			m.updates.Add(int64(len(req.Updates)))
+		}
 		return Response{Now: s.store.Now()}
+
+	case OpStats:
+		snap := s.statsSnapshot()
+		return Response{Stats: &snap, Now: s.store.Now()}
 
 	default:
 		return errResponse(fmt.Errorf("unknown op %d", req.Op))
+	}
+}
+
+// statsSnapshot builds the OpStats payload: the attached registry's
+// snapshot when instrumented, otherwise the legacy work counters so
+// `cqctl stats` still renders something against a bare server.
+func (s *Server) statsSnapshot() obs.Snapshot {
+	if s.reg != nil {
+		return s.reg.Snapshot()
+	}
+	st := s.Stats()
+	return obs.Snapshot{
+		Counters: map[string]int64{
+			"remote.queries_served":  st.QueriesServed,
+			"remote.windows_pulled":  st.DeltasServed,
+			"remote.tuples_executed": st.TuplesExecuted,
+		},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]obs.HistogramStat{},
 	}
 }
 

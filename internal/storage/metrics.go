@@ -1,0 +1,66 @@
+package storage
+
+import (
+	"github.com/diorama/continual/internal/obs"
+)
+
+// metrics is the store's bundle of obs handles, resolved once at
+// Instrument time so commit-path updates are plain atomic adds.
+type metrics struct {
+	reg         *obs.Registry
+	commits     *obs.Counter          // storage.commits: committed transactions
+	commitRows  *obs.Counter          // storage.commit_rows: delta rows appended
+	deltaTotal  *obs.Gauge            // storage.delta_len: retained delta rows, all tables
+	snapshots   *obs.Counter          // storage.snapshot_reconstructions
+	staleWindow *obs.Counter          // storage.stale_window_hits: ErrStaleWindow returns
+	gcRows      *obs.Counter          // storage.gc_rows_collected
+	gcRuns      *obs.Counter          // storage.gc_runs
+	tables      *obs.Gauge            // storage.tables
+	commitNS    *obs.Histogram        // storage.commit_ns
+	perTable    map[string]*obs.Gauge // storage.delta_len.<table>
+}
+
+// Instrument attaches the store to a metrics registry. Call it once,
+// right after NewStore and before the store is shared; with a nil
+// registry the store stays uninstrumented and every hook is a nil check.
+func (s *Store) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := &metrics{
+		reg:         reg,
+		commits:     reg.Counter("storage.commits"),
+		commitRows:  reg.Counter("storage.commit_rows"),
+		deltaTotal:  reg.Gauge("storage.delta_len"),
+		snapshots:   reg.Counter("storage.snapshot_reconstructions"),
+		staleWindow: reg.Counter("storage.stale_window_hits"),
+		gcRows:      reg.Counter("storage.gc_rows_collected"),
+		gcRuns:      reg.Counter("storage.gc_runs"),
+		tables:      reg.Gauge("storage.tables"),
+		commitNS:    reg.Histogram("storage.commit_ns"),
+		perTable:    make(map[string]*obs.Gauge),
+	}
+	total := int64(0)
+	for name, t := range s.tables {
+		g := reg.Gauge("storage.delta_len." + name)
+		g.Set(int64(t.dlt.Len()))
+		m.perTable[name] = g
+		total += int64(t.dlt.Len())
+	}
+	m.deltaTotal.Set(total)
+	m.tables.Set(int64(len(s.tables)))
+	s.met = m
+}
+
+// tableGauge returns (creating if needed) the per-table delta-length
+// gauge. Caller holds s.mu.
+func (m *metrics) tableGauge(name string) *obs.Gauge {
+	g, ok := m.perTable[name]
+	if !ok {
+		g = m.reg.Gauge("storage.delta_len." + name)
+		m.perTable[name] = g
+	}
+	return g
+}

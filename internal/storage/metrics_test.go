@@ -1,0 +1,149 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/diorama/continual/internal/obs"
+	"github.com/diorama/continual/internal/relation"
+)
+
+func testSchema(t *testing.T) relation.Schema {
+	t.Helper()
+	s, err := relation.NewSchema(
+		relation.Column{Name: "name", Type: relation.TString},
+		relation.Column{Name: "price", Type: relation.TFloat},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTableDeltaLenAndLowWater(t *testing.T) {
+	s := NewStore()
+	if err := s.CreateTable("stocks", testSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := s.Table("stocks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.DeltaLen() != 0 || tbl.LowWater() != 0 {
+		t.Fatalf("fresh table: delta len %d, low water %d", tbl.DeltaLen(), tbl.LowWater())
+	}
+
+	tx := s.Begin()
+	tid, err := tx.Insert("stocks", []relation.Value{relation.Str("DEC"), relation.Float(150)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx = s.Begin()
+	if err := tx.Update("stocks", tid, []relation.Value{relation.Str("DEC"), relation.Float(155)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.DeltaLen(); got != 2 {
+		t.Fatalf("delta len = %d, want 2", got)
+	}
+	want, _ := s.DeltaLen("stocks")
+	if tbl.DeltaLen() != want {
+		t.Fatalf("Table.DeltaLen %d != Store.DeltaLen %d", tbl.DeltaLen(), want)
+	}
+
+	horizon := s.Now()
+	if collected := s.CollectGarbage(horizon); collected != 2 {
+		t.Fatalf("collected %d rows, want 2", collected)
+	}
+	if tbl.DeltaLen() != 0 {
+		t.Fatalf("delta len after GC = %d, want 0", tbl.DeltaLen())
+	}
+	if tbl.LowWater() != horizon {
+		t.Fatalf("low water = %d, want %d", tbl.LowWater(), horizon)
+	}
+	if _, err := s.SnapshotAt("stocks", horizon-1); !errors.Is(err, ErrStaleWindow) {
+		t.Fatalf("SnapshotAt below low water: err = %v, want ErrStaleWindow", err)
+	}
+}
+
+func TestStoreInstrumentation(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewStore()
+	if err := s.CreateTable("stocks", testSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	s.Instrument(reg)
+	if err := s.CreateTable("bonds", testSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := s.Begin()
+	for i := 0; i < 3; i++ {
+		if _, err := tx.Insert("stocks", []relation.Value{relation.Str("X"), relation.Float(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("storage.commits"); got != 1 {
+		t.Fatalf("storage.commits = %d, want 1", got)
+	}
+	if got := snap.Counter("storage.commit_rows"); got != 3 {
+		t.Fatalf("storage.commit_rows = %d, want 3", got)
+	}
+	if got := snap.Gauge("storage.delta_len"); got != 3 {
+		t.Fatalf("storage.delta_len = %d, want 3", got)
+	}
+	tbl, _ := s.Table("stocks")
+	if got := snap.Gauge("storage.delta_len.stocks"); got != int64(tbl.DeltaLen()) {
+		t.Fatalf("storage.delta_len.stocks = %d, want %d", got, tbl.DeltaLen())
+	}
+	if got := snap.Gauge("storage.tables"); got != 2 {
+		t.Fatalf("storage.tables = %d, want 2", got)
+	}
+	if snap.Histograms["storage.commit_ns"].Count != 1 {
+		t.Fatalf("storage.commit_ns count = %d, want 1", snap.Histograms["storage.commit_ns"].Count)
+	}
+
+	// Stale-window hits and snapshot reconstructions.
+	if _, err := s.SnapshotAt("stocks", s.Now()); err != nil {
+		t.Fatal(err)
+	}
+	s.CollectGarbage(s.Now())
+	if _, err := s.SnapshotAt("stocks", 0); !errors.Is(err, ErrStaleWindow) {
+		t.Fatalf("err = %v, want ErrStaleWindow", err)
+	}
+	if _, err := s.DeltaSince("stocks", 0); !errors.Is(err, ErrStaleWindow) {
+		t.Fatalf("err = %v, want ErrStaleWindow", err)
+	}
+	snap = reg.Snapshot()
+	if got := snap.Counter("storage.snapshot_reconstructions"); got != 1 {
+		t.Fatalf("storage.snapshot_reconstructions = %d, want 1", got)
+	}
+	if got := snap.Counter("storage.stale_window_hits"); got != 2 {
+		t.Fatalf("storage.stale_window_hits = %d, want 2", got)
+	}
+	if got := snap.Counter("storage.gc_rows_collected"); got != 3 {
+		t.Fatalf("storage.gc_rows_collected = %d, want 3", got)
+	}
+	if got := snap.Gauge("storage.delta_len"); got != 0 {
+		t.Fatalf("storage.delta_len after GC = %d, want 0", got)
+	}
+
+	// DropTable zeroes the per-table gauge and the table count.
+	if err := s.DropTable("bonds"); err != nil {
+		t.Fatal(err)
+	}
+	snap = reg.Snapshot()
+	if got := snap.Gauge("storage.tables"); got != 1 {
+		t.Fatalf("storage.tables after drop = %d, want 1", got)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/diorama/continual/internal/delta"
 	"github.com/diorama/continual/internal/relation"
@@ -36,9 +37,10 @@ var (
 
 // Table is one base relation plus its differential relation.
 type Table struct {
-	name string
-	rel  *relation.Relation
-	dlt  *delta.Delta
+	store *Store // owning store; guards rel/dlt/lowWater with its mutex
+	name  string
+	rel   *relation.Relation
+	dlt   *delta.Delta
 	// lowWater is the timestamp up to (and including) which delta rows
 	// have been garbage collected; SnapshotAt below it is impossible.
 	lowWater vclock.Timestamp
@@ -50,6 +52,24 @@ func (t *Table) Name() string { return t.name }
 // Schema returns the table schema.
 func (t *Table) Schema() relation.Schema { return t.rel.Schema() }
 
+// DeltaLen returns the number of retained differential-relation rows —
+// the quantity the paper's space argument (Section 5.4) is about, and
+// the direct measure of GC effectiveness.
+func (t *Table) DeltaLen() int {
+	t.store.mu.RLock()
+	defer t.store.mu.RUnlock()
+	return t.dlt.Len()
+}
+
+// LowWater returns the timestamp up to (and including) which delta rows
+// have been garbage collected. Snapshot reconstruction below it returns
+// ErrStaleWindow.
+func (t *Table) LowWater() vclock.Timestamp {
+	t.store.mu.RLock()
+	defer t.store.mu.RUnlock()
+	return t.lowWater
+}
+
 // Store is a named collection of tables sharing one logical clock.
 // All exported methods are safe for concurrent use.
 type Store struct {
@@ -57,6 +77,10 @@ type Store struct {
 	clock  *vclock.Clock
 	tables map[string]*Table
 	nextID relation.TID
+	// met is nil on uninstrumented stores; set once by Instrument before
+	// the store is shared, so hot paths read it without synchronization
+	// concerns beyond the store mutex they already hold.
+	met *metrics
 }
 
 // NewStore creates an empty store with a fresh logical clock.
@@ -82,9 +106,14 @@ func (s *Store) CreateTable(name string, schema relation.Schema) error {
 		return fmt.Errorf("%w: %q", ErrTableExists, name)
 	}
 	s.tables[name] = &Table{
-		name: name,
-		rel:  relation.New(schema),
-		dlt:  delta.New(schema),
+		store: s,
+		name:  name,
+		rel:   relation.New(schema),
+		dlt:   delta.New(schema),
+	}
+	if m := s.met; m != nil {
+		m.tables.Set(int64(len(s.tables)))
+		m.tableGauge(name).Set(0)
 	}
 	return nil
 }
@@ -93,11 +122,30 @@ func (s *Store) CreateTable(name string, schema relation.Schema) error {
 func (s *Store) DropTable(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.tables[name]; !ok {
+	t, ok := s.tables[name]
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
 	}
 	delete(s.tables, name)
+	if m := s.met; m != nil {
+		m.tables.Set(int64(len(s.tables)))
+		m.deltaTotal.Add(-int64(t.dlt.Len()))
+		m.tableGauge(name).Set(0)
+	}
 	return nil
+}
+
+// Table returns the named table handle for read-only inspection
+// (DeltaLen, LowWater, Schema). The handle stays valid after DropTable
+// but reports on a detached table.
+func (s *Store) Table(name string) (*Table, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	return t, nil
 }
 
 // TableNames lists the tables in sorted order.
@@ -158,11 +206,17 @@ func (s *Store) SnapshotAt(table string, ts vclock.Timestamp) (*relation.Relatio
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, table)
 	}
 	if ts < t.lowWater {
+		if m := s.met; m != nil {
+			m.staleWindow.Inc()
+		}
 		return nil, fmt.Errorf("%w: want %d, low water %d", ErrStaleWindow, ts, t.lowWater)
 	}
 	snap := t.rel.Clone()
 	if err := t.dlt.After(ts).Unapply(snap); err != nil {
 		return nil, fmt.Errorf("snapshot %q at %d: %w", table, ts, err)
+	}
+	if m := s.met; m != nil {
+		m.snapshots.Inc()
 	}
 	return snap, nil
 }
@@ -177,6 +231,9 @@ func (s *Store) DeltaSince(table string, ts vclock.Timestamp) (*delta.Delta, err
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, table)
 	}
 	if ts < t.lowWater {
+		if m := s.met; m != nil {
+			m.staleWindow.Inc()
+		}
 		return nil, fmt.Errorf("%w: want >%d, low water %d", ErrStaleWindow, ts, t.lowWater)
 	}
 	return t.dlt.After(ts).Clone(), nil
@@ -201,10 +258,19 @@ func (s *Store) CollectGarbage(horizon vclock.Timestamp) int {
 	defer s.mu.Unlock()
 	total := 0
 	for _, t := range s.tables {
-		total += t.dlt.TruncateBefore(horizon)
+		n := t.dlt.TruncateBefore(horizon)
+		total += n
 		if horizon > t.lowWater {
 			t.lowWater = horizon
 		}
+		if m := s.met; m != nil && n > 0 {
+			m.tableGauge(t.name).Set(int64(t.dlt.Len()))
+		}
+	}
+	if m := s.met; m != nil {
+		m.gcRuns.Inc()
+		m.gcRows.Add(int64(total))
+		m.deltaTotal.Add(-int64(total))
 	}
 	return total
 }
@@ -379,6 +445,10 @@ func (tx *Tx) Commit() (vclock.Timestamp, error) {
 	}
 	tx.done = true
 	s := tx.store
+	var commitStart time.Time
+	if s.met != nil {
+		commitStart = time.Now()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -408,6 +478,11 @@ func (tx *Tx) Commit() (vclock.Timestamp, error) {
 	}
 
 	ts := s.clock.Tick()
+	appended := 0
+	var touched map[*Table]struct{}
+	if s.met != nil {
+		touched = make(map[*Table]struct{}, 1)
+	}
 	for i := range tx.ops {
 		op := &tx.ops[i]
 		if op.row.Old == nil && op.row.New == nil {
@@ -427,6 +502,19 @@ func (tx *Tx) Commit() (vclock.Timestamp, error) {
 			// Cannot happen: single writer under s.mu, monotone clock.
 			return 0, fmt.Errorf("storage: delta append: %w", err)
 		}
+		appended++
+		if touched != nil {
+			touched[t] = struct{}{}
+		}
+	}
+	if m := s.met; m != nil {
+		m.commits.Inc()
+		m.commitRows.Add(int64(appended))
+		m.deltaTotal.Add(int64(appended))
+		for t := range touched {
+			m.tableGauge(t.name).Set(int64(t.dlt.Len()))
+		}
+		m.commitNS.Observe(time.Since(commitStart))
 	}
 	return ts, nil
 }

@@ -1,0 +1,188 @@
+package continual_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	continual "github.com/diorama/continual"
+	"github.com/diorama/continual/internal/cq"
+	"github.com/diorama/continual/internal/obs"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/storage"
+)
+
+// statsWorkload drives the quick-start script plus a join CQ through a
+// DB so every subsystem emits metrics.
+func statsWorkload(t *testing.T) *continual.DB {
+	t.Helper()
+	db := continual.Open()
+	t.Cleanup(func() { _ = db.Close() })
+	for _, stmt := range []string{
+		`CREATE TABLE stocks (name STRING, price FLOAT)`,
+		`CREATE TABLE sectors (name STRING, sector STRING)`,
+		`INSERT INTO stocks VALUES ('DEC', 150), ('IBM', 75)`,
+		`INSERT INTO sectors VALUES ('DEC', 'tech'), ('IBM', 'tech')`,
+	} {
+		if err := db.Exec(stmt); err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+	}
+	if _, err := db.Register("expensive", `SELECT * FROM stocks WHERE price > 120`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Register("sectors", `SELECT * FROM stocks JOIN sectors ON stocks.name = sectors.name`); err != nil {
+		t.Fatal(err)
+	}
+	for _, stmt := range []string{
+		`INSERT INTO stocks VALUES ('MAC', 130)`,
+		`INSERT INTO sectors VALUES ('MAC', 'tech')`,
+	} {
+		if err := db.Exec(stmt); err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+	}
+	if n := db.Poll(); n == 0 {
+		t.Fatal("Poll refreshed nothing")
+	}
+	return db
+}
+
+func TestStatsEndToEnd(t *testing.T) {
+	db := statsWorkload(t)
+	s := db.Stats()
+
+	for name, min := range map[string]int64{
+		"dra.reevaluations":       1,
+		"dra.terms_evaluated":     1,
+		"dra.delta_rows_consumed": 1,
+		"cq.polls":                1,
+		"cq.refreshes":            2,
+		"cq.trigger_evals":        2,
+		"storage.commits":         4,
+	} {
+		if got := s.Counter(name); got < min {
+			t.Errorf("%s = %d, want >= %d", name, got, min)
+		}
+	}
+	if got := s.Gauge("cq.registered"); got != 2 {
+		t.Errorf("cq.registered = %d, want 2", got)
+	}
+
+	// Internal consistency: every refresh runs exactly one differential
+	// re-evaluation, and the re-evaluations split across the three paths.
+	if re, ref := s.Counter("dra.reevaluations"), s.Counter("cq.refreshes"); re != ref {
+		t.Errorf("dra.reevaluations = %d but cq.refreshes = %d", re, ref)
+	}
+	paths := s.Counter("dra.differential_path") + s.Counter("dra.fallback_path") + s.Counter("dra.skipped")
+	if paths != s.Counter("dra.reevaluations") {
+		t.Errorf("path counters sum to %d, want %d", paths, s.Counter("dra.reevaluations"))
+	}
+	// The total delta-log gauge is the sum of the per-table gauges.
+	perTable := s.Gauge("storage.delta_len.stocks") + s.Gauge("storage.delta_len.sectors")
+	if total := s.Gauge("storage.delta_len"); total != perTable {
+		t.Errorf("storage.delta_len = %d, per-table sum = %d", total, perTable)
+	}
+	if got := s.Latencies["dra.reevaluate_ns"].Count; got < 1 {
+		t.Errorf("dra.reevaluate_ns count = %d, want >= 1", got)
+	}
+	if got := s.Latencies["cq.refresh_ns"].Count; got < 1 {
+		t.Errorf("cq.refresh_ns count = %d, want >= 1", got)
+	}
+
+	var table strings.Builder
+	db.WriteStats(&table)
+	for _, want := range []string{"counters", "gauges", "latencies", "dra.terms_evaluated"} {
+		if !strings.Contains(table.String(), want) {
+			t.Errorf("WriteStats output missing %q", want)
+		}
+	}
+}
+
+func TestStatsHTTPEndpoints(t *testing.T) {
+	db := statsWorkload(t)
+	srv := httptest.NewServer(db.StatsHandler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("content type = %q", ct)
+	}
+	var served continual.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&served); err != nil {
+		t.Fatal(err)
+	}
+	if served.Counter("dra.terms_evaluated") < 1 {
+		t.Errorf("/stats dra.terms_evaluated = %d, want >= 1", served.Counter("dra.terms_evaluated"))
+	}
+	// The HTTP view and the in-process view are the same registry.
+	if a, b := served.Counter("cq.refreshes"), db.Stats().Counter("cq.refreshes"); a != b {
+		t.Errorf("/stats cq.refreshes = %d, DB.Stats = %d", a, b)
+	}
+
+	tr, err := srv.Client().Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Body.Close()
+	body, _ := io.ReadAll(tr.Body)
+	if !strings.Contains(string(body), "cq.refresh:") {
+		t.Errorf("/debug/traces missing refresh spans:\n%s", body)
+	}
+}
+
+// TestStatsMatchTableDeltaLen runs a scripted workload against an
+// instrumented store+manager pair and checks the storage.delta_len
+// gauges against the Table accessors the snapshot claims to mirror.
+func TestStatsMatchTableDeltaLen(t *testing.T) {
+	store := storage.NewStore()
+	reg := obs.NewRegistry()
+	store.Instrument(reg)
+	schema := relation.MustSchema(
+		relation.Column{Name: "name", Type: relation.TString},
+		relation.Column{Name: "price", Type: relation.TFloat},
+	)
+	if err := store.CreateTable("stocks", schema); err != nil {
+		t.Fatal(err)
+	}
+	mgr := cq.NewManagerConfig(store, cq.Config{UseDRA: true, AutoGC: true, Metrics: reg})
+	defer func() { _ = mgr.Close() }()
+	if _, err := mgr.Register(cq.Def{Name: "all", Query: "SELECT * FROM stocks"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		tx := store.Begin()
+		if _, err := tx.Insert("stocks", []relation.Value{relation.Str("X"), relation.Float(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mgr.Poll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tbl, err := store.Table("stocks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got, want := snap.Gauge("storage.delta_len.stocks"), int64(tbl.DeltaLen()); got != want {
+		t.Errorf("storage.delta_len.stocks = %d, Table.DeltaLen() = %d", got, want)
+	}
+	if got, want := snap.Gauge("storage.delta_len"), int64(tbl.DeltaLen()); got != want {
+		t.Errorf("storage.delta_len = %d, Table.DeltaLen() = %d", got, want)
+	}
+	// AutoGC ran at the manager's horizon; LowWater must not exceed the
+	// slowest CQ's last refresh (which is at most the current clock).
+	if lw := tbl.LowWater(); lw > store.Now() {
+		t.Errorf("LowWater %d beyond clock %d", lw, store.Now())
+	}
+}
