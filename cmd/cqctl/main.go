@@ -10,6 +10,11 @@
 // watch installs a client-side continual query (a mirror evaluated by
 // DRA over shipped deltas) and prints each change as it arrives. stats
 // fetches the daemon's metrics snapshot and renders it as a table.
+//
+// Requests carry a -timeout deadline and are retried up to -retries
+// times with backoff, reconnecting as needed. watch survives daemon
+// restarts: while the server is down it serves the stale result, and on
+// reconnect it catches up by pulling only the missed delta windows.
 package main
 
 import (
@@ -35,6 +40,8 @@ func run(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:7070", "server address")
 	interval := fs.Duration("interval", time.Second, "watch poll interval")
 	count := fs.Int("count", 0, "watch: stop after N refreshes (0 = run forever)")
+	timeout := fs.Duration("timeout", 15*time.Second, "per-request deadline")
+	retries := fs.Int("retries", 4, "attempts per request (reconnecting as needed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,7 +50,10 @@ func run(args []string) error {
 		return fmt.Errorf("usage: cqctl [flags] tables|query|snapshot|delta|watch|stats ...")
 	}
 
-	client, err := remote.Dial(*addr)
+	policy := remote.DefaultPolicy()
+	policy.IOTimeout = *timeout
+	policy.MaxAttempts = *retries
+	client, err := remote.DialPolicy(*addr, policy)
 	if err != nil {
 		return err
 	}
@@ -117,11 +127,22 @@ func run(args []string) error {
 		}
 		fmt.Printf("-- initial result: %d rows; polling every %s\n", mirror.Result().Len(), *interval)
 		refreshes := 0
+		wasStale := false
 		for {
 			time.Sleep(*interval)
 			d, err := mirror.Refresh()
 			if err != nil {
-				return err
+				// Degraded mode: the mirror keeps serving its last
+				// result and the next refresh resumes differentially
+				// from lastTS once the server is back.
+				fmt.Printf("-- refresh failed (%v); serving stale result as of t=%d, retrying\n",
+					err, mirror.LastTS())
+				wasStale = true
+				continue
+			}
+			if wasStale {
+				fmt.Printf("-- reconnected; caught up to t=%d\n", mirror.LastTS())
+				wasStale = false
 			}
 			if d.Len() > 0 {
 				refreshes++

@@ -13,6 +13,11 @@
 // GET /stats returns the metrics snapshot as JSON and GET /debug/traces
 // the recent spans. The same snapshot is available over the TCP
 // protocol via `cqctl stats`.
+//
+// Connections idle longer than -idle-timeout are shed (clients
+// reconnect transparently). SIGINT/SIGTERM shuts down gracefully:
+// in-flight requests drain (bounded by -drain) and the final metrics
+// snapshot is printed; a second signal forces exit.
 package main
 
 import (
@@ -47,6 +52,8 @@ func run(args []string) error {
 	initFile := fs.String("init", "", "schema/seed script")
 	demo := fs.Bool("demo", false, "load the demo stock dataset")
 	demoRows := fs.Int("demo-rows", 1000, "demo dataset size")
+	idleTimeout := fs.Duration("idle-timeout", remote.DefaultIdleTimeout, "drop connections idle longer than this (0 disables)")
+	drainTimeout := fs.Duration("drain", remote.DefaultDrainTimeout, "max wait for in-flight requests on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,6 +78,8 @@ func run(args []string) error {
 
 	srv := remote.NewServer(store)
 	srv.Instrument(reg)
+	srv.SetIdleTimeout(*idleTimeout)
+	srv.SetDrainTimeout(*drainTimeout)
 	addr, err := srv.Serve(*listen)
 	if err != nil {
 		return err
@@ -91,14 +100,26 @@ func run(args []string) error {
 		fmt.Printf("cqd: stats on http://%s/stats\n", httpLn.Addr())
 	}
 
-	sigs := make(chan os.Signal, 1)
+	// Graceful shutdown: the first signal drains — the listener stops,
+	// in-flight requests finish and get their responses (bounded by
+	// -drain), and the final metrics snapshot is flushed. A second
+	// signal forces immediate exit.
+	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 	<-sigs
-	fmt.Println("cqd: shutting down")
+	fmt.Println("cqd: shutting down (signal again to force)")
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "cqd: forced exit")
+		os.Exit(1)
+	}()
 	if httpLn != nil {
 		_ = httpLn.Close()
 	}
-	return srv.Close()
+	err = srv.Close()
+	fmt.Println("cqd: final stats:")
+	reg.Snapshot().WriteTable(os.Stdout)
+	return err
 }
 
 // loadScript executes CREATE TABLE / INSERT statements from a file.

@@ -29,6 +29,7 @@ func All() []Experiment {
 		{"E11", "append-only baseline staleness", E11},
 		{"E12", "irrelevant-update refinement", E12},
 		{"E13", "complete-result maintenance", E13},
+		{"E14", "mirror refresh latency under injected faults", E14},
 		{"A1", "ablation: heuristic term ordering", A1},
 		{"A2", "ablation: delta compaction", A2},
 		{"A3", "ablation: hash vs nested-loop term joins", A3},

@@ -2,7 +2,11 @@ package bench
 
 import (
 	"fmt"
+	"net"
+	"time"
 
+	"github.com/diorama/continual/internal/faults"
+	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/remote"
 	"github.com/diorama/continual/internal/storage"
 	"github.com/diorama/continual/internal/workload"
@@ -167,6 +171,106 @@ func E7(scale Scale) (*Table, error) {
 		w.close()
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(nClients), fmt.Sprint(fullWork), fmt.Sprint(deltaWork),
+		})
+	}
+	return t, nil
+}
+
+// E14 measures mirror refresh latency under injected network faults:
+// the server sits behind a faults.Injector delivering per-op delays
+// and random connection drops while a policy-driven client keeps a
+// mirror fresh. The fault-tolerance claim is that drops cost only a
+// bounded reconnect-and-resume (visible in the tail, not the median)
+// because recovery re-pulls DeltaSince(lastTS) instead of
+// re-snapshotting.
+func E14(scale Scale) (*Table, error) {
+	// Paper scale injects a WAN-ish 50ms per-op delay; quick scale keeps
+	// CI latency by shrinking the delay, not the structure.
+	delay := 50 * time.Millisecond
+	if scale.BaseRows < 10_000 {
+		delay = 2 * time.Millisecond
+	}
+	refreshes := scale.Iterations * 5
+	const query = "SELECT * FROM stocks WHERE price > 120"
+	t := &Table{
+		ID:    "E14",
+		Title: "mirror refresh latency under injected faults",
+		Note: fmt.Sprintf("base |R| = %d, %d refreshes x 5 updates, server-side injection (per-op %v delay, 1%% drop)",
+			scale.BaseRows, refreshes, delay),
+		Header: []string{"faults", "p50 us", "p95 us", "max us", "drops", "retries", "reconnects"},
+	}
+	configs := []struct {
+		name string
+		plan faults.Plan
+	}{
+		{"none", faults.Plan{Seed: 14}},
+		{fmt.Sprintf("%v delay", delay), faults.Plan{Seed: 14, Delay: delay}},
+		{"1% drop", faults.Plan{Seed: 14, DropProb: 0.01}},
+		{fmt.Sprintf("1%% drop + %v delay", delay), faults.Plan{Seed: 14, DropProb: 0.01, Delay: delay}},
+	}
+	for _, cfg := range configs {
+		store := storage.NewStore()
+		if err := store.CreateTable("stocks", workload.StockSchema()); err != nil {
+			return nil, err
+		}
+		gen := workload.NewStocks(store, "stocks", 14, workload.DefaultMix)
+		if err := gen.Seed(scale.BaseRows); err != nil {
+			return nil, err
+		}
+		inj := faults.NewInjector(cfg.plan)
+		srv := remote.NewServer(store)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addr := srv.ServeListener(inj.WrapListener(ln))
+
+		policy := remote.DefaultPolicy()
+		policy.MaxAttempts = 8
+		policy.BackoffBase = 5 * time.Millisecond
+		policy.BackoffMax = 50 * time.Millisecond
+		client, err := remote.DialPolicy(addr, policy)
+		if err != nil {
+			_ = srv.Close()
+			return nil, err
+		}
+		reg := obs.NewRegistry()
+		client.Instrument(reg)
+		mirror, err := remote.NewMirrorCQ(client, query)
+		if err != nil {
+			_ = client.Close()
+			_ = srv.Close()
+			return nil, err
+		}
+
+		times := make([]time.Duration, 0, refreshes)
+		for i := 0; i < refreshes; i++ {
+			if err := gen.Batch(5); err != nil {
+				_ = client.Close()
+				_ = srv.Close()
+				return nil, err
+			}
+			start := time.Now()
+			if _, err := mirror.Refresh(); err != nil {
+				_ = client.Close()
+				_ = srv.Close()
+				return nil, fmt.Errorf("E14 %s: refresh: %w", cfg.name, err)
+			}
+			times = append(times, time.Since(start))
+		}
+		_ = client.Close()
+		_ = srv.Close()
+
+		sortDurations(times)
+		p50 := times[len(times)/2]
+		p95 := times[(len(times)*95)/100]
+		max := times[len(times)-1]
+		counters := reg.Snapshot().Counters
+		t.Rows = append(t.Rows, []string{
+			cfg.name, us(p50), us(p95), us(max),
+			fmt.Sprint(inj.Stats().Drops),
+			fmt.Sprint(counters["remote.client.retries"]),
+			fmt.Sprint(counters["remote.client.reconnects"]),
 		})
 	}
 	return t, nil

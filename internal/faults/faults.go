@@ -1,0 +1,369 @@
+// Package faults is a deterministic network fault-injection harness: a
+// wrappable net.Conn / net.Listener pair that injects connection drops,
+// added latency, partial writes, and full partitions under a seeded
+// schedule, so every failure mode of the remote layer is testable and
+// reproducible.
+//
+// An Injector owns the schedule (a Plan) and a seeded RNG; every
+// connection wrapped by the same injector draws from the same stream of
+// decisions, so a test that runs the same sequence of I/O operations
+// against the same seed sees the same faults. On top of the
+// probabilistic schedule, tests can force faults explicitly:
+// Partition() makes the network unreachable (new dials fail, live
+// connections die), Heal() restores it, and KillActive() severs every
+// live connection once — the "cable pull" primitive used to prove that
+// a mirror CQ resumes differentially after a mid-stream disconnect.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error returned by a connection the injector killed.
+// It deliberately does not implement net.Error: a dropped conn is not a
+// timeout, and retry layers must treat it as a broken connection.
+var ErrInjected = errors.New("faults: injected connection drop")
+
+// ErrPartitioned is returned by dials attempted while the network is
+// partitioned.
+var ErrPartitioned = errors.New("faults: network partitioned")
+
+// Plan is a deterministic fault schedule. The zero value injects
+// nothing. Probabilities are per I/O operation (one Read or Write call
+// on a wrapped connection).
+type Plan struct {
+	// Seed drives the injector's RNG; the same seed yields the same
+	// decision stream for the same operation sequence.
+	Seed int64
+	// DropProb is the per-op probability of killing the connection
+	// (the op fails with ErrInjected and the conn is closed).
+	DropProb float64
+	// Delay is extra latency added to each op (applied with probability
+	// DelayProb, or always when DelayProb is 0 and Delay > 0).
+	Delay     time.Duration
+	DelayProb float64
+	// PartialWriteProb is the per-write probability of delivering only
+	// a prefix of the buffer and then killing the connection — the
+	// failure that desyncs naive streaming codecs.
+	PartialWriteProb float64
+	// DropAfterOps kills a connection after it has completed that many
+	// successful ops (0 = never). Counted per connection, so the first
+	// request on a fresh conn can be made to fail deterministically.
+	DropAfterOps int
+	// ChunkWrites caps the bytes delivered per underlying write call,
+	// fragmenting large frames across many small TCP writes without
+	// failing them (0 = off). Exercises short-read handling peer-side.
+	ChunkWrites int
+}
+
+// Stats counts the faults an injector has delivered.
+type Stats struct {
+	Drops         int64 // connections killed by DropProb / DropAfterOps
+	Delays        int64 // ops delayed
+	PartialWrites int64 // writes cut short then killed
+	Kills         int64 // conns severed by KillActive / Partition
+	DialsRefused  int64 // dials rejected while partitioned
+}
+
+// Injector owns a fault schedule and tracks the live connections it has
+// wrapped. Safe for concurrent use; decisions are serialized so a
+// single-threaded test is fully deterministic.
+type Injector struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	plan        Plan
+	partitioned bool
+	conns       map[*Conn]struct{}
+	stats       Stats
+}
+
+// NewInjector builds an injector for a plan.
+func NewInjector(plan Plan) *Injector {
+	return &Injector{
+		rng:   rand.New(rand.NewSource(plan.Seed)),
+		plan:  plan,
+		conns: make(map[*Conn]struct{}),
+	}
+}
+
+// Stats returns the faults delivered so far.
+func (i *Injector) Stats() Stats {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.stats
+}
+
+// Partition makes the network unreachable: every live wrapped
+// connection is severed and subsequent dials and accepts fail until
+// Heal is called.
+func (i *Injector) Partition() {
+	i.mu.Lock()
+	i.partitioned = true
+	i.mu.Unlock()
+	i.KillActive()
+}
+
+// Heal ends a partition.
+func (i *Injector) Heal() {
+	i.mu.Lock()
+	i.partitioned = false
+	i.mu.Unlock()
+}
+
+// Partitioned reports whether the network is currently partitioned.
+func (i *Injector) Partitioned() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.partitioned
+}
+
+// KillActive severs every live wrapped connection — the mid-stream
+// "cable pull". New connections may still be established afterwards.
+func (i *Injector) KillActive() {
+	i.mu.Lock()
+	victims := make([]*Conn, 0, len(i.conns))
+	for c := range i.conns {
+		victims = append(victims, c)
+	}
+	i.stats.Kills += int64(len(victims))
+	i.mu.Unlock()
+	for _, c := range victims {
+		_ = c.Close()
+	}
+}
+
+// WrapConn wraps a connection with the injector's schedule.
+func (i *Injector) WrapConn(conn net.Conn) *Conn {
+	c := &Conn{Conn: conn, inj: i}
+	i.mu.Lock()
+	i.conns[c] = struct{}{}
+	i.mu.Unlock()
+	return c
+}
+
+// WrapListener wraps a listener so every accepted connection is
+// fault-injected. While partitioned, accepted connections are closed
+// immediately (the TCP handshake completes in the kernel, but the peer
+// sees the conn die before any byte is exchanged).
+func (i *Injector) WrapListener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, inj: i}
+}
+
+// Dialer wraps a dial function so dialed connections are
+// fault-injected and dials fail while partitioned. A nil base dials
+// plain TCP.
+func (i *Injector) Dialer(base func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	if base == nil {
+		base = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	return func(addr string) (net.Conn, error) {
+		i.mu.Lock()
+		if i.partitioned {
+			i.stats.DialsRefused++
+			i.mu.Unlock()
+			return nil, ErrPartitioned
+		}
+		i.mu.Unlock()
+		conn, err := base(addr)
+		if err != nil {
+			return nil, err
+		}
+		return i.WrapConn(conn), nil
+	}
+}
+
+func (i *Injector) forget(c *Conn) {
+	i.mu.Lock()
+	delete(i.conns, c)
+	i.mu.Unlock()
+}
+
+// opAction is one decision drawn from the schedule.
+type opAction struct {
+	drop    bool
+	partial bool // writes only: deliver a prefix then drop
+	delay   time.Duration
+}
+
+// decide draws the fate of one op. ops is the count of completed ops on
+// the connection so far.
+func (i *Injector) decide(ops int, isWrite bool) opAction {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	var a opAction
+	p := i.plan
+	if i.partitioned {
+		a.drop = true
+		i.stats.Drops++
+		return a
+	}
+	if p.DropAfterOps > 0 && ops >= p.DropAfterOps {
+		a.drop = true
+		i.stats.Drops++
+		return a
+	}
+	if p.DropProb > 0 && i.rng.Float64() < p.DropProb {
+		a.drop = true
+		i.stats.Drops++
+		return a
+	}
+	if isWrite && p.PartialWriteProb > 0 && i.rng.Float64() < p.PartialWriteProb {
+		a.partial = true
+		i.stats.PartialWrites++
+		return a
+	}
+	if p.Delay > 0 && (p.DelayProb == 0 || i.rng.Float64() < p.DelayProb) {
+		a.delay = p.Delay
+		i.stats.Delays++
+	}
+	return a
+}
+
+// Conn is a fault-injected connection.
+type Conn struct {
+	net.Conn
+	inj *Injector
+
+	mu     sync.Mutex
+	ops    int
+	killed bool
+}
+
+// Read applies the schedule, then reads from the underlying conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.before(false, nil); err != nil {
+		return 0, err
+	}
+	n, err := c.Conn.Read(p)
+	c.opDone()
+	return n, err
+}
+
+// Write applies the schedule, then writes. Partial-write faults deliver
+// half the buffer and kill the conn; ChunkWrites fragments the buffer
+// into small successful writes.
+func (c *Conn) Write(p []byte) (int, error) {
+	var partial bool
+	if err := c.before(true, &partial); err != nil {
+		return 0, err
+	}
+	if partial {
+		n, _ := c.Conn.Write(p[:len(p)/2])
+		c.kill()
+		return n, fmt.Errorf("faults: partial write (%d of %d bytes): %w", n, len(p), ErrInjected)
+	}
+	if chunk := c.inj.planChunk(); chunk > 0 && len(p) > chunk {
+		total := 0
+		for off := 0; off < len(p); off += chunk {
+			end := off + chunk
+			if end > len(p) {
+				end = len(p)
+			}
+			n, err := c.Conn.Write(p[off:end])
+			total += n
+			if err != nil {
+				return total, err
+			}
+		}
+		c.opDone()
+		return total, nil
+	}
+	n, err := c.Conn.Write(p)
+	c.opDone()
+	return n, err
+}
+
+func (i *Injector) planChunk() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.plan.ChunkWrites
+}
+
+// before draws this op's fate and applies drops/delays. For writes,
+// *partial reports a partial-write fault back to the caller.
+func (c *Conn) before(isWrite bool, partial *bool) error {
+	c.mu.Lock()
+	if c.killed {
+		c.mu.Unlock()
+		return ErrInjected
+	}
+	ops := c.ops
+	c.mu.Unlock()
+	a := c.inj.decide(ops, isWrite)
+	if a.drop {
+		c.kill()
+		return ErrInjected
+	}
+	if a.partial && partial != nil {
+		*partial = true
+		return nil
+	}
+	if a.delay > 0 {
+		time.Sleep(a.delay)
+	}
+	return nil
+}
+
+func (c *Conn) opDone() {
+	c.mu.Lock()
+	c.ops++
+	c.mu.Unlock()
+}
+
+func (c *Conn) kill() {
+	c.mu.Lock()
+	already := c.killed
+	c.killed = true
+	c.mu.Unlock()
+	if !already {
+		c.inj.forget(c)
+		_ = c.Conn.Close()
+	}
+}
+
+// Close closes the underlying connection and drops it from the
+// injector's live set.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	already := c.killed
+	c.killed = true
+	c.mu.Unlock()
+	c.inj.forget(c)
+	if already {
+		return nil
+	}
+	return c.Conn.Close()
+}
+
+// listener wraps accepted connections.
+type listener struct {
+	net.Listener
+	inj *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.inj.mu.Lock()
+		parted := l.inj.partitioned
+		if parted {
+			l.inj.stats.DialsRefused++
+		}
+		l.inj.mu.Unlock()
+		if parted {
+			_ = conn.Close()
+			continue
+		}
+		return l.inj.WrapConn(conn), nil
+	}
+}

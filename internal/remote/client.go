@@ -1,7 +1,9 @@
 package remote
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 
@@ -17,10 +19,27 @@ import (
 
 // Client talks to a Server. It is safe for concurrent use; requests are
 // serialized over the single connection.
+//
+// The client is fault tolerant per its Policy: requests carry I/O
+// deadlines, idempotent operations are retried with capped exponential
+// backoff, and a failed connection is marked broken — never reused, so
+// a desynced codec cannot serve a later request — and transparently
+// re-established on the next attempt.
 type Client struct {
-	mu    sync.Mutex
-	conn  net.Conn
-	codec *codec
+	mu     sync.Mutex
+	addr   string
+	policy Policy
+	rng    *rand.Rand // backoff jitter
+
+	conn   net.Conn
+	codec  *codec
+	broken bool // conn saw an I/O error; must be replaced before reuse
+	dialed bool // a connection has been established at least once
+	closed bool
+
+	// Wire totals from connections already torn down; BytesRead/Written
+	// add the live codec's counts on top so totals survive reconnects.
+	baseIn, baseOut int64
 
 	// obs instrumentation; nil unless Instrument was called.
 	met *clientMetrics
@@ -28,15 +47,20 @@ type Client struct {
 
 // clientMetrics is the client's bundle of obs handles.
 type clientMetrics struct {
-	requests *obs.Counter   // remote.client.requests
-	windows  *obs.Counter   // remote.client.windows_pulled
-	bytesIn  *obs.Counter   // remote.client.bytes_in
-	bytesOut *obs.Counter   // remote.client.bytes_out
-	rtt      *obs.Histogram // remote.client.rtt_ns: request round-trip time
+	requests   *obs.Counter   // remote.client.requests
+	windows    *obs.Counter   // remote.client.windows_pulled
+	bytesIn    *obs.Counter   // remote.client.bytes_in
+	bytesOut   *obs.Counter   // remote.client.bytes_out
+	retries    *obs.Counter   // remote.client.retries: re-sent requests
+	reconnects *obs.Counter   // remote.client.reconnects: dials after the first
+	timeouts   *obs.Counter   // remote.client.timeouts: deadline-exceeded ops
+	broken     *obs.Counter   // remote.client.broken_conns: conns marked unusable
+	rtt        *obs.Histogram // remote.client.rtt_ns: request round-trip time
 }
 
 // Instrument attaches the client to a metrics registry. Every request
-// afterwards records its round-trip latency and wire traffic.
+// afterwards records its round-trip latency, wire traffic, and fault
+// recovery activity (retries, reconnects, timeouts, broken conns).
 func (c *Client) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
@@ -44,47 +68,208 @@ func (c *Client) Instrument(reg *obs.Registry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.met = &clientMetrics{
-		requests: reg.Counter("remote.client.requests"),
-		windows:  reg.Counter("remote.client.windows_pulled"),
-		bytesIn:  reg.Counter("remote.client.bytes_in"),
-		bytesOut: reg.Counter("remote.client.bytes_out"),
-		rtt:      reg.Histogram("remote.client.rtt_ns"),
+		requests:   reg.Counter("remote.client.requests"),
+		windows:    reg.Counter("remote.client.windows_pulled"),
+		bytesIn:    reg.Counter("remote.client.bytes_in"),
+		bytesOut:   reg.Counter("remote.client.bytes_out"),
+		retries:    reg.Counter("remote.client.retries"),
+		reconnects: reg.Counter("remote.client.reconnects"),
+		timeouts:   reg.Counter("remote.client.timeouts"),
+		broken:     reg.Counter("remote.client.broken_conns"),
+		rtt:        reg.Histogram("remote.client.rtt_ns"),
 	}
 }
 
-// Dial connects to a server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects to a server with DefaultPolicy.
+func Dial(addr string) (*Client, error) { return DialPolicy(addr, DefaultPolicy()) }
+
+// DialPolicy connects to a server under an explicit fault-tolerance
+// policy. The initial connection is attempted eagerly so an unreachable
+// address fails fast; later reconnects happen inside request retries.
+func DialPolicy(addr string, p Policy) (*Client, error) {
+	c := &Client{
+		addr:   addr,
+		policy: p,
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	c.mu.Lock()
+	err := c.ensureConnLocked()
+	c.mu.Unlock()
 	if err != nil {
-		return nil, fmt.Errorf("remote: dial: %w", err)
+		return nil, err
 	}
-	return &Client{conn: conn, codec: newCodec(conn)}, nil
+	return c, nil
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the connection; subsequent requests fail with
+// ErrClientClosed instead of reconnecting.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	c.foldWireTotalsLocked()
+	err := c.conn.Close()
+	c.conn, c.codec = nil, nil
+	return err
+}
 
-// BytesRead returns total bytes received from the server.
-func (c *Client) BytesRead() int64 { return c.codec.bytesRead() }
+// foldWireTotalsLocked banks the live codec's byte counts before the
+// conn is discarded.
+func (c *Client) foldWireTotalsLocked() {
+	if c.codec != nil {
+		c.baseIn += c.codec.bytesRead()
+		c.baseOut += c.codec.bytesWritten()
+	}
+}
 
-// BytesWritten returns total bytes sent to the server.
-func (c *Client) BytesWritten() int64 { return c.codec.bytesWritten() }
+// BytesRead returns total bytes received from the server, across all
+// connections this client has used.
+func (c *Client) BytesRead() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.baseIn
+	if c.codec != nil {
+		n += c.codec.bytesRead()
+	}
+	return n
+}
 
+// BytesWritten returns total bytes sent to the server, across all
+// connections this client has used.
+func (c *Client) BytesWritten() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.baseOut
+	if c.codec != nil {
+		n += c.codec.bytesWritten()
+	}
+	return n
+}
+
+// ensureConnLocked makes a usable connection available, dialing if the
+// previous one is absent or marked broken.
+func (c *Client) ensureConnLocked() error {
+	if c.closed {
+		return ErrClientClosed
+	}
+	if c.conn != nil && !c.broken {
+		return nil
+	}
+	dial := c.policy.Dialer
+	if dial == nil {
+		timeout := c.policy.DialTimeout
+		dial = func(addr string) (net.Conn, error) { return net.DialTimeout("tcp", addr, timeout) }
+	}
+	conn, err := dial(c.addr)
+	if err != nil {
+		return fmt.Errorf("remote: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.codec = newCodec(conn)
+	c.broken = false
+	if c.dialed {
+		if m := c.met; m != nil {
+			m.reconnects.Inc()
+		}
+	}
+	c.dialed = true
+	return nil
+}
+
+// breakConnLocked retires a connection after an I/O error. The codec
+// may be mid-frame, so the conn can never be reused: it is closed and
+// replaced on the next attempt.
+func (c *Client) breakConnLocked(err error) {
+	c.foldWireTotalsLocked()
+	if c.conn != nil {
+		_ = c.conn.Close()
+	}
+	c.conn, c.codec = nil, nil
+	c.broken = true
+	if m := c.met; m != nil {
+		m.broken.Inc()
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			m.timeouts.Inc()
+		}
+	}
+}
+
+func (c *Client) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if s := c.policy.Sleep; s != nil {
+		s(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// roundTrip sends one request, transparently reconnecting and retrying
+// per the policy. Server-level errors (a well-formed error Response)
+// are returned as-is and never retried — only transport failures are.
 func (c *Client) roundTrip(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	attempts := c.policy.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			if m := c.met; m != nil {
+				m.retries.Inc()
+			}
+			c.sleep(c.policy.backoff(attempt-1, c.rng))
+		}
+		if err := c.ensureConnLocked(); err != nil {
+			if errors.Is(err, ErrClientClosed) {
+				return Response{}, err
+			}
+			lastErr = err // dial failures are always safe to retry
+			continue
+		}
+		resp, err := c.doRequestLocked(req)
+		if err == nil {
+			return resp, resp.asError()
+		}
+		c.breakConnLocked(err)
+		lastErr = fmt.Errorf("remote: %s: %w", req.Op, err)
+		if !req.Op.retryable() {
+			// The request may have reached the server before the
+			// connection died; re-sending could double-apply.
+			return Response{}, fmt.Errorf("%w: %v", ErrMaybeApplied, err)
+		}
+	}
+	return Response{}, lastErr
+}
+
+// doRequestLocked performs one send/recv exchange on the live conn
+// under the policy's I/O deadline.
+func (c *Client) doRequestLocked(req Request) (Response, error) {
 	var start time.Time
 	var lastIn, lastOut int64
 	if c.met != nil {
 		start = time.Now()
 		lastIn, lastOut = c.codec.bytesRead(), c.codec.bytesWritten()
 	}
+	if t := c.policy.IOTimeout; t > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(t))
+	}
 	if err := c.codec.send(req); err != nil {
-		return Response{}, fmt.Errorf("remote: send: %w", err)
+		return Response{}, fmt.Errorf("send: %w", err)
 	}
 	var resp Response
 	if err := c.codec.recv(&resp); err != nil {
-		return Response{}, fmt.Errorf("remote: recv: %w", err)
+		return Response{}, fmt.Errorf("recv: %w", err)
+	}
+	if c.policy.IOTimeout > 0 {
+		_ = c.conn.SetDeadline(time.Time{})
 	}
 	if m := c.met; m != nil {
 		m.requests.Inc()
@@ -95,7 +280,7 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 			m.windows.Inc()
 		}
 	}
-	return resp, resp.asError()
+	return resp, nil
 }
 
 // Stats fetches the server's metrics snapshot over the wire (OpStats).
@@ -189,6 +374,12 @@ type MirrorCQ struct {
 	replica map[string]*relation.Relation // operand replicas at lastTS
 	lastTS  vclock.Timestamp
 	result  *relation.Relation
+
+	// Degraded-mode state: when a Refresh fails (server unreachable,
+	// retries exhausted) the CQ keeps serving the last good result and
+	// records why it is stale.
+	stale   bool
+	lastErr error
 }
 
 // replicaCatalog adapts the replica set to the planner/executor.
@@ -280,16 +471,44 @@ func (cc *clientCatalog) Schema(table string) (relation.Schema, error) {
 	return cc.client.Schema(table)
 }
 
-// Result returns the cached current result.
+// Result returns the cached current result. While the server is
+// unreachable this keeps serving the last successfully refreshed
+// result; check Stale to tell the two apart.
 func (m *MirrorCQ) Result() *relation.Relation { return m.result }
 
 // LastTS returns the logical time of the last refresh.
 func (m *MirrorCQ) LastTS() vclock.Timestamp { return m.lastTS }
 
+// Stale reports whether the most recent Refresh failed, meaning Result
+// reflects the state as of LastTS rather than the present.
+func (m *MirrorCQ) Stale() bool { return m.stale }
+
+// LastErr returns the error that made the result stale (nil when
+// fresh).
+func (m *MirrorCQ) LastErr() error { return m.lastErr }
+
 // Refresh pulls the delta windows since the last refresh, re-evaluates
 // the query differentially against the local replicas, advances the
 // replicas, and returns the result change.
+//
+// Refresh is failure-atomic and resumes differentially: no local state
+// changes until every window has been pulled, so a refresh that dies
+// mid-stream (connection killed, server restarted) leaves lastTS
+// intact and the next Refresh simply re-pulls DeltaSince(lastTS) over
+// a fresh connection — no snapshot rebuild. On failure the CQ enters
+// degraded mode (Stale reports true, Result serves the last good
+// state) until a refresh succeeds.
 func (m *MirrorCQ) Refresh() (*delta.Delta, error) {
+	d, err := m.refresh()
+	if err != nil {
+		m.stale, m.lastErr = true, err
+		return nil, err
+	}
+	m.stale, m.lastErr = false, nil
+	return d, nil
+}
+
+func (m *MirrorCQ) refresh() (*delta.Delta, error) {
 	deltas := make(map[string]*delta.Delta, len(m.tables))
 	var now vclock.Timestamp
 	for _, table := range m.tables {

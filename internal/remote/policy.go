@@ -1,0 +1,119 @@
+package remote
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// ErrMaybeApplied is returned (wrapped) when an OpApplyUpdates request
+// fails after it may have reached the server: the connection died
+// between send and reply, so the batch may or may not have committed.
+// Blind retry would double-apply, so the client surfaces the ambiguity
+// instead; callers resolve it by re-reading server state (e.g. a
+// DeltaSince from their last known timestamp).
+var ErrMaybeApplied = errors.New("remote: update may have been applied")
+
+// ErrClientClosed is returned by requests on a client after Close.
+var ErrClientClosed = errors.New("remote: client closed")
+
+// Policy is the client's fault-tolerance configuration: deadlines for
+// dialing and per-request I/O, and a capped exponential backoff with
+// jitter governing retries of idempotent operations.
+//
+// Every read-only op (OpSnapshot, OpDeltaSince, OpQuery, OpSchema,
+// OpListTables, OpNow, OpStats) is retried transparently up to
+// MaxAttempts, reconnecting as needed. OpApplyUpdates is never blindly
+// retried once the request may have reached the server — see
+// ErrMaybeApplied.
+type Policy struct {
+	// DialTimeout bounds each connection attempt.
+	DialTimeout time.Duration
+	// IOTimeout bounds each request round trip (applied as a conn
+	// deadline covering send and receive). 0 disables deadlines.
+	IOTimeout time.Duration
+	// MaxAttempts is the total number of tries per operation (1 = no
+	// retry). Values < 1 are treated as 1.
+	MaxAttempts int
+	// BackoffBase is the pause before the first retry; each further
+	// retry doubles it, capped at BackoffMax.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Jitter is the fraction of each backoff randomized (0.2 means
+	// ±20%), decorrelating retry storms across clients.
+	Jitter float64
+	// Dialer overrides how connections are established (fault-injection
+	// harnesses pass faults.Injector.Dialer). Nil dials plain TCP with
+	// DialTimeout.
+	Dialer func(addr string) (net.Conn, error)
+	// Sleep overrides how backoff pauses are taken (tests capture the
+	// schedule). Nil uses time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// DefaultPolicy is the production configuration: a few quick retries
+// with capped exponential backoff.
+func DefaultPolicy() Policy {
+	return Policy{
+		DialTimeout: 5 * time.Second,
+		IOTimeout:   15 * time.Second,
+		MaxAttempts: 4,
+		BackoffBase: 50 * time.Millisecond,
+		BackoffMax:  2 * time.Second,
+		Jitter:      0.2,
+	}
+}
+
+// backoff computes the pause before retry number retry (1-based),
+// drawing jitter from rng.
+func (p Policy) backoff(retry int, rng *rand.Rand) time.Duration {
+	d := p.BackoffBase
+	if d <= 0 {
+		return 0
+	}
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if p.BackoffMax > 0 && d >= p.BackoffMax {
+			d = p.BackoffMax
+			break
+		}
+	}
+	if p.BackoffMax > 0 && d > p.BackoffMax {
+		d = p.BackoffMax
+	}
+	if p.Jitter > 0 && rng != nil {
+		// Scale by a factor in [1-Jitter, 1+Jitter].
+		f := 1 + p.Jitter*(2*rng.Float64()-1)
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// retryable reports whether an op may be transparently re-sent after a
+// connection failure.
+func (o Op) retryable() bool { return o != OpApplyUpdates }
+
+// String names an op for error messages and logs.
+func (o Op) String() string {
+	switch o {
+	case OpListTables:
+		return "ListTables"
+	case OpSchema:
+		return "Schema"
+	case OpSnapshot:
+		return "Snapshot"
+	case OpDeltaSince:
+		return "DeltaSince"
+	case OpQuery:
+		return "Query"
+	case OpNow:
+		return "Now"
+	case OpApplyUpdates:
+		return "ApplyUpdates"
+	case OpStats:
+		return "Stats"
+	default:
+		return "Op?"
+	}
+}

@@ -12,7 +12,10 @@
 package remote
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"sync/atomic"
@@ -171,20 +174,83 @@ func (c *countingConn) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// codec pairs a gob encoder/decoder over a counted stream.
+// maxFrame bounds a single protocol message. The length prefix is
+// validated against it before any allocation, so a peer sending a
+// garbage or hostile prefix cannot make the other side allocate
+// gigabytes or stall reading a frame that never ends.
+const maxFrame = 64 << 20 // 64 MiB
+
+// errFrameTooLarge reports a length prefix beyond maxFrame.
+var errFrameTooLarge = errors.New("remote: frame exceeds size limit")
+
+// codec is the framed wire format: each message is a 4-byte big-endian
+// length prefix followed by that many bytes of gob payload. The gob
+// encoder/decoder pair persists for the life of the connection (type
+// descriptors ship once), but framing means a receive error leaves the
+// stream at a known boundary and is detectable: truncated frames,
+// trailing garbage inside a frame, and oversized prefixes all surface
+// as errors instead of silently desyncing later messages. After any
+// codec error the connection must be discarded — the owner marks it
+// broken and reconnects with a fresh codec.
 type codec struct {
-	conn *countingConn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	conn   *countingConn
+	enc    *gob.Encoder
+	encBuf bytes.Buffer // staging area: gob payload of the frame being sent
+	dec    *gob.Decoder
+	decBuf bytes.Buffer // staging area: gob payload of the frame being decoded
+	hdr    [4]byte
 }
 
 func newCodec(rw io.ReadWriter) *codec {
-	cc := &countingConn{rw: rw}
-	return &codec{conn: cc, enc: gob.NewEncoder(cc), dec: gob.NewDecoder(cc)}
+	c := &codec{conn: &countingConn{rw: rw}}
+	c.enc = gob.NewEncoder(&c.encBuf)
+	c.dec = gob.NewDecoder(&c.decBuf)
+	return c
 }
 
-func (c *codec) send(v any) error    { return c.enc.Encode(v) }
-func (c *codec) recv(v any) error    { return c.dec.Decode(v) }
+func (c *codec) send(v any) error {
+	c.encBuf.Reset()
+	if err := c.enc.Encode(v); err != nil {
+		return err
+	}
+	n := c.encBuf.Len()
+	if n > maxFrame {
+		return fmt.Errorf("%w: encoding %d bytes", errFrameTooLarge, n)
+	}
+	binary.BigEndian.PutUint32(c.hdr[:], uint32(n))
+	if _, err := c.conn.Write(c.hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.conn.Write(c.encBuf.Bytes())
+	return err
+}
+
+func (c *codec) recv(v any) error {
+	if _, err := io.ReadFull(c.conn, c.hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(c.hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("%w: prefix claims %d bytes", errFrameTooLarge, n)
+	}
+	c.decBuf.Reset()
+	if _, err := io.CopyN(&c.decBuf, c.conn, int64(n)); err != nil {
+		if err == io.EOF {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	if err := c.dec.Decode(v); err != nil {
+		return fmt.Errorf("remote: decode frame: %w", err)
+	}
+	// One Encode call produced exactly this frame; a non-empty remainder
+	// means the stream is desynced or the frame was corrupted.
+	if left := c.decBuf.Len(); left != 0 {
+		return fmt.Errorf("remote: frame desync: %d trailing bytes", left)
+	}
+	return nil
+}
+
 func (c *codec) bytesRead() int64    { return c.conn.read.Load() }
 func (c *codec) bytesWritten() int64 { return c.conn.wrote.Load() }
 

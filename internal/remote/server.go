@@ -3,13 +3,28 @@ package remote
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/diorama/continual/internal/algebra"
 	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/relation"
 	"github.com/diorama/continual/internal/storage"
+)
+
+// Default connection-management timeouts; override with SetIdleTimeout
+// and SetDrainTimeout before Serve.
+const (
+	// DefaultIdleTimeout is how long a connection may sit between
+	// requests before the server sheds it as a dead peer. Clients
+	// reconnect transparently, so shedding an idle-but-live client
+	// costs one reconnect.
+	DefaultIdleTimeout = 5 * time.Minute
+	// DefaultDrainTimeout bounds how long Close waits for in-flight
+	// requests to finish before force-closing connections.
+	DefaultDrainTimeout = 5 * time.Second
 )
 
 // Server exposes a store over TCP. Each connection is served by one
@@ -22,6 +37,9 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
 	closed bool
+
+	idleTimeout  time.Duration
+	drainTimeout time.Duration
 
 	// stats
 	queriesServed  int64
@@ -46,6 +64,10 @@ type serverMetrics struct {
 	bytesOut   *obs.Counter // remote.bytes_out
 	conns      *obs.Gauge   // remote.conns
 	connsTotal *obs.Counter // remote.conns_total
+
+	// Fault visibility: how connections end.
+	readTimeouts *obs.Counter // remote.read_timeouts: idle peers shed by deadline
+	connsBroken  *obs.Counter // remote.conns_broken: conns dropped on I/O or codec errors
 }
 
 // Instrument attaches the server to a metrics registry. Call before
@@ -67,6 +89,9 @@ func (s *Server) Instrument(reg *obs.Registry) {
 		bytesOut:   reg.Counter("remote.bytes_out"),
 		conns:      reg.Gauge("remote.conns"),
 		connsTotal: reg.Counter("remote.conns_total"),
+
+		readTimeouts: reg.Counter("remote.read_timeouts"),
+		connsBroken:  reg.Counter("remote.conns_broken"),
 	}
 }
 
@@ -80,7 +105,28 @@ type ServerStats struct {
 
 // NewServer wraps a store. Call Serve to start listening.
 func NewServer(store *storage.Store) *Server {
-	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		store:        store,
+		conns:        make(map[net.Conn]struct{}),
+		idleTimeout:  DefaultIdleTimeout,
+		drainTimeout: DefaultDrainTimeout,
+	}
+}
+
+// SetIdleTimeout sets the per-connection read deadline between requests
+// (0 disables idle shedding). Call before Serve.
+func (s *Server) SetIdleTimeout(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idleTimeout = d
+}
+
+// SetDrainTimeout sets how long Close waits for in-flight requests
+// before force-closing connections. Call before Serve.
+func (s *Server) SetDrainTimeout(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drainTimeout = d
 }
 
 // Serve starts listening on addr ("127.0.0.1:0" picks a free port) and
@@ -90,12 +136,25 @@ func (s *Server) Serve(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("remote: listen: %w", err)
 	}
+	return s.ServeListener(ln), nil
+}
+
+// ServeListener serves on an existing listener and returns its address.
+// Fault-injection harnesses use this to interpose a faulty listener
+// (faults.Injector.WrapListener) between the server and its clients.
+func (s *Server) ServeListener(ln net.Listener) string {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
-	return ln.Addr().String(), nil
+	return ln.Addr().String()
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 func (s *Server) acceptLoop(ln net.Listener) {
@@ -132,14 +191,42 @@ func (s *Server) serveConn(conn net.Conn) {
 		defer m.conns.Add(-1)
 	}
 	c := newCodec(conn)
+	s.mu.Lock()
+	idle := s.idleTimeout
+	s.mu.Unlock()
 	var lastIn, lastOut int64
 	for {
+		// Re-check shutdown at each loop top: Close nudges blocked
+		// readers with an expired deadline, and a handler that was
+		// mid-request lands here right after sending its response.
+		if s.isClosed() {
+			return
+		}
+		if idle > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(idle))
+		}
 		var req Request
 		if err := c.recv(&req); err != nil {
-			return // client went away or spoke garbage; drop the conn
+			// Dropping the conn; classify why, unless shutting down.
+			if m := s.met; m != nil && !s.isClosed() {
+				var ne net.Error
+				switch {
+				case errors.As(err, &ne) && ne.Timeout():
+					m.readTimeouts.Inc() // dead/idle peer shed
+				case errors.Is(err, io.EOF):
+					// clean close
+				default:
+					m.connsBroken.Inc() // mid-frame death or garbage
+				}
+			}
+			return
 		}
+		_ = conn.SetReadDeadline(time.Time{}) // no deadline while handling
 		resp := s.handle(req)
 		if err := c.send(resp); err != nil {
+			if m := s.met; m != nil && !s.isClosed() {
+				m.connsBroken.Inc()
+			}
 			return
 		}
 		if m := s.met; m != nil {
@@ -293,8 +380,12 @@ func (s *Server) applyUpdates(req Request) error {
 	return err
 }
 
-// Close stops the listener and all connections, waiting for handlers to
-// finish.
+// Close shuts the server down gracefully: the listener stops, requests
+// already in flight run to completion and get their responses, and only
+// then are connections torn down. Readers blocked waiting for a next
+// request are nudged off immediately with an expired read deadline — a
+// blocked read means no request is in flight on that conn. If the drain
+// exceeds the drain timeout, remaining connections are force-closed.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -303,13 +394,36 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
 	for conn := range s.conns {
-		_ = conn.Close()
+		conns = append(conns, conn)
 	}
+	drain := s.drainTimeout
 	s.mu.Unlock()
 	if ln != nil {
 		_ = ln.Close()
 	}
-	s.wg.Wait()
+	now := time.Now()
+	for _, conn := range conns {
+		_ = conn.SetReadDeadline(now)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	if drain <= 0 {
+		drain = DefaultDrainTimeout
+	}
+	select {
+	case <-done:
+	case <-time.After(drain):
+		s.mu.Lock()
+		for conn := range s.conns {
+			_ = conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
 	return nil
 }

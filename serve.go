@@ -1,6 +1,9 @@
 package continual
 
 import (
+	"time"
+
+	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/remote"
 )
 
@@ -13,7 +16,8 @@ type Listener struct {
 // Addr returns the bound address.
 func (l *Listener) Addr() string { return l.addr }
 
-// Close stops serving and closes all client connections.
+// Close stops serving gracefully: in-flight requests complete and get
+// their responses before connections are torn down.
 func (l *Listener) Close() error { return l.srv.Close() }
 
 // ListenAndServe exposes this engine's tables over TCP so remote clients
@@ -21,8 +25,14 @@ func (l *Listener) Close() error { return l.srv.Close() }
 // — the server side of the paper's client/server split (Section 5.1:
 // "each server only generates delta relations when communicating with
 // the clients"). Use "127.0.0.1:0" to pick a free port.
+//
+// The server is instrumented into the engine's metrics registry, so
+// DB.Stats (and `cqctl stats` against this engine) reports the remote.*
+// counters: requests, wire bytes, connections, plus the fault counters
+// remote.read_timeouts and remote.conns_broken.
 func (db *DB) ListenAndServe(addr string) (*Listener, error) {
 	srv := remote.NewServer(db.store)
+	srv.Instrument(db.metrics)
 	bound, err := srv.Serve(addr)
 	if err != nil {
 		return nil, err
@@ -35,31 +45,97 @@ func (db *DB) ListenAndServe(addr string) (*Listener, error) {
 // differential windows since the last refresh, re-evaluating the query
 // locally with the DRA — "shifting the processing to the client side"
 // (Section 6).
+//
+// The mirror is fault tolerant: requests carry deadlines, idempotent
+// pulls are retried with capped exponential backoff, and a killed
+// connection is re-established transparently. Because the mirror holds
+// lastTS and failed refreshes never advance it, recovery is
+// differential — the next Refresh re-pulls DeltaSince(lastTS) over a
+// fresh connection, never a new snapshot. While the server stays
+// unreachable the mirror serves its last result; see Stale and LastErr.
 type Mirror struct {
-	client *remote.Client
-	cq     *remote.MirrorCQ
+	client  *remote.Client
+	cq      *remote.MirrorCQ
+	metrics *obs.Registry
+}
+
+// MirrorOptions tunes a mirror's fault-tolerance policy. Zero fields
+// keep the defaults (5s dial timeout, 15s request timeout, 4 attempts,
+// 50ms..2s backoff with 20% jitter).
+type MirrorOptions struct {
+	// DialTimeout bounds each connection attempt.
+	DialTimeout time.Duration
+	// RequestTimeout bounds each request round trip.
+	RequestTimeout time.Duration
+	// MaxAttempts is the total tries per pull (1 disables retry).
+	MaxAttempts int
+	// BackoffBase / BackoffMax shape the capped exponential backoff
+	// between retries.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
 }
 
 // DialMirror connects to a serving engine and installs a client-side
-// continual query.
+// continual query with the default fault-tolerance policy.
 func DialMirror(addr, query string) (*Mirror, error) {
-	client, err := remote.Dial(addr)
+	return DialMirrorOpts(addr, query, MirrorOptions{})
+}
+
+// DialMirrorOpts is DialMirror with an explicit fault-tolerance policy.
+func DialMirrorOpts(addr, query string, opts MirrorOptions) (*Mirror, error) {
+	p := remote.DefaultPolicy()
+	if opts.DialTimeout > 0 {
+		p.DialTimeout = opts.DialTimeout
+	}
+	if opts.RequestTimeout > 0 {
+		p.IOTimeout = opts.RequestTimeout
+	}
+	if opts.MaxAttempts > 0 {
+		p.MaxAttempts = opts.MaxAttempts
+	}
+	if opts.BackoffBase > 0 {
+		p.BackoffBase = opts.BackoffBase
+	}
+	if opts.BackoffMax > 0 {
+		p.BackoffMax = opts.BackoffMax
+	}
+	client, err := remote.DialPolicy(addr, p)
 	if err != nil {
 		return nil, err
 	}
+	reg := obs.NewRegistry()
+	client.Instrument(reg)
 	cq, err := remote.NewMirrorCQ(client, query)
 	if err != nil {
 		_ = client.Close()
 		return nil, err
 	}
-	return &Mirror{client: client, cq: cq}, nil
+	return &Mirror{client: client, cq: cq, metrics: reg}, nil
 }
 
-// Result returns the current locally cached result.
+// Result returns the current locally cached result. While the server is
+// unreachable this is the last successfully refreshed result; check
+// Stale to tell the two apart.
 func (m *Mirror) Result() *Rows { return fromRelation(m.cq.Result()) }
 
+// Stale reports whether the most recent Refresh failed, meaning Result
+// is the last good state rather than the present.
+func (m *Mirror) Stale() bool { return m.cq.Stale() }
+
+// LastErr returns the error that made the result stale (nil when
+// fresh).
+func (m *Mirror) LastErr() error { return m.cq.LastErr() }
+
+// Stats returns the mirror's client-side metrics: requests, wire bytes,
+// pulled windows, and the fault-recovery counters
+// remote.client.retries, remote.client.reconnects,
+// remote.client.timeouts and remote.client.broken_conns.
+func (m *Mirror) Stats() Stats { return statsFromSnapshot(m.metrics.Snapshot()) }
+
 // Refresh pulls the pending differential windows and re-evaluates the
-// query locally, returning what changed.
+// query locally, returning what changed. A refresh that fails leaves
+// the mirror serving its previous result (Stale reports true) and is
+// resumed differentially by the next Refresh.
 func (m *Mirror) Refresh() (*Change, error) {
 	d, err := m.cq.Refresh()
 	if err != nil {
@@ -79,7 +155,8 @@ func (m *Mirror) Refresh() (*Change, error) {
 }
 
 // BytesReceived reports the total bytes shipped from the server to this
-// mirror — the measurable half of the network-traffic argument (§5.1).
+// mirror across all connections it has used — the measurable half of
+// the network-traffic argument (§5.1).
 func (m *Mirror) BytesReceived() int64 { return m.client.BytesRead() }
 
 // Close disconnects the mirror.

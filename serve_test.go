@@ -1,0 +1,108 @@
+package continual
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMirrorSurvivesServerRestart is the end-to-end fault-tolerance
+// scenario at the public API: the serving endpoint dies under a live
+// mirror, the mirror degrades to serving its last result, and once the
+// engine listens again the mirror catches up differentially — windows
+// from lastTS only, never a second snapshot — with the recovery visible
+// in both DB.Stats (server side) and Mirror.Stats (client side).
+func TestMirrorSurvivesServerRestart(t *testing.T) {
+	db := openStocks(t)
+	ln, err := db.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr()
+
+	mirror, err := DialMirrorOpts(addr, `SELECT * FROM stocks WHERE price > 120`, MirrorOptions{
+		RequestTimeout: 2 * time.Second,
+		MaxAttempts:    3,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mirror.Close() }()
+	if mirror.Result().Len() != 2 { // DEC, QLI
+		t.Fatalf("initial mirror = %d", mirror.Result().Len())
+	}
+
+	// Normal refresh while healthy.
+	if err := db.Exec(`INSERT INTO stocks VALUES ('MAC', 130)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mirror.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The server goes down with updates still arriving.
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(`INSERT INTO stocks VALUES ('SUN', 180)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mirror.Refresh(); err == nil {
+		t.Fatal("refresh against a dead server should fail")
+	}
+	if !mirror.Stale() || mirror.LastErr() == nil {
+		t.Error("mirror should be stale with a recorded error during the outage")
+	}
+	if mirror.Result().Len() != 3 { // serving the last good result
+		t.Errorf("stale result = %d rows, want 3", mirror.Result().Len())
+	}
+
+	// The engine comes back on the same address (same store, same
+	// logical clock), and the mirror recovers differentially.
+	ln2, err := db.ListenAndServe(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln2.Close() }()
+	change, err := mirror.Refresh()
+	if err != nil {
+		t.Fatalf("refresh after restart: %v", err)
+	}
+	if len(change.Inserted) != 1 {
+		t.Errorf("catch-up change = %+v, want the SUN insert", change)
+	}
+	if mirror.Stale() {
+		t.Error("recovered mirror still stale")
+	}
+	if mirror.Result().Len() != 4 {
+		t.Errorf("recovered result = %d rows, want 4", mirror.Result().Len())
+	}
+
+	// Server side (DB.Stats): both listener generations report into the
+	// engine registry. Exactly one snapshot ever shipped — recovery was
+	// differential — and the reconnect shows up as a second connection.
+	st := db.Stats()
+	if got := st.Counter("remote.snapshots_served"); got != 1 {
+		t.Errorf("snapshots_served = %d, want 1 (no snapshot re-pull)", got)
+	}
+	if got := st.Counter("remote.conns_total"); got < 2 {
+		t.Errorf("conns_total = %d, want >= 2", got)
+	}
+	if st.Counter("remote.windows_pulled") == 0 {
+		t.Error("no delta windows counted server-side")
+	}
+
+	// Client side (Mirror.Stats): the retry/reconnect counters recorded
+	// the recovery.
+	ms := mirror.Stats()
+	if ms.Counter("remote.client.reconnects") == 0 {
+		t.Errorf("client reconnects not counted: %v", ms.Counters)
+	}
+	if ms.Counter("remote.client.retries") == 0 {
+		t.Errorf("client retries not counted: %v", ms.Counters)
+	}
+	if ms.Counter("remote.client.broken_conns") == 0 {
+		t.Errorf("client broken conns not counted: %v", ms.Counters)
+	}
+}

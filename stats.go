@@ -36,8 +36,11 @@ func (s Stats) Counter(name string) int64 { return s.Counters[name] }
 func (s Stats) Gauge(name string) int64 { return s.Gauges[name] }
 
 // Stats returns the engine's current metrics snapshot.
-func (db *DB) Stats() Stats {
-	snap := db.metrics.Snapshot()
+func (db *DB) Stats() Stats { return statsFromSnapshot(db.metrics.Snapshot()) }
+
+// statsFromSnapshot converts an obs snapshot to the public Stats shape
+// (shared by DB.Stats and Mirror.Stats).
+func statsFromSnapshot(snap obs.Snapshot) Stats {
 	out := Stats{
 		Counters:  snap.Counters,
 		Gauges:    snap.Gauges,
