@@ -6,8 +6,13 @@
 //	cqd -listen 127.0.0.1:7070 -init schema.sql -http 127.0.0.1:7071
 //
 // The init script holds one statement per line (or ;-separated): CREATE
-// TABLE and INSERT statements in the engine's dialect. A demo dataset is
-// loaded with -demo.
+// TABLE, INSERT, and CREATE CONTINUAL QUERY statements in the engine's
+// dialect. A demo dataset is loaded with -demo.
+//
+// Server-side continual queries from the init script are refreshed by a
+// background poll loop (-poll interval) on a worker pool of -parallelism
+// goroutines (0 = GOMAXPROCS); their deltas stay available to remote
+// mirrors because the server never garbage-collects at the CQ horizon.
 //
 // With -http set, the daemon also serves its metrics over HTTP:
 // GET /stats returns the metrics snapshot as JSON and GET /debug/traces
@@ -29,7 +34,9 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
+	"github.com/diorama/continual/internal/cq"
 	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/relation"
 	"github.com/diorama/continual/internal/remote"
@@ -54,6 +61,8 @@ func run(args []string) error {
 	demoRows := fs.Int("demo-rows", 1000, "demo dataset size")
 	idleTimeout := fs.Duration("idle-timeout", remote.DefaultIdleTimeout, "drop connections idle longer than this (0 disables)")
 	drainTimeout := fs.Duration("drain", remote.DefaultDrainTimeout, "max wait for in-flight requests on shutdown")
+	parallelism := fs.Int("parallelism", 0, "refresh worker pool size for server-side CQs (0 = GOMAXPROCS)")
+	pollEvery := fs.Duration("poll", 250*time.Millisecond, "poll interval for server-side CQ triggers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,8 +70,18 @@ func run(args []string) error {
 	store := storage.NewStore()
 	reg := obs.NewRegistry()
 	store.Instrument(reg)
+	// AutoGC stays off server-side: garbage-collecting at the local CQ
+	// horizon would truncate delta windows that remote mirrors (which
+	// refresh on their own schedule) still need.
+	mgr := cq.NewManagerConfig(store, cq.Config{
+		UseDRA:      true,
+		AutoGC:      false,
+		Parallelism: *parallelism,
+		Metrics:     reg,
+	})
+	defer func() { _ = mgr.Close() }()
 	if *initFile != "" {
-		if err := loadScript(store, *initFile); err != nil {
+		if err := loadScript(store, mgr, *initFile); err != nil {
 			return err
 		}
 	}
@@ -88,6 +107,13 @@ func run(args []string) error {
 	for _, t := range store.TableNames() {
 		schema, _ := store.Schema(t)
 		fmt.Printf("  %s %s\n", t, schema)
+	}
+	if names := mgr.Names(); len(names) > 0 {
+		if err := mgr.Start(*pollEvery); err != nil {
+			return err
+		}
+		fmt.Printf("cqd: polling %d continual queries every %s (parallelism %d)\n",
+			len(names), *pollEvery, *parallelism)
 	}
 
 	var httpLn net.Listener
@@ -116,14 +142,17 @@ func run(args []string) error {
 	if httpLn != nil {
 		_ = httpLn.Close()
 	}
+	_ = mgr.Close()
 	err = srv.Close()
 	fmt.Println("cqd: final stats:")
 	reg.Snapshot().WriteTable(os.Stdout)
 	return err
 }
 
-// loadScript executes CREATE TABLE / INSERT statements from a file.
-func loadScript(store *storage.Store, path string) error {
+// loadScript executes CREATE TABLE / INSERT / CREATE CONTINUAL QUERY
+// statements from a file. CQs register against the manager and are
+// refreshed by its poll loop once the server starts.
+func loadScript(store *storage.Store, mgr *cq.Manager, path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -153,6 +182,16 @@ func loadScript(store *storage.Store, path string) error {
 		case *sql.InsertStmt:
 			if err := scriptInsert(store, s); err != nil {
 				return err
+			}
+		case *sql.CreateCQStmt:
+			if _, err := mgr.Register(cq.Def{
+				Name:    s.Name,
+				Select:  s.Select,
+				Trigger: s.Trigger,
+				Mode:    s.Mode,
+				Stop:    s.Stop,
+			}); err != nil {
+				return fmt.Errorf("script %q: %w", stmtText, err)
 			}
 		default:
 			return fmt.Errorf("script: unsupported statement %T", stmt)

@@ -60,18 +60,32 @@ type DB struct {
 	metrics  *obs.Registry
 }
 
-// Open creates an empty engine. The engine is instrumented: every layer
-// reports into a metrics registry readable via Stats, WriteStats and
-// StatsHandler. The hot-path cost is a handful of atomic adds per
-// refresh.
-func Open() *DB {
+// Options tune engine construction for OpenWith.
+type Options struct {
+	// Parallelism is the refresh worker-pool size used when a poll
+	// round fires several queries: 0 means GOMAXPROCS, 1 refreshes
+	// serially. Each query's update sequence stays monotonic at any
+	// setting; only the relative order of different queries'
+	// notifications is unspecified when Parallelism > 1.
+	Parallelism int
+}
+
+// Open creates an empty engine with default options. The engine is
+// instrumented: every layer reports into a metrics registry readable via
+// Stats, WriteStats and StatsHandler. The hot-path cost is a handful of
+// atomic adds per refresh.
+func Open() *DB { return OpenWith(Options{}) }
+
+// OpenWith creates an empty engine with explicit options.
+func OpenWith(opts Options) *DB {
 	store := storage.NewStore()
 	reg := obs.NewRegistry()
 	store.Instrument(reg)
 	manager := cq.NewManagerConfig(store, cq.Config{
-		UseDRA:  true,
-		AutoGC:  true,
-		Metrics: reg,
+		UseDRA:      true,
+		AutoGC:      true,
+		Parallelism: opts.Parallelism,
+		Metrics:     reg,
 	})
 	return &DB{
 		store:    store,

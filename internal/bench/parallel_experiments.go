@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/diorama/continual/internal/cq"
+	"github.com/diorama/continual/internal/obs"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/storage"
+)
+
+// E15 measures the parallel group-refresh scheduler: 100 CQs over 4
+// shared tables, refreshed by Poll rounds running on worker pools of
+// increasing size. The shared delta-window cache makes the per-round
+// fetch cost O(tables) instead of O(CQs) — the cache hit rate column is
+// (CQs-1)/CQs per table by construction — and the worker pool spreads
+// the per-CQ DRA work, so refresh throughput should scale with workers
+// until the machine runs out of cores. Speedup is bounded by
+// min(workers, GOMAXPROCS); the Note records the host's core count so a
+// flat column on a small machine reads as a hardware limit, not a
+// scheduler defect.
+func E15(scale Scale) (*Table, error) {
+	const nTables = 4
+	const nCQs = 100
+	rounds := scale.Iterations + 3
+	batch := scale.BaseRows / 20
+	if batch < 10 {
+		batch = 10
+	}
+
+	t := &Table{
+		ID:    "E15",
+		Title: "group refresh throughput vs worker-pool size",
+		Note: fmt.Sprintf("%d CQs over %d shared tables, %d rounds of %d-row batches per table, seed %d rows/table, host cores %d",
+			nCQs, nTables, rounds, batch, scale.BaseRows/nTables, runtime.NumCPU()),
+		Header: []string{"workers", "refreshes", "poll ms", "refresh/s", "speedup", "cache hit %"},
+	}
+
+	schema := relation.MustSchema(
+		relation.Column{Name: "name", Type: relation.TString},
+		relation.Column{Name: "price", Type: relation.TFloat},
+	)
+	tableName := func(i int) string { return fmt.Sprintf("stocks%d", i%nTables) }
+
+	var serialTime time.Duration
+	// The leading duplicate is an untimed warmup world: it pages in the
+	// code paths and grows the runtime's heap target so the measured
+	// serial run isn't penalized for going first.
+	for run, workers := range []int{1, 1, 2, 4, 8} {
+		warmup := run == 0
+		// Fresh world per pool size so every configuration does
+		// identical work from an identical starting state.
+		reg := obs.NewRegistry()
+		store := storage.NewStore()
+		store.Instrument(reg)
+		for i := 0; i < nTables; i++ {
+			if err := store.CreateTable(tableName(i), schema); err != nil {
+				return nil, err
+			}
+		}
+		seed := func(table string, n, salt int) error {
+			tx := store.Begin()
+			for i := 0; i < n; i++ {
+				v := []relation.Value{
+					relation.Str(fmt.Sprintf("%s_%d_%d", table, salt, i)),
+					relation.Float(float64((i*37 + salt*13) % 200)),
+				}
+				if _, err := tx.Insert(table, v); err != nil {
+					return err
+				}
+			}
+			_, err := tx.Commit()
+			return err
+		}
+		for i := 0; i < nTables; i++ {
+			if err := seed(tableName(i), scale.BaseRows/nTables, -1); err != nil {
+				return nil, err
+			}
+		}
+
+		mgr := cq.NewManagerConfig(store, cq.Config{
+			UseDRA:      true,
+			AutoGC:      true,
+			Parallelism: workers,
+			Metrics:     reg,
+		})
+		for i := 0; i < nCQs; i++ {
+			def := cq.Def{
+				Name: fmt.Sprintf("cq%d", i),
+				Query: fmt.Sprintf("SELECT * FROM %s WHERE price > %d",
+					tableName(i), 25*(1+i%4)),
+			}
+			if _, err := mgr.Register(def); err != nil {
+				return nil, err
+			}
+		}
+
+		refreshes := 0
+		var elapsed time.Duration
+		for r := 0; r < rounds; r++ {
+			for i := 0; i < nTables; i++ {
+				if err := seed(tableName(i), batch, r); err != nil {
+					return nil, err
+				}
+			}
+			start := time.Now()
+			n, err := mgr.Poll()
+			elapsed += time.Since(start)
+			if err != nil {
+				return nil, err
+			}
+			refreshes += n
+		}
+		_ = mgr.Close()
+		if warmup {
+			continue
+		}
+		if workers == 1 {
+			serialTime = elapsed
+		}
+
+		snap := reg.Snapshot()
+		hits := snap.Counters["storage.window_cache.hits"]
+		misses := snap.Counters["storage.window_cache.misses"]
+		hitRate := 0.0
+		if hits+misses > 0 {
+			hitRate = 100 * float64(hits) / float64(hits+misses)
+		}
+		perSec := 0.0
+		if elapsed > 0 {
+			perSec = float64(refreshes) / elapsed.Seconds()
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(workers),
+			fmt.Sprint(refreshes),
+			fmt.Sprintf("%.1f", float64(elapsed.Nanoseconds())/1e6),
+			fmt.Sprintf("%.0f", perSec),
+			ratio(elapsed, serialTime),
+			fmt.Sprintf("%.1f", hitRate),
+		})
+	}
+	return t, nil
+}

@@ -13,8 +13,10 @@ package cq
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/diorama/continual/internal/algebra"
@@ -105,6 +107,11 @@ type CQState struct {
 	Terminated bool
 	ResultLen  int
 	Divergence float64
+	// LastErr is the error of the most recent failed trigger evaluation
+	// or refresh for this CQ (nil after a successful refresh). Poll
+	// isolates per-CQ failures — the round continues for the others —
+	// so this is where a single CQ's persistent failure surfaces.
+	LastErr error
 }
 
 // instance is the manager's record of one registered CQ.
@@ -116,18 +123,28 @@ type instance struct {
 	trigger sql.TriggerSpec
 	stop    sql.StopSpec
 
+	// mu guards the mutable refresh state below (and subs). Lock order
+	// is Manager.mu before instance.mu; the refresh workers of a Poll
+	// round take only instance.mu, which is what lets DRA re-evaluation
+	// and notification delivery run outside the manager lock.
+	mu          sync.Mutex
 	lastExec    vclock.Timestamp // timestamp of the last execution
 	lastObs     vclock.Timestamp // high-water mark of observed updates
 	prev        *relation.Relation
 	seq         int
-	terminated  bool
 	updatesSeen int64
+	lastErr     error                          // see CQState.LastErr
 	eps         map[string]*epsilon.Accountant // per monitored table
 	subs        []*subscriber
 	// maint maintains non-SPJ roots incrementally when the shape allows
 	// (SUM/COUNT/AVG aggregates without HAVING; DISTINCT); nil when the
 	// query is SPJ or needs the Propagate fallback.
 	maint maintainer
+
+	// terminated is atomic (not under mu) so the manager-lock paths
+	// (gauge recomputation, GC horizon) can read it while a refresh
+	// worker holds this instance's mu.
+	terminated atomic.Bool
 }
 
 // maintainer abstracts the incremental state keepers of the dra package
@@ -152,6 +169,13 @@ type Config struct {
 	// paper's truth-table re-evaluation. Off by default: the truth table
 	// is Algorithm 1 as published; this is the repository's extension.
 	IncrementalJoins bool
+	// Parallelism bounds the worker pool Poll uses to refresh the fired
+	// CQs of a round concurrently. 0 (the default) uses GOMAXPROCS;
+	// 1 restores the serial refresh order. Whatever the pool size,
+	// per-CQ Seq stays monotonic and each CQ's notifications are
+	// delivered in order — only cross-CQ ordering within a round is
+	// unspecified.
+	Parallelism int
 	// Metrics attaches the manager (and its engine, unless the engine is
 	// already instrumented) to an obs registry. Nil disables
 	// instrumentation entirely: every hook reduces to a nil check, so
@@ -295,7 +319,7 @@ func (m *Manager) updateRegisteredLocked() {
 	}
 	live := 0
 	for _, inst := range m.cqs {
-		if !inst.terminated {
+		if !inst.terminated.Load() {
 			live++
 		}
 	}
@@ -373,10 +397,12 @@ func (m *Manager) Subscribe(name string, buf int) (<-chan Notification, func(), 
 		buf = 1
 	}
 	sub := &subscriber{ch: make(chan Notification, buf)}
+	inst.mu.Lock()
 	inst.subs = append(inst.subs, sub)
+	inst.mu.Unlock()
 	cancel := func() {
-		m.mu.Lock()
-		defer m.mu.Unlock()
+		inst.mu.Lock()
+		defer inst.mu.Unlock()
 		for i, s := range inst.subs {
 			if s == sub {
 				inst.subs = append(inst.subs[:i], inst.subs[i+1:]...)
@@ -407,12 +433,15 @@ func (m *Manager) State(name string) (CQState, error) {
 	if !ok {
 		return CQState{}, fmt.Errorf("%w: %q", ErrNoSuchCQ, name)
 	}
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
 	st := CQState{
 		Name:       name,
 		Seq:        inst.seq,
 		LastExec:   inst.lastExec,
-		Terminated: inst.terminated,
+		Terminated: inst.terminated.Load(),
 		ResultLen:  inst.prev.Len(),
+		LastErr:    inst.lastErr,
 	}
 	for _, acct := range inst.eps {
 		st.Divergence += acct.Divergence()
@@ -428,10 +457,13 @@ func (m *Manager) Result(name string) (*relation.Relation, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchCQ, name)
 	}
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
 	return inst.prev.Clone(), nil
 }
 
-// Drop removes a CQ.
+// Drop removes a CQ. A refresh of it already in flight completes (its
+// subscribers are notified) before the subscriptions close.
 func (m *Manager) Drop(name string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -439,12 +471,15 @@ func (m *Manager) Drop(name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchCQ, name)
 	}
+	inst.mu.Lock()
 	closeSubs(inst)
+	inst.mu.Unlock()
 	delete(m.cqs, name)
 	m.updateRegisteredLocked()
 	return nil
 }
 
+// closeSubs closes every subscription. Caller holds inst.mu.
 func closeSubs(inst *instance) {
 	for _, s := range inst.subs {
 		if s.fn != nil {
@@ -460,74 +495,208 @@ func closeSubs(inst *instance) {
 // refreshes every CQ whose condition fired. It returns the number of
 // refreshes performed. This is the synchronous entry point; Start runs it
 // periodically (Section 5.3's "evaluate Tcq periodically" strategy).
+//
+// The round is a group refresh: triggers are evaluated under the
+// manager lock at a single round timestamp, then the fired CQs are
+// re-evaluated on a bounded worker pool (Config.Parallelism) holding
+// only their per-instance locks, sharing one delta-window fetch per
+// (table, window) through a round-scoped cache. A failing CQ does not
+// abort the round: its error is recorded in CQState.LastErr, counted in
+// cq.refresh.errors, and joined into Poll's returned error while every
+// other CQ proceeds.
 func (m *Manager) Poll() (int, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		return 0, ErrClosed
 	}
 	if mm := m.met; mm != nil {
 		mm.polls.Inc()
 	}
-	fired := 0
+	roundTS := m.store.Now()
+	cache := m.store.NewWindowCache()
+	var fired []*instance
+	var errs []error
 	for _, inst := range m.cqs {
-		if inst.terminated {
+		if inst.terminated.Load() {
 			continue
 		}
-		should, err := m.observeAndTest(inst)
+		inst.mu.Lock()
+		should, err := m.observeAndTest(inst, roundTS, cache)
 		if err != nil {
-			return fired, err
+			// One CQ's broken trigger must not starve the others: record
+			// it and continue the round (Section 5.3 accounting is
+			// per-CQ, so skipping one leaves the rest intact).
+			inst.lastErr = err
+			inst.mu.Unlock()
+			errs = append(errs, fmt.Errorf("cq %q: %w", inst.def.Name, err))
+			if mm := m.met; mm != nil {
+				mm.refreshErrors.Inc()
+			}
+			continue
 		}
+		inst.mu.Unlock()
 		if mm := m.met; mm != nil {
 			mm.triggerEvals.Inc()
 			if should {
 				mm.fireCounter(inst.trigger.Kind).Inc()
 			}
 		}
-		if !should {
-			continue
+		if should {
+			fired = append(fired, inst)
 		}
-		if err := m.refreshLocked(inst); err != nil {
-			return fired, err
-		}
-		fired++
 	}
+	m.mu.Unlock()
+
+	n, refErrs := m.refreshGroup(fired, roundTS, cache)
+	errs = append(errs, refErrs...)
+
+	m.mu.Lock()
+	m.updateRegisteredLocked()
 	if m.cfg.AutoGC {
 		m.gcLocked()
 	}
-	return fired, nil
+	m.mu.Unlock()
+	return n, errors.Join(errs...)
+}
+
+// refreshGroup re-evaluates the fired CQs of one round on a bounded
+// worker pool. Workers hold only the per-instance lock, so a slow CQ no
+// longer stalls the others, and N CQs over the same tables share one
+// differential-window fetch through the round's cache — the paper's
+// system active delta zone (Section 5.4) materialized once per round.
+func (m *Manager) refreshGroup(fired []*instance, roundTS vclock.Timestamp, cache *storage.WindowCache) (int, []error) {
+	if len(fired) == 0 {
+		return 0, nil
+	}
+	workers := m.workerCount(len(fired))
+	var start time.Time
+	if mm := m.met; mm != nil {
+		start = time.Now()
+		mm.roundWorkers.Set(int64(workers))
+	}
+	type outcome struct {
+		refreshed bool
+		err       error
+	}
+	outs := make([]outcome, len(fired))
+	run := func(i int) {
+		inst := fired[i]
+		inst.mu.Lock()
+		defer inst.mu.Unlock()
+		// A racing round (or explicit Refresh) may have re-evaluated
+		// past this round's timestamp already; refreshing would move
+		// lastExec backwards, so skip — monotonicity beats redundancy.
+		if inst.terminated.Load() || roundTS <= inst.lastExec {
+			return
+		}
+		if err := m.refreshInstance(inst, roundTS, cache); err != nil {
+			inst.lastErr = err
+			outs[i] = outcome{err: err}
+			return
+		}
+		inst.lastErr = nil
+		outs[i] = outcome{refreshed: true}
+	}
+	if workers <= 1 {
+		for i := range fired {
+			run(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					run(i)
+				}
+			}()
+		}
+		for i := range fired {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	n := 0
+	var errs []error
+	for _, o := range outs {
+		switch {
+		case o.err != nil:
+			errs = append(errs, o.err)
+		case o.refreshed:
+			n++
+		}
+	}
+	if mm := m.met; mm != nil {
+		mm.refreshErrors.Add(int64(len(errs)))
+		mm.roundNS.Observe(time.Since(start))
+	}
+	return n, errs
+}
+
+// workerCount resolves Config.Parallelism against the round size.
+func (m *Manager) workerCount(tasks int) int {
+	w := m.cfg.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > tasks {
+		w = tasks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Refresh forces re-evaluation of one CQ regardless of its trigger.
 func (m *Manager) Refresh(name string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
 	inst, ok := m.cqs[name]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchCQ, name)
 	}
-	if inst.terminated {
+	if inst.terminated.Load() {
 		return fmt.Errorf("%w: %q", ErrTerminated, name)
 	}
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	now := m.store.Now()
+	cache := m.store.NewWindowCache()
 	// Bring trigger accounting up to date so it resets consistently.
-	if _, err := m.observeAndTest(inst); err != nil {
+	if _, err := m.observeAndTest(inst, now, cache); err != nil {
+		inst.lastErr = err
 		return err
 	}
-	return m.refreshLocked(inst)
+	if err := m.refreshInstance(inst, now, cache); err != nil {
+		inst.lastErr = err
+		return err
+	}
+	inst.lastErr = nil
+	m.updateRegisteredLocked()
+	return nil
 }
 
 // observeAndTest folds the unobserved update window into the CQ's trigger
 // state and evaluates the trigger condition — differentially: only delta
-// rows are read (Section 5.3).
-func (m *Manager) observeAndTest(inst *instance) (bool, error) {
-	now := m.store.Now()
+// rows are read (Section 5.3). Caller holds inst.mu. Trigger accounting
+// reads the raw (uncompacted) windows: updates-count and absolute
+// epsilon triggers must see every row, not the net effect.
+func (m *Manager) observeAndTest(inst *instance, now vclock.Timestamp, cache *storage.WindowCache) (bool, error) {
 	if now > inst.lastObs {
 		for _, table := range inst.tables {
-			d, err := m.store.DeltaSince(table, inst.lastObs)
+			w, err := cache.Window(table, inst.lastObs, now, false)
 			if err != nil {
 				return false, err
 			}
-			w := d.Window(inst.lastObs, now)
 			inst.updatesSeen += int64(w.Len())
 			if acct, ok := inst.eps[table]; ok {
 				if err := acct.Observe(w); err != nil {
@@ -555,51 +724,42 @@ func (m *Manager) observeAndTest(inst *instance) (bool, error) {
 	}
 }
 
-// refreshLocked re-evaluates the CQ and delivers the notification.
-func (m *Manager) refreshLocked(inst *instance) error {
+// refreshInstance re-evaluates the CQ at execTS and delivers the
+// notification, drawing differential windows from the round's shared
+// cache. Caller holds inst.mu (and only inst.mu on the Poll worker
+// path; the store and the DRA engine are safe for concurrent use).
+func (m *Manager) refreshInstance(inst *instance, execTS vclock.Timestamp, cache *storage.WindowCache) error {
 	var span *obs.Span
 	var start time.Time
 	if mm := m.met; mm != nil {
 		start = time.Now()
 		span = mm.traces.Start("cq.refresh:" + inst.def.Name)
 	}
-	execTS := m.store.Now()
 	var res *dra.Result
 	var err error
-	switch {
-	case m.cfg.UseDRA && inst.maint != nil:
+	if m.cfg.UseDRA {
+		compact := m.cfg.Engine.CompactDeltas
 		ctx := &dra.Context{
-			Pre:    m.store.At(inst.lastExec),
-			Post:   m.store.Live(),
-			Deltas: make(map[string]*delta.Delta, len(inst.tables)),
-			LastTS: inst.lastExec,
-			Prev:   inst.prev,
+			Pre:       m.store.At(inst.lastExec),
+			Post:      m.store.Live(),
+			Deltas:    make(map[string]*delta.Delta, len(inst.tables)),
+			LastTS:    inst.lastExec,
+			Prev:      inst.prev,
+			Compacted: compact,
 		}
 		for _, table := range inst.tables {
-			d, derr := m.store.DeltaSince(table, inst.lastExec)
+			w, derr := cache.Window(table, inst.lastExec, execTS, compact)
 			if derr != nil {
-				return derr
+				return fmt.Errorf("cq %q: %w", inst.def.Name, derr)
 			}
-			ctx.Deltas[table] = d.Window(inst.lastExec, execTS)
+			ctx.Deltas[table] = w
 		}
-		res, err = inst.maint.Step(ctx, execTS)
-	case m.cfg.UseDRA:
-		ctx := &dra.Context{
-			Pre:    m.store.At(inst.lastExec),
-			Post:   m.store.Live(),
-			Deltas: make(map[string]*delta.Delta, len(inst.tables)),
-			LastTS: inst.lastExec,
-			Prev:   inst.prev,
+		if inst.maint != nil {
+			res, err = inst.maint.Step(ctx, execTS)
+		} else {
+			res, err = m.cfg.Engine.Reevaluate(inst.plan, ctx, execTS)
 		}
-		for _, table := range inst.tables {
-			d, derr := m.store.DeltaSince(table, inst.lastExec)
-			if derr != nil {
-				return derr
-			}
-			ctx.Deltas[table] = d.Window(inst.lastExec, execTS)
-		}
-		res, err = m.cfg.Engine.Reevaluate(inst.plan, ctx, execTS)
-	default:
+	} else {
 		res, err = dra.FullReevaluate(inst.plan, m.store.Live(), inst.prev, execTS)
 	}
 	if err != nil {
@@ -616,15 +776,14 @@ func (m *Manager) refreshLocked(inst *instance) error {
 	}
 
 	if inst.stop.AfterN > 0 && int64(inst.seq) >= inst.stop.AfterN {
-		inst.terminated = true
+		inst.terminated.Store(true)
 	}
 
 	if mm := m.met; mm != nil {
 		mm.refreshes.Inc()
 		mm.refreshNS.Observe(time.Since(start))
-		if inst.terminated {
+		if inst.terminated.Load() {
 			mm.terminated.Inc()
-			m.updateRegisteredLocked()
 		}
 		span.SetField("seq", int64(inst.seq))
 		span.SetField("exec_ts", int64(execTS))
@@ -653,7 +812,7 @@ func (m *Manager) buildNotification(inst *instance, res *dra.Result) Notificatio
 		Seq:        inst.seq,
 		ExecTS:     res.ExecTS,
 		Mode:       inst.mode,
-		Terminated: inst.terminated,
+		Terminated: inst.terminated.Load(),
 	}
 	switch inst.mode {
 	case sql.ModeComplete:
@@ -699,10 +858,12 @@ func (m *Manager) deliver(inst *instance, note Notification) {
 }
 
 // SubscribeFunc attaches a callback invoked synchronously while the
-// refresh is delivered (inside Poll/Refresh): when Poll returns, every
-// fired notification has been handed to the callback. The callback runs
-// under the manager's lock and must not call back into the Manager. On
-// Drop or Close it is invoked once more with closed = true.
+// refresh is delivered: when Poll returns, every fired notification has
+// been handed to the callback. The callback runs under the CQ's
+// instance lock on a refresh worker goroutine — callbacks of different
+// CQs may run concurrently, one CQ's callbacks never do — and must not
+// call back into the Manager or cancel a subscription. On Drop or Close
+// it is invoked once more with closed = true.
 func (m *Manager) SubscribeFunc(name string, f func(n Notification, closed bool)) (func(), error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -711,10 +872,12 @@ func (m *Manager) SubscribeFunc(name string, f func(n Notification, closed bool)
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchCQ, name)
 	}
 	sub := &subscriber{fn: f}
+	inst.mu.Lock()
 	inst.subs = append(inst.subs, sub)
+	inst.mu.Unlock()
 	cancel := func() {
-		m.mu.Lock()
-		defer m.mu.Unlock()
+		inst.mu.Lock()
+		defer inst.mu.Unlock()
 		for i, s := range inst.subs {
 			if s == sub {
 				inst.subs = append(inst.subs[:i], inst.subs[i+1:]...)
@@ -727,7 +890,9 @@ func (m *Manager) SubscribeFunc(name string, f func(n Notification, closed bool)
 
 // gcLocked collects differential-relation garbage below the system active
 // delta zone: the minimum last-execution timestamp over live CQs
-// (Section 5.4).
+// (Section 5.4). Caller holds m.mu but no instance locks: each
+// instance's lastExec is read under its own lock, so a refresh worker
+// of a racing round can never be observed mid-update.
 func (m *Manager) gcLocked() {
 	if len(m.cqs) == 0 {
 		return
@@ -735,11 +900,14 @@ func (m *Manager) gcLocked() {
 	var horizon vclock.Timestamp
 	first := true
 	for _, inst := range m.cqs {
-		if inst.terminated {
+		if inst.terminated.Load() {
 			continue
 		}
-		if first || inst.lastExec < horizon {
-			horizon = inst.lastExec
+		inst.mu.Lock()
+		lastExec := inst.lastExec
+		inst.mu.Unlock()
+		if first || lastExec < horizon {
+			horizon = lastExec
 			first = false
 		}
 	}
@@ -754,11 +922,12 @@ func (m *Manager) gcLocked() {
 }
 
 // CollectGarbage exposes the GC step for callers managing their own poll
-// loop. Returns the number of delta rows collected.
+// loop. Returns the number of delta rows collected; a closed manager
+// collects nothing.
 func (m *Manager) CollectGarbage() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if len(m.cqs) == 0 {
+	if m.closed || len(m.cqs) == 0 {
 		return 0
 	}
 	before := 0
@@ -829,7 +998,9 @@ func (m *Manager) Close() error {
 	defer m.mu.Unlock()
 	m.closed = true
 	for _, inst := range m.cqs {
+		inst.mu.Lock()
 		closeSubs(inst)
+		inst.mu.Unlock()
 	}
 	return nil
 }

@@ -18,6 +18,9 @@ type metrics struct {
 	firesDefault  *obs.Counter   // cq.trigger_fires.default
 	refreshes     *obs.Counter   // cq.refreshes
 	refreshNS     *obs.Histogram // cq.refresh_ns
+	refreshErrors *obs.Counter   // cq.refresh.errors: per-CQ failures isolated by Poll
+	roundNS       *obs.Histogram // cq.round_ns: wall time of one group-refresh round
+	roundWorkers  *obs.Gauge     // cq.round_workers: worker pool size of the last round
 	notifications *obs.Counter   // cq.notifications: delivered to subscribers
 	drops         *obs.Counter   // cq.subscriber_drops: full-buffer discards
 	queueDepth    *obs.Gauge     // cq.notify_queue_depth: buffered, undrained
@@ -40,6 +43,9 @@ func newMetrics(reg *obs.Registry) *metrics {
 		firesDefault:  reg.Counter("cq.trigger_fires.default"),
 		refreshes:     reg.Counter("cq.refreshes"),
 		refreshNS:     reg.Histogram("cq.refresh_ns"),
+		refreshErrors: reg.Counter("cq.refresh.errors"),
+		roundNS:       reg.Histogram("cq.round_ns"),
+		roundWorkers:  reg.Gauge("cq.round_workers"),
 		notifications: reg.Counter("cq.notifications"),
 		drops:         reg.Counter("cq.subscriber_drops"),
 		queueDepth:    reg.Gauge("cq.notify_queue_depth"),

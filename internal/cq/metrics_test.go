@@ -156,9 +156,17 @@ func TestConcurrentPollSubscribeDropMetrics(t *testing.T) {
 
 	wg.Wait()
 
+	// One deterministic fire: if the scheduler drained every poll before
+	// the writer's first commit landed, no trigger ever fired above, and
+	// the refresh-counter assertion below would flake.
+	insertStock(t, store, "FINAL", 199)
+	if _, err := mgr.Poll(); err != nil {
+		t.Fatal(err)
+	}
+
 	snap := mgr.Stats()
-	if got := snap.Counter("cq.polls"); got != rounds {
-		t.Errorf("cq.polls = %d, want %d", got, rounds)
+	if got := snap.Counter("cq.polls"); got != rounds+1 {
+		t.Errorf("cq.polls = %d, want %d", got, rounds+1)
 	}
 	if got := snap.Gauge("cq.registered"); got != 1 {
 		t.Errorf("cq.registered = %d, want 1 (steady only)", got)

@@ -239,10 +239,12 @@ func (ia *IncrementalAggregate) materialize() (*relation.Relation, error) {
 // computed by the engine's differential machinery, so the cost is
 // O(|Δ|) for select-only inputs.
 func (ia *IncrementalAggregate) Step(ctx *Context, execTS vclock.Timestamp) (*Result, error) {
-	din, err := ia.engine.signedDelta(ia.plan.Input, ctx)
+	var st Stats
+	din, err := ia.engine.signedDelta(ia.plan.Input, ctx, &st)
 	if err != nil {
 		return nil, err
 	}
+	ia.engine.setStats(st)
 	for _, r := range din.Rows {
 		if err := ia.fold(relation.Tuple{TID: r.TID, Values: r.Values}, r.Sign); err != nil {
 			return nil, err
@@ -261,6 +263,7 @@ func (ia *IncrementalAggregate) Step(ctx *Context, execTS vclock.Timestamp) (*Re
 		Signed: &delta.Signed{Schema: ia.plan.Schema(), Rows: d.ToSigned().Rows},
 		Delta:  d,
 		ExecTS: execTS,
+		Stats:  st,
 	}
 	res.materialized = next
 	return res, nil

@@ -85,10 +85,12 @@ func (id *IncrementalDistinct) Result() *relation.Relation { return id.out }
 
 // Step folds the update window and returns the result change.
 func (id *IncrementalDistinct) Step(ctx *Context, execTS vclock.Timestamp) (*Result, error) {
-	din, err := id.engine.signedDelta(id.plan.Input, ctx)
+	var st Stats
+	din, err := id.engine.signedDelta(id.plan.Input, ctx, &st)
 	if err != nil {
 		return nil, err
 	}
+	id.engine.setStats(st)
 	for _, r := range din.Rows {
 		id.fold(r.Values, r.Sign)
 	}
@@ -102,6 +104,7 @@ func (id *IncrementalDistinct) Step(ctx *Context, execTS vclock.Timestamp) (*Res
 		Signed: &delta.Signed{Schema: id.plan.Schema(), Rows: d.ToSigned().Rows},
 		Delta:  d,
 		ExecTS: execTS,
+		Stats:  st,
 	}
 	res.materialized = next
 	return res, nil

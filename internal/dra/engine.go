@@ -38,6 +38,7 @@ package dra
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/diorama/continual/internal/algebra"
@@ -70,6 +71,12 @@ type Context struct {
 	Deltas map[string]*delta.Delta
 	LastTS vclock.Timestamp
 	Prev   *relation.Relation
+
+	// Compacted declares that Deltas are already folded to their net
+	// per-tid effect, so a CompactDeltas engine must not compact them
+	// again. The cq scheduler's shared window cache sets this when it
+	// hands the same compacted window to many CQs.
+	Compacted bool
 }
 
 // Stats records the work of one differential re-evaluation, consumed by
@@ -109,12 +116,25 @@ type Engine struct {
 	// operand's filtered delta is empty the re-evaluation is skipped.
 	SkipIrrelevant bool
 
-	Stats Stats
+	// Stats holds the stats of the most recent evaluation. Each call
+	// accumulates into a private per-call value and publishes it here
+	// under statsMu, so one Engine may serve concurrent Reevaluate
+	// calls; readers that need the stats of a specific call should use
+	// Result.Stats instead of this field.
+	Stats   Stats
+	statsMu sync.Mutex
 
 	// Metrics accumulates per-call Stats into the engine-wide obs
 	// registry and records a span per Reevaluate. Nil (the default)
 	// leaves the engine uninstrumented; see Instrument.
 	Metrics *Metrics
+}
+
+// setStats publishes a finished call's stats to the legacy Stats field.
+func (e *Engine) setStats(st Stats) {
+	e.statsMu.Lock()
+	e.Stats = st
+	e.statsMu.Unlock()
 }
 
 // NewEngine returns an engine with all optimizations enabled.
@@ -131,6 +151,10 @@ type Result struct {
 	Delta *delta.Delta
 	// ExecTS is the timestamp assigned to this execution.
 	ExecTS vclock.Timestamp
+	// Stats is the work of this evaluation. Unlike Engine.Stats it is
+	// owned by the caller, so it stays coherent when one engine serves
+	// concurrent re-evaluations.
+	Stats Stats
 
 	// materialized is set when the evaluation already produced the full
 	// result (FullReevaluate); ApplyTo then returns it directly.
@@ -161,11 +185,15 @@ func (r *Result) Modified() []delta.Row { return r.Delta.Modifications() }
 
 // Reevaluate computes the result of the current execution of the query
 // differentially. ctx.Prev must hold the previous complete result.
+//
+// Reevaluate is safe for concurrent use: stats accumulate into a
+// per-call value (returned in Result.Stats) and the context is only
+// read, so the cq scheduler's refresh workers share one engine.
 func (e *Engine) Reevaluate(plan algebra.Plan, ctx *Context, execTS vclock.Timestamp) (*Result, error) {
 	if ctx.Prev == nil {
 		return nil, ErrNoPrev
 	}
-	e.Stats = Stats{}
+	var st Stats
 	var span *obs.Span
 	var start time.Time
 	if m := e.Metrics; m != nil {
@@ -176,24 +204,24 @@ func (e *Engine) Reevaluate(plan algebra.Plan, ctx *Context, execTS vclock.Times
 	var signed *delta.Signed
 	if supportsDifferential(plan) {
 		if e.SkipIrrelevant {
-			relevant, err := e.Relevant(plan, ctx)
+			relevant, err := e.relevant(plan, ctx)
 			if err != nil {
 				return nil, err
 			}
 			if !relevant {
-				e.Stats.Skipped = true
+				st.Skipped = true
 				signed = &delta.Signed{Schema: plan.Schema()}
 			}
 		}
 		if signed == nil {
-			s, err := e.signedDelta(plan, ctx)
+			s, err := e.signedDelta(plan, ctx, &st)
 			if err != nil {
 				return nil, err
 			}
 			signed = s
 		}
 	} else {
-		e.Stats.FellBack = true
+		st.FellBack = true
 		s, err := PropagateSigned(plan, ctx.Pre, ctx.Post)
 		if err != nil {
 			return nil, err
@@ -202,13 +230,15 @@ func (e *Engine) Reevaluate(plan algebra.Plan, ctx *Context, execTS vclock.Times
 	}
 
 	net := netSigned(signed)
+	e.setStats(st)
 	if m := e.Metrics; m != nil {
-		m.observe(e.Stats, span, time.Since(start))
+		m.observe(st, span, time.Since(start))
 	}
 	return &Result{
 		Signed: net,
 		Delta:  net.ToDelta(execTS),
 		ExecTS: execTS,
+		Stats:  st,
 	}, nil
 }
 
@@ -217,14 +247,19 @@ func (e *Engine) Reevaluate(plan algebra.Plan, ctx *Context, execTS vclock.Times
 // and reports whether any update can affect the query result. It never
 // materializes pre-states, so it is cheap (O(Σ|ΔRi|)).
 func (e *Engine) Relevant(plan algebra.Plan, ctx *Context) (bool, error) {
-	saved := e.Stats
-	defer func() { e.Stats = saved }()
+	return e.relevant(plan, ctx)
+}
+
+// relevant is Relevant on a scratch Stats: the rows it scans are counted
+// again by the real evaluation, so its work never reaches Engine.Stats.
+func (e *Engine) relevant(plan algebra.Plan, ctx *Context) (bool, error) {
+	var scratch Stats
 	ops, _, err := flatten(plan)
 	if err != nil {
 		return false, err
 	}
 	for _, op := range ops {
-		d, err := e.operandDelta(op, ctx)
+		d, err := e.operandDelta(op, ctx, &scratch)
 		if err != nil {
 			return false, err
 		}
@@ -253,25 +288,25 @@ func supportsDifferential(p algebra.Plan) bool {
 }
 
 // signedDelta computes the signed change of a plan node's output between
-// the pre and post states.
-func (e *Engine) signedDelta(p algebra.Plan, ctx *Context) (*delta.Signed, error) {
+// the pre and post states, accumulating work counts into st.
+func (e *Engine) signedDelta(p algebra.Plan, ctx *Context, st *Stats) (*delta.Signed, error) {
 	switch n := p.(type) {
 	case *algebra.ScanPlan:
-		return e.scanDelta(n, ctx)
+		return e.scanDelta(n, ctx, st)
 	case *algebra.SelectPlan:
-		in, err := e.signedDelta(n.Input, ctx)
+		in, err := e.signedDelta(n.Input, ctx, st)
 		if err != nil {
 			return nil, err
 		}
 		return filterSigned(in, n.Pred)
 	case *algebra.ProjectPlan:
-		in, err := e.signedDelta(n.Input, ctx)
+		in, err := e.signedDelta(n.Input, ctx, st)
 		if err != nil {
 			return nil, err
 		}
 		return projectSigned(in, n, p.Schema())
 	case *algebra.JoinPlan:
-		return e.joinDelta(n, ctx)
+		return e.joinDelta(n, ctx, st)
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnsupportedPlan, p)
 	}
@@ -279,16 +314,16 @@ func (e *Engine) signedDelta(p algebra.Plan, ctx *Context) (*delta.Signed, error
 
 // scanDelta converts the table's differential window to signed form under
 // the scan's qualified schema.
-func (e *Engine) scanDelta(n *algebra.ScanPlan, ctx *Context) (*delta.Signed, error) {
+func (e *Engine) scanDelta(n *algebra.ScanPlan, ctx *Context, st *Stats) (*delta.Signed, error) {
 	d := ctx.Deltas[n.Table]
 	if d == nil {
 		return &delta.Signed{Schema: n.Schema()}, nil
 	}
-	if e.CompactDeltas {
+	if e.CompactDeltas && !ctx.Compacted {
 		d = d.Compact()
 	}
 	s := d.ToSigned()
-	e.Stats.DeltaRows += len(s.Rows)
+	st.DeltaRows += len(s.Rows)
 	// Rebadge under the scan's qualified schema (same types).
 	return &delta.Signed{Schema: n.Schema(), Rows: s.Rows}, nil
 }
@@ -344,40 +379,53 @@ func projectSigned(in *delta.Signed, n *algebra.ProjectPlan, outSchema relation.
 // nets. This collapses the cross terms of the truth-table expansion
 // (e.g. a tuple modified on both join sides contributes four signed rows
 // that net to one -old and one +new).
+//
+// Rows are bucketed by value hash per tid, but the hash alone is not the
+// identity: entries with the same hash are chained and distinguished by
+// comparing the actual values, so a hash collision between two distinct
+// rows never merges (and possibly cancels) their counts.
 func netSigned(s *delta.Signed) *delta.Signed {
 	type valEntry struct {
 		values []relation.Value
 		count  int
 		order  int
 	}
-	perTID := make(map[relation.TID]map[uint64]*valEntry, len(s.Rows))
+	perTID := make(map[relation.TID]map[uint64][]*valEntry, len(s.Rows))
 	var tidOrder []relation.TID
 	n := 0
 	for _, r := range s.Rows {
 		m, ok := perTID[r.TID]
 		if !ok {
-			m = make(map[uint64]*valEntry, 2)
+			m = make(map[uint64][]*valEntry, 2)
 			perTID[r.TID] = m
 			tidOrder = append(tidOrder, r.TID)
 		}
 		h := relation.HashValues(r.Values)
-		ve, ok := m[h]
-		if !ok {
+		var ve *valEntry
+		for _, cand := range m[h] {
+			if sameValues(cand.values, r.Values) {
+				ve = cand
+				break
+			}
+		}
+		if ve == nil {
 			ve = &valEntry{values: r.Values, order: n}
 			n++
-			m[h] = ve
+			m[h] = append(m[h], ve)
 		}
 		ve.count += r.Sign
 	}
 	out := &delta.Signed{Schema: s.Schema}
 	for _, tid := range tidOrder {
 		var neg, pos *valEntry
-		for _, ve := range perTID[tid] {
-			switch {
-			case ve.count < 0 && (neg == nil || ve.order < neg.order):
-				neg = ve
-			case ve.count > 0 && (pos == nil || ve.order < pos.order):
-				pos = ve
+		for _, chain := range perTID[tid] {
+			for _, ve := range chain {
+				switch {
+				case ve.count < 0 && (neg == nil || ve.order < neg.order):
+					neg = ve
+				case ve.count > 0 && (pos == nil || ve.order < pos.order):
+					pos = ve
+				}
 			}
 		}
 		if neg != nil {
@@ -388,4 +436,18 @@ func netSigned(s *delta.Signed) *delta.Signed {
 		}
 	}
 	return out
+}
+
+// sameValues reports whether two rows carry equal values position by
+// position (same arity assumed within one signed multiset).
+func sameValues(a, b []relation.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
 }

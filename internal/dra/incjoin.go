@@ -243,10 +243,11 @@ func (ij *IncrementalJoin) Result() *relation.Relation { return ij.result }
 func (ij *IncrementalJoin) Step(ctx *Context, execTS vclock.Timestamp) (*Result, error) {
 	joinSchema := ij.join.Schema()
 	width := joinSchema.Len()
+	var st Stats
 	var outRows []delta.SignedRow
 
 	for i := range ij.ops {
-		din, err := ij.engine.signedDelta(ij.ops[i].plan, ctx)
+		din, err := ij.engine.signedDelta(ij.ops[i].plan, ctx, &st)
 		if err != nil {
 			return nil, err
 		}
@@ -346,10 +347,12 @@ func (ij *IncrementalJoin) Step(ctx *Context, execTS vclock.Timestamp) (*Result,
 
 	net := netSigned(&delta.Signed{Schema: ij.outSchema, Rows: outRows})
 	delta.ApplySigned(ij.result, net)
+	ij.engine.setStats(st)
 	res := &Result{
 		Signed: net,
 		Delta:  net.ToDelta(execTS),
 		ExecTS: execTS,
+		Stats:  st,
 	}
 	res.materialized = ij.result
 	return res, nil

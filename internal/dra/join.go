@@ -56,20 +56,20 @@ func flatten(p algebra.Plan) ([]*operand, []sql.Expr, error) {
 }
 
 // operandDelta computes the signed delta of a join-free operand subtree.
-func (e *Engine) operandDelta(op *operand, ctx *Context) (*delta.Signed, error) {
-	return e.signedDelta(op.plan, ctx)
+func (e *Engine) operandDelta(op *operand, ctx *Context, st *Stats) (*delta.Signed, error) {
+	return e.signedDelta(op.plan, ctx, st)
 }
 
 // operandPre materializes the operand's pre-state (its subtree executed
 // against the last-execution snapshot), as a +1 signed relation.
-func (e *Engine) operandPre(op *operand, ctx *Context) (*delta.Signed, error) {
+func (e *Engine) operandPre(op *operand, ctx *Context, st *Stats) (*delta.Signed, error) {
 	ex := algebra.NewExecutor(ctx.Pre)
 	ex.UseHashJoin = e.UseHashJoin
 	rel, err := ex.Execute(op.plan)
 	if err != nil {
 		return nil, fmt.Errorf("dra: operand pre-state: %w", err)
 	}
-	e.Stats.PreTuplesScanned += rel.Len()
+	st.PreTuplesScanned += rel.Len()
 	out := &delta.Signed{Schema: rel.Schema(), Rows: make([]delta.SignedRow, 0, rel.Len())}
 	for _, t := range rel.Tuples() {
 		out.Rows = append(out.Rows, delta.SignedRow{TID: t.TID, Values: t.Values, Sign: +1})
@@ -79,7 +79,7 @@ func (e *Engine) operandPre(op *operand, ctx *Context) (*delta.Signed, error) {
 
 // joinDelta computes the signed delta of a join subtree by truth-table
 // expansion (Algorithm 1, steps 1-3).
-func (e *Engine) joinDelta(n *algebra.JoinPlan, ctx *Context) (*delta.Signed, error) {
+func (e *Engine) joinDelta(n *algebra.JoinPlan, ctx *Context, st *Stats) (*delta.Signed, error) {
 	ops, preds, err := flatten(n)
 	if err != nil {
 		return nil, err
@@ -89,7 +89,7 @@ func (e *Engine) joinDelta(n *algebra.JoinPlan, ctx *Context) (*delta.Signed, er
 	deltas := make([]*delta.Signed, len(ops))
 	var changed []int
 	for i, op := range ops {
-		d, err := e.operandDelta(op, ctx)
+		d, err := e.operandDelta(op, ctx, st)
 		if err != nil {
 			return nil, err
 		}
@@ -109,7 +109,7 @@ func (e *Engine) joinDelta(n *algebra.JoinPlan, ctx *Context) (*delta.Signed, er
 	pres := make([]*delta.Signed, len(ops))
 	preOf := func(i int) (*delta.Signed, error) {
 		if pres[i] == nil {
-			p, err := e.operandPre(ops[i], ctx)
+			p, err := e.operandPre(ops[i], ctx, st)
 			if err != nil {
 				return nil, err
 			}
@@ -155,7 +155,7 @@ func (e *Engine) joinDelta(n *algebra.JoinPlan, ctx *Context) (*delta.Signed, er
 		if empty {
 			continue
 		}
-		e.Stats.Terms++
+		st.Terms++
 		rows, err := e.evalTerm(ops, term, isDelta, preds, compiledPreds, predMasks, outSchema)
 		if err != nil {
 			return nil, err

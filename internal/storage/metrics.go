@@ -7,17 +7,19 @@ import (
 // metrics is the store's bundle of obs handles, resolved once at
 // Instrument time so commit-path updates are plain atomic adds.
 type metrics struct {
-	reg         *obs.Registry
-	commits     *obs.Counter          // storage.commits: committed transactions
-	commitRows  *obs.Counter          // storage.commit_rows: delta rows appended
-	deltaTotal  *obs.Gauge            // storage.delta_len: retained delta rows, all tables
-	snapshots   *obs.Counter          // storage.snapshot_reconstructions
-	staleWindow *obs.Counter          // storage.stale_window_hits: ErrStaleWindow returns
-	gcRows      *obs.Counter          // storage.gc_rows_collected
-	gcRuns      *obs.Counter          // storage.gc_runs
-	tables      *obs.Gauge            // storage.tables
-	commitNS    *obs.Histogram        // storage.commit_ns
-	perTable    map[string]*obs.Gauge // storage.delta_len.<table>
+	reg          *obs.Registry
+	commits      *obs.Counter          // storage.commits: committed transactions
+	commitRows   *obs.Counter          // storage.commit_rows: delta rows appended
+	deltaTotal   *obs.Gauge            // storage.delta_len: retained delta rows, all tables
+	snapshots    *obs.Counter          // storage.snapshot_reconstructions
+	staleWindow  *obs.Counter          // storage.stale_window_hits: ErrStaleWindow returns
+	gcRows       *obs.Counter          // storage.gc_rows_collected
+	gcRuns       *obs.Counter          // storage.gc_runs
+	windowHits   *obs.Counter          // storage.window_cache.hits: shared-window fetches served from a round cache
+	windowMisses *obs.Counter          // storage.window_cache.misses: shared-window fetches that hit the store
+	tables       *obs.Gauge            // storage.tables
+	commitNS     *obs.Histogram        // storage.commit_ns
+	perTable     map[string]*obs.Gauge // storage.delta_len.<table>
 }
 
 // Instrument attaches the store to a metrics registry. Call it once,
@@ -30,17 +32,19 @@ func (s *Store) Instrument(reg *obs.Registry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := &metrics{
-		reg:         reg,
-		commits:     reg.Counter("storage.commits"),
-		commitRows:  reg.Counter("storage.commit_rows"),
-		deltaTotal:  reg.Gauge("storage.delta_len"),
-		snapshots:   reg.Counter("storage.snapshot_reconstructions"),
-		staleWindow: reg.Counter("storage.stale_window_hits"),
-		gcRows:      reg.Counter("storage.gc_rows_collected"),
-		gcRuns:      reg.Counter("storage.gc_runs"),
-		tables:      reg.Gauge("storage.tables"),
-		commitNS:    reg.Histogram("storage.commit_ns"),
-		perTable:    make(map[string]*obs.Gauge),
+		reg:          reg,
+		commits:      reg.Counter("storage.commits"),
+		commitRows:   reg.Counter("storage.commit_rows"),
+		deltaTotal:   reg.Gauge("storage.delta_len"),
+		snapshots:    reg.Counter("storage.snapshot_reconstructions"),
+		staleWindow:  reg.Counter("storage.stale_window_hits"),
+		gcRows:       reg.Counter("storage.gc_rows_collected"),
+		gcRuns:       reg.Counter("storage.gc_runs"),
+		windowHits:   reg.Counter("storage.window_cache.hits"),
+		windowMisses: reg.Counter("storage.window_cache.misses"),
+		tables:       reg.Gauge("storage.tables"),
+		commitNS:     reg.Histogram("storage.commit_ns"),
+		perTable:     make(map[string]*obs.Gauge),
 	}
 	total := int64(0)
 	for name, t := range s.tables {
