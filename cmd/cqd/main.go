@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"github.com/diorama/continual/internal/cq"
+	"github.com/diorama/continual/internal/dra"
 	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/relation"
 	"github.com/diorama/continual/internal/remote"
@@ -62,8 +63,13 @@ func run(args []string) error {
 	idleTimeout := fs.Duration("idle-timeout", remote.DefaultIdleTimeout, "drop connections idle longer than this (0 disables)")
 	drainTimeout := fs.Duration("drain", remote.DefaultDrainTimeout, "max wait for in-flight requests on shutdown")
 	parallelism := fs.Int("parallelism", 0, "refresh worker pool size for server-side CQs (0 = GOMAXPROCS)")
+	strategy := fs.String("strategy", "auto", "refresh strategy for server-side CQs (auto, truth-table, incremental, propagate)")
 	pollEvery := fs.Duration("poll", 250*time.Millisecond, "poll interval for server-side CQ triggers")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	strat, err := dra.ParseStrategy(*strategy)
+	if err != nil {
 		return err
 	}
 
@@ -77,6 +83,7 @@ func run(args []string) error {
 		UseDRA:      true,
 		AutoGC:      false,
 		Parallelism: *parallelism,
+		Strategy:    strat,
 		Metrics:     reg,
 	})
 	defer func() { _ = mgr.Close() }()

@@ -32,6 +32,7 @@ import (
 
 	"github.com/diorama/continual/internal/cq"
 	"github.com/diorama/continual/internal/diom"
+	"github.com/diorama/continual/internal/dra"
 	"github.com/diorama/continual/internal/epsilon"
 	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/sql"
@@ -68,6 +69,13 @@ type Options struct {
 	// setting; only the relative order of different queries'
 	// notifications is unspecified when Parallelism > 1.
 	Parallelism int
+	// Strategy forces the refresh pipeline for SPJ queries: "auto" (or
+	// empty, the default) picks by cost model per query and adapts as
+	// the workload drifts; "truth-table", "incremental", and
+	// "propagate" force one pipeline. A forced strategy a query cannot
+	// run falls back to auto for that query, logged and counted in
+	// cq.maintainer.fallbacks.
+	Strategy string
 }
 
 // Open creates an empty engine with default options. The engine is
@@ -81,10 +89,18 @@ func OpenWith(opts Options) *DB {
 	store := storage.NewStore()
 	reg := obs.NewRegistry()
 	store.Instrument(reg)
+	// An unknown strategy string falls back to auto: Options are often
+	// populated from flags or config files, and a typo there should not
+	// silently disable the engine — auto is correct for every query.
+	strat, err := dra.ParseStrategy(opts.Strategy)
+	if err != nil {
+		strat = dra.StrategyAuto
+	}
 	manager := cq.NewManagerConfig(store, cq.Config{
 		UseDRA:      true,
 		AutoGC:      true,
 		Parallelism: opts.Parallelism,
+		Strategy:    strat,
 		Metrics:     reg,
 	})
 	return &DB{

@@ -1,0 +1,20 @@
+package algebra
+
+import "hash/fnv"
+
+// PlanFingerprint returns a stable 64-bit fingerprint of a plan's
+// logical shape: its operator tree (via the deterministic String
+// rendering every Plan provides) and its output schema. Two plans with
+// the same fingerprint compute the same query over the same column
+// layout, so prepared-plan caches (dra.Prepared) can use it as an
+// identity across re-registrations without retaining the plan itself.
+func PlanFingerprint(p Plan) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(p.String()))
+	_, _ = h.Write([]byte{0})
+	for _, c := range p.Schema().Columns() {
+		_, _ = h.Write([]byte(c.Name))
+		_, _ = h.Write([]byte{0, byte(c.Type)})
+	}
+	return h.Sum64()
+}

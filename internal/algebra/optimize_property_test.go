@@ -1,0 +1,134 @@
+package algebra
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/diorama/continual/internal/relation"
+)
+
+// randSource builds three joinable tables with randomized contents.
+// Key-ish columns draw from small domains so joins actually match.
+func randSource(rng *rand.Rand) catSource {
+	r := relation.New(relation.MustSchema(
+		relation.Column{Name: "s1", Type: relation.TString},
+		relation.Column{Name: "a", Type: relation.TFloat},
+	))
+	u := relation.New(relation.MustSchema(
+		relation.Column{Name: "s2", Type: relation.TString},
+		relation.Column{Name: "b", Type: relation.TFloat},
+		relation.Column{Name: "x", Type: relation.TInt},
+	))
+	w := relation.New(relation.MustSchema(
+		relation.Column{Name: "x", Type: relation.TInt},
+		relation.Column{Name: "c", Type: relation.TFloat},
+	))
+	tid := relation.TID(1)
+	for i := 0; i < 5+rng.Intn(20); i++ {
+		_ = r.Insert(relation.Tuple{TID: tid, Values: []relation.Value{
+			relation.Str(fmt.Sprintf("k%d", rng.Intn(6))), relation.Float(float64(rng.Intn(200))),
+		}})
+		tid++
+	}
+	for i := 0; i < 5+rng.Intn(20); i++ {
+		_ = u.Insert(relation.Tuple{TID: tid, Values: []relation.Value{
+			relation.Str(fmt.Sprintf("k%d", rng.Intn(6))), relation.Float(float64(rng.Intn(200))), relation.Int(int64(rng.Intn(8))),
+		}})
+		tid++
+	}
+	for i := 0; i < 5+rng.Intn(20); i++ {
+		_ = w.Insert(relation.Tuple{TID: tid, Values: []relation.Value{
+			relation.Int(int64(rng.Intn(8))), relation.Float(float64(rng.Intn(200))),
+		}})
+		tid++
+	}
+	return catSource{MapSource{"r": r, "u": u, "w": w}}
+}
+
+// randSPJQuery assembles a random select-project-join query over the
+// randSource tables: a join chain of 1-3 tables, a random subset of
+// filter conjuncts with random literals, and a random projection.
+func randSPJQuery(rng *rand.Rand) string {
+	nTables := 1 + rng.Intn(3)
+	from := "r"
+	if nTables >= 2 {
+		from += " JOIN u ON r.s1 = u.s2"
+	}
+	if nTables >= 3 {
+		from += " JOIN w ON u.x = w.x"
+	}
+	conjPool := []string{
+		fmt.Sprintf("r.a > %d", rng.Intn(200)),
+		fmt.Sprintf("r.s1 != 'k%d'", rng.Intn(6)),
+	}
+	if nTables >= 2 {
+		conjPool = append(conjPool,
+			fmt.Sprintf("u.b < %d", rng.Intn(200)),
+			fmt.Sprintf("u.x >= %d", rng.Intn(8)),
+		)
+	}
+	if nTables >= 3 {
+		conjPool = append(conjPool, fmt.Sprintf("w.c > %d", rng.Intn(200)))
+	}
+	var conjs []string
+	for _, c := range conjPool {
+		if rng.Intn(2) == 0 {
+			conjs = append(conjs, c)
+		}
+	}
+	projPool := []string{"*", "r.s1, r.a"}
+	if nTables >= 2 {
+		projPool = append(projPool, "r.s1, u.b", "u.x, r.a")
+	}
+	if nTables >= 3 {
+		projPool = append(projPool, "r.a, w.c")
+	}
+	q := "SELECT " + projPool[rng.Intn(len(projPool))] + " FROM " + from
+	if len(conjs) > 0 {
+		q += " WHERE " + strings.Join(conjs, " AND ")
+	}
+	return q
+}
+
+// TestOptimizeEquivalenceRandomizedSPJ checks the contract Optimize
+// states ("never changes the result of a plan, only its shape") over
+// randomized SPJ queries and randomized data: the pushed-down plan must
+// produce exactly the tuples of the unoptimized plan, tid for tid.
+// Unlike TestOptimizeEquivalenceProperty (fixed data, templated
+// queries), this randomizes the query shape itself — join arity,
+// conjunct subset, and projection all vary per trial.
+func TestOptimizeEquivalenceRandomizedSPJ(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		src := randSource(rng)
+		for qi := 0; qi < 5; qi++ {
+			q := randSPJQuery(rng)
+			plan, err := PlanSQL(q, src)
+			if err != nil {
+				t.Fatalf("seed %d: PlanSQL(%q): %v", seed, q, err)
+			}
+			opt := Optimize(plan)
+			raw, err := NewExecutor(src).Execute(plan)
+			if err != nil {
+				t.Fatalf("seed %d: execute unoptimized %q: %v", seed, q, err)
+			}
+			pushed, err := NewExecutor(src).Execute(opt)
+			if err != nil {
+				t.Fatalf("seed %d: execute optimized %q: %v", seed, q, err)
+			}
+			if !raw.EqualByTID(pushed) {
+				t.Fatalf("seed %d: Optimize changed the result of %q.\nplan: %s\nopt:  %s\nunoptimized:\n%s\noptimized:\n%s",
+					seed, q, plan, opt, raw, pushed)
+			}
+			// Schemas must agree column for column, or downstream
+			// differential plumbing (which compiles against the schema
+			// once) would silently misbind.
+			if plan.Schema().String() != opt.Schema().String() {
+				t.Fatalf("seed %d: Optimize changed the schema of %q: %s vs %s",
+					seed, q, plan.Schema(), opt.Schema())
+			}
+		}
+	}
+}

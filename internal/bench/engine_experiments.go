@@ -60,34 +60,35 @@ func (f *engineFixture) ctx() (*dra.Context, error) {
 }
 
 // measurePair times one DRA refresh and one full re-evaluation over the
-// identical pending window, then advances the fixture.
-func (f *engineFixture) measurePair(engine *dra.Engine, iters int) (draT, fullT time.Duration, deltaRows int, err error) {
+// identical pending window — latency and allocations per run — then
+// advances the fixture.
+func (f *engineFixture) measurePair(engine *dra.Engine, iters int) (draT, fullT time.Duration, draAllocs, fullAllocs uint64, deltaRows int, err error) {
 	ctx, err := f.ctx()
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, 0, 0, err
 	}
 	deltaRows = ctx.Deltas["stocks"].Len()
 	ts := f.store.Now()
 	var res *dra.Result
-	draT, err = stopwatch(iters, func() error {
+	draT, draAllocs, err = stopwatchAllocs(iters, func() error {
 		r, err := engine.Reevaluate(f.plan, ctx, ts)
 		res = r
 		return err
 	})
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, 0, 0, err
 	}
-	fullT, err = stopwatch(iters, func() error {
+	fullT, fullAllocs, err = stopwatchAllocs(iters, func() error {
 		_, err := dra.FullReevaluate(f.plan, f.store.Live(), f.prev, ts)
 		return err
 	})
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, 0, 0, err
 	}
 	f.prev = res.ApplyTo(f.prev)
 	f.lastTS = ts
 	f.store.CollectGarbage(f.lastTS)
-	return draT, fullT, deltaRows, nil
+	return draT, fullT, draAllocs, fullAllocs, deltaRows, nil
 }
 
 // E2 reproduces the worked Example 2 measurement: the σ_price>120 stock
@@ -98,7 +99,7 @@ func E2(scale Scale) (*Table, error) {
 		ID:     "E2",
 		Title:  "Example 2: sigma(price>120) differential vs complete re-evaluation",
 		Note:   fmt.Sprintf("base |Stocks| = %d, one Example-1 transaction (1 insert, 1 modify, 1 delete) per refresh", scale.BaseRows),
-		Header: []string{"refresh", "|dR|", "DRA us", "full us", "full/DRA"},
+		Header: []string{"refresh", "|dR|", "DRA us", "full us", "full/DRA", "DRA allocs", "full allocs"},
 	}
 	f, err := newEngineFixture(scale.BaseRows, 2, workload.DefaultMix, "SELECT * FROM stocks WHERE price > 120")
 	if err != nil {
@@ -109,12 +110,13 @@ func E2(scale Scale) (*Table, error) {
 		if err := f.gen.Batch(3); err != nil {
 			return nil, err
 		}
-		draT, fullT, rows, err := f.measurePair(engine, scale.Iterations)
+		draT, fullT, draAllocs, fullAllocs, rows, err := f.measurePair(engine, scale.Iterations)
 		if err != nil {
 			return nil, err
 		}
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(round), fmt.Sprint(rows), us(draT), us(fullT), ratio(draT, fullT),
+			fmt.Sprint(draAllocs), fmt.Sprint(fullAllocs),
 		})
 	}
 	return t, nil
@@ -143,7 +145,7 @@ func E3(scale Scale) (*Table, error) {
 		if err := f.gen.Batch(n); err != nil {
 			return nil, err
 		}
-		draT, fullT, rows, err := f.measurePair(scale.NewEngine(), scale.Iterations)
+		draT, fullT, _, _, rows, err := f.measurePair(scale.NewEngine(), scale.Iterations)
 		if err != nil {
 			return nil, err
 		}
@@ -174,7 +176,7 @@ func E4(scale Scale) (*Table, error) {
 		if err := f.gen.Batch(scale.BaseRows / 100); err != nil {
 			return nil, err
 		}
-		draT, fullT, _, err := f.measurePair(scale.NewEngine(), scale.Iterations)
+		draT, fullT, _, _, _, err := f.measurePair(scale.NewEngine(), scale.Iterations)
 		if err != nil {
 			return nil, err
 		}
@@ -323,8 +325,12 @@ func E5(scale Scale) (*Table, error) {
 		}
 		engine := scale.NewEngine()
 		ts := jf.store.Now()
+		var lastStats dra.Stats
 		draT, err := stopwatch(scale.Iterations, func() error {
-			_, err := engine.Reevaluate(jf.plan, ctx, ts)
+			res, err := engine.Reevaluate(jf.plan, ctx, ts)
+			if err == nil {
+				lastStats = res.Stats
+			}
 			return err
 		})
 		if err != nil {
@@ -339,7 +345,7 @@ func E5(scale Scale) (*Table, error) {
 		}
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("k=%d", len(tables)),
-			fmt.Sprint(engine.Stats.Terms),
+			fmt.Sprint(lastStats.Terms),
 			us(draT), us(fullT), ratio(draT, fullT),
 		})
 	}
@@ -396,7 +402,7 @@ func E12(scale Scale) (*Table, error) {
 				return nil, err
 			}
 			draTotal += time.Since(start)
-			if engine.Stats.Skipped {
+			if res.Stats.Skipped {
 				skipped++
 			}
 			start = time.Now()
@@ -438,7 +444,7 @@ func E13(scale Scale) (*Table, error) {
 		if err := f.gen.Batch(20); err != nil {
 			return nil, err
 		}
-		draT, fullT, _, err := f.measurePair(scale.NewEngine(), scale.Iterations)
+		draT, fullT, _, _, _, err := f.measurePair(scale.NewEngine(), scale.Iterations)
 		if err != nil {
 			return nil, err
 		}
@@ -482,8 +488,12 @@ func A2(scale Scale) (*Table, error) {
 			return nil, err
 		}
 		ts := jf.store.Now()
+		var lastStats dra.Stats
 		d, err := stopwatch(scale.Iterations, func() error {
-			_, err := engine.Reevaluate(jf.plan, ctx, ts)
+			res, err := engine.Reevaluate(jf.plan, ctx, ts)
+			if err == nil {
+				lastStats = res.Stats
+			}
 			return err
 		})
 		if err != nil {
@@ -493,7 +503,7 @@ func A2(scale Scale) (*Table, error) {
 		if !compact {
 			name = "compaction off"
 		}
-		t.Rows = append(t.Rows, []string{name, fmt.Sprint(engine.Stats.DeltaRows), us(d)})
+		t.Rows = append(t.Rows, []string{name, fmt.Sprint(lastStats.DeltaRows), us(d)})
 	}
 	return t, nil
 }

@@ -8,6 +8,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"time"
 
@@ -109,6 +110,32 @@ func stopwatch(n int, f func() error) (time.Duration, error) {
 		}
 	}
 	return times[len(times)/2], nil
+}
+
+// stopwatchAllocs measures the median duration of n runs of f along
+// with the mean heap allocations per run (runtime.MemStats.Mallocs
+// around each call). Allocation counts make compile-once wins visible:
+// two paths with similar latency can differ by thousands of per-refresh
+// allocations that only show up as GC pressure at scale.
+func stopwatchAllocs(n int, f func() error) (time.Duration, uint64, error) {
+	if n < 1 {
+		n = 1
+	}
+	times := make([]time.Duration, 0, n)
+	var ms0, ms1 runtime.MemStats
+	var mallocs uint64
+	for i := 0; i < n; i++ {
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, 0, err
+		}
+		times = append(times, time.Since(start))
+		runtime.ReadMemStats(&ms1)
+		mallocs += ms1.Mallocs - ms0.Mallocs
+	}
+	sortDurations(times)
+	return times[len(times)/2], mallocs / uint64(n), nil
 }
 
 func us(d time.Duration) string {

@@ -13,6 +13,7 @@ package cq
 import (
 	"errors"
 	"fmt"
+	"log"
 	"runtime"
 	"sort"
 	"sync"
@@ -107,6 +108,11 @@ type CQState struct {
 	Terminated bool
 	ResultLen  int
 	Divergence float64
+	// Strategy is the refresh pipeline currently in effect for a
+	// prepared SPJ CQ ("truth-table", "incremental", "propagate");
+	// empty for CQs maintained by a non-SPJ state keeper or evaluated
+	// without DRA.
+	Strategy string
 	// LastErr is the error of the most recent failed trigger evaluation
 	// or refresh for this CQ (nil after a successful refresh). Poll
 	// isolates per-CQ failures — the round continues for the others —
@@ -140,6 +146,11 @@ type instance struct {
 	// (SUM/COUNT/AVG aggregates without HAVING; DISTINCT); nil when the
 	// query is SPJ or needs the Propagate fallback.
 	maint maintainer
+	// prepared is the compile-once refresh pipeline for SPJ queries
+	// (dra.Prepare): compiled predicates, join bindings, the cross-
+	// refresh operand index cache, and the refresh strategy. Nil when
+	// maint is set or DRA is off.
+	prepared *dra.Prepared
 
 	// terminated is atomic (not under mu) so the manager-lock paths
 	// (gauge recomputation, GC horizon) can read it while a refresh
@@ -164,11 +175,24 @@ type Config struct {
 	// AutoGC collects differential-relation garbage after every refresh
 	// round, at the system active delta zone boundary.
 	AutoGC bool
+	// Strategy selects the refresh pipeline for prepared SPJ CQs
+	// (dra.Prepare): StrategyAuto (the default) applies the cost model
+	// and re-picks adaptively; the other values force one pipeline. A
+	// forced strategy a CQ's plan cannot run falls back to Auto at
+	// registration — logged through Logf and counted in
+	// cq.maintainer.fallbacks.
+	Strategy dra.Strategy
 	// IncrementalJoins maintains join CQs with persistent per-operand
-	// replicas and mutable indexes (dra.IncrementalJoin) instead of the
-	// paper's truth-table re-evaluation. Off by default: the truth table
-	// is Algorithm 1 as published; this is the repository's extension.
+	// replicas and mutable indexes instead of the paper's truth-table
+	// re-evaluation.
+	//
+	// Deprecated: IncrementalJoins is an alias for Strategy =
+	// dra.StrategyIncremental, kept for pre-strategy callers. It is
+	// ignored when Strategy is set to anything but StrategyAuto.
 	IncrementalJoins bool
+	// Logf receives the manager's rare diagnostic lines (strategy
+	// fallbacks at registration). Nil uses the standard library logger.
+	Logf func(format string, args ...any)
 	// Parallelism bounds the worker pool Poll uses to refresh the fired
 	// CQs of a round concurrently. 0 (the default) uses GOMAXPROCS;
 	// 1 restores the serial refresh order. Whatever the pool size,
@@ -294,6 +318,12 @@ func (m *Manager) Register(def Def) (*relation.Relation, error) {
 		if maint != nil {
 			inst.maint = maint
 			initial = maint.Result().Clone()
+		} else {
+			prep, err := m.prepare(def.Name, plan)
+			if err != nil {
+				return nil, err
+			}
+			inst.prepared = prep
 		}
 	}
 	if initial == nil {
@@ -443,6 +473,9 @@ func (m *Manager) State(name string) (CQState, error) {
 		ResultLen:  inst.prev.Len(),
 		LastErr:    inst.lastErr,
 	}
+	if inst.prepared != nil {
+		st.Strategy = inst.prepared.Strategy().String()
+	}
 	for _, acct := range inst.eps {
 		st.Divergence += acct.Divergence()
 	}
@@ -473,6 +506,10 @@ func (m *Manager) Drop(name string) error {
 	}
 	inst.mu.Lock()
 	closeSubs(inst)
+	if inst.prepared != nil {
+		inst.prepared.Close()
+		inst.prepared = nil
+	}
 	inst.mu.Unlock()
 	delete(m.cqs, name)
 	m.updateRegisteredLocked()
@@ -513,6 +550,14 @@ func (m *Manager) Poll() (int, error) {
 	if mm := m.met; mm != nil {
 		mm.polls.Inc()
 	}
+	// The change-counter snapshot MUST precede the round timestamp:
+	// taken before Now(), the counters cover at most the commits older
+	// than roundTS, which is what lets a prepared plan's operand cache
+	// validate replicas by counter equality (dra.Context.Versions).
+	var versions map[string]uint64
+	if m.cfg.UseDRA {
+		versions = m.store.ChangeCounts()
+	}
 	roundTS := m.store.Now()
 	cache := m.store.NewWindowCache()
 	var fired []*instance
@@ -548,7 +593,7 @@ func (m *Manager) Poll() (int, error) {
 	}
 	m.mu.Unlock()
 
-	n, refErrs := m.refreshGroup(fired, roundTS, cache)
+	n, refErrs := m.refreshGroup(fired, roundTS, cache, versions)
 	errs = append(errs, refErrs...)
 
 	m.mu.Lock()
@@ -565,7 +610,7 @@ func (m *Manager) Poll() (int, error) {
 // longer stalls the others, and N CQs over the same tables share one
 // differential-window fetch through the round's cache — the paper's
 // system active delta zone (Section 5.4) materialized once per round.
-func (m *Manager) refreshGroup(fired []*instance, roundTS vclock.Timestamp, cache *storage.WindowCache) (int, []error) {
+func (m *Manager) refreshGroup(fired []*instance, roundTS vclock.Timestamp, cache *storage.WindowCache, versions map[string]uint64) (int, []error) {
 	if len(fired) == 0 {
 		return 0, nil
 	}
@@ -590,7 +635,7 @@ func (m *Manager) refreshGroup(fired []*instance, roundTS vclock.Timestamp, cach
 		if inst.terminated.Load() || roundTS <= inst.lastExec {
 			return
 		}
-		if err := m.refreshInstance(inst, roundTS, cache); err != nil {
+		if err := m.refreshInstance(inst, roundTS, cache, versions); err != nil {
 			inst.lastErr = err
 			outs[i] = outcome{err: err}
 			return
@@ -669,6 +714,11 @@ func (m *Manager) Refresh(name string) error {
 	}
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
+	// Counter snapshot before the timestamp, as in Poll.
+	var versions map[string]uint64
+	if m.cfg.UseDRA {
+		versions = m.store.ChangeCounts()
+	}
 	now := m.store.Now()
 	cache := m.store.NewWindowCache()
 	// Bring trigger accounting up to date so it resets consistently.
@@ -676,7 +726,7 @@ func (m *Manager) Refresh(name string) error {
 		inst.lastErr = err
 		return err
 	}
-	if err := m.refreshInstance(inst, now, cache); err != nil {
+	if err := m.refreshInstance(inst, now, cache, versions); err != nil {
 		inst.lastErr = err
 		return err
 	}
@@ -728,7 +778,7 @@ func (m *Manager) observeAndTest(inst *instance, now vclock.Timestamp, cache *st
 // notification, drawing differential windows from the round's shared
 // cache. Caller holds inst.mu (and only inst.mu on the Poll worker
 // path; the store and the DRA engine are safe for concurrent use).
-func (m *Manager) refreshInstance(inst *instance, execTS vclock.Timestamp, cache *storage.WindowCache) error {
+func (m *Manager) refreshInstance(inst *instance, execTS vclock.Timestamp, cache *storage.WindowCache, versions map[string]uint64) error {
 	var span *obs.Span
 	var start time.Time
 	if mm := m.met; mm != nil {
@@ -746,6 +796,7 @@ func (m *Manager) refreshInstance(inst *instance, execTS vclock.Timestamp, cache
 			LastTS:    inst.lastExec,
 			Prev:      inst.prev,
 			Compacted: compact,
+			Versions:  versions,
 		}
 		for _, table := range inst.tables {
 			w, derr := cache.Window(table, inst.lastExec, execTS, compact)
@@ -754,9 +805,12 @@ func (m *Manager) refreshInstance(inst *instance, execTS vclock.Timestamp, cache
 			}
 			ctx.Deltas[table] = w
 		}
-		if inst.maint != nil {
+		switch {
+		case inst.maint != nil:
 			res, err = inst.maint.Step(ctx, execTS)
-		} else {
+		case inst.prepared != nil:
+			res, err = inst.prepared.Step(ctx, execTS)
+		default:
 			res, err = m.cfg.Engine.Reevaluate(inst.plan, ctx, execTS)
 		}
 	} else {
@@ -1000,6 +1054,10 @@ func (m *Manager) Close() error {
 	for _, inst := range m.cqs {
 		inst.mu.Lock()
 		closeSubs(inst)
+		if inst.prepared != nil {
+			inst.prepared.Close()
+			inst.prepared = nil
+		}
 		inst.mu.Unlock()
 	}
 	return nil
@@ -1007,7 +1065,8 @@ func (m *Manager) Close() error {
 
 // newMaintainer tries the incremental state keepers in turn; a nil, nil
 // return means the plan is plain SPJ (or otherwise unsupported) and the
-// caller should use the DRA/Propagate path.
+// caller should prepare it instead (Manager.prepare). Join maintenance
+// moved into the prepared layer as dra.StrategyIncremental.
 func newMaintainer(cfg Config, plan algebra.Plan, store *storage.Store) (maintainer, error) {
 	engine := cfg.Engine
 	if ia, err := dra.NewIncrementalAggregate(engine, plan, store.Live()); err == nil {
@@ -1020,12 +1079,39 @@ func newMaintainer(cfg Config, plan algebra.Plan, store *storage.Store) (maintai
 	} else if !errors.Is(err, dra.ErrNotIncremental) {
 		return nil, err
 	}
-	if cfg.IncrementalJoins {
-		if ij, err := dra.NewIncrementalJoin(engine, plan, store.Live()); err == nil {
-			return ij, nil
-		} else if !errors.Is(err, dra.ErrNotIncremental) {
-			return nil, err
-		}
-	}
 	return nil, nil
+}
+
+// prepare builds the compile-once refresh pipeline for an SPJ (or
+// propagate-only) plan. A forced strategy the plan cannot run is not an
+// error for the registration: it falls back to the cost model — but
+// audibly, through Logf and the cq.maintainer.fallbacks counter, never
+// silently.
+func (m *Manager) prepare(name string, plan algebra.Plan) (*dra.Prepared, error) {
+	strat := m.cfg.Strategy
+	if strat == dra.StrategyAuto && m.cfg.IncrementalJoins {
+		strat = dra.StrategyIncremental
+	}
+	prep, err := m.cfg.Engine.Prepare(plan, strat)
+	if err != nil && strat != dra.StrategyAuto {
+		m.logf("cq %q: %v strategy unavailable (%v); falling back to auto", name, strat, err)
+		if mm := m.met; mm != nil {
+			mm.maintFallbacks.Inc()
+		}
+		prep, err = m.cfg.Engine.Prepare(plan, dra.StrategyAuto)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return prep, nil
+}
+
+// logf writes one diagnostic line through Config.Logf, defaulting to
+// the standard library logger.
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }

@@ -2,9 +2,12 @@ package cq
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
+	"github.com/diorama/continual/internal/dra"
+	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/relation"
 	"github.com/diorama/continual/internal/sql"
 	"github.com/diorama/continual/internal/storage"
@@ -717,12 +720,13 @@ func TestIncrementalJoinsConfig(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	m.mu.Lock()
-	if m.cqs["joined"].maint == nil {
-		m.mu.Unlock()
-		t.Fatal("incremental join maintainer not installed")
+	st, err := m.State("joined")
+	if err != nil {
+		t.Fatal(err)
 	}
-	m.mu.Unlock()
+	if st.Strategy != dra.StrategyIncremental.String() {
+		t.Fatalf("strategy = %q, want incremental (IncrementalJoins alias)", st.Strategy)
+	}
 	commit(t, s, func(tx *storage.Tx) error {
 		_, err := tx.Insert("trades", []relation.Value{relation.Str("DEC"), relation.Int(900)})
 		return err
@@ -740,10 +744,55 @@ func TestIncrementalJoinsConfig(t *testing.T) {
 	if _, err := m2.Register(Def{Name: "tt", Query: "SELECT * FROM stocks s JOIN trades t ON s.name = t.sym"}); err != nil {
 		t.Fatal(err)
 	}
-	m2.mu.Lock()
-	if m2.cqs["tt"].maint != nil {
-		m2.mu.Unlock()
-		t.Fatal("default config must not install a join maintainer")
+	st2, err := m2.State("tt")
+	if err != nil {
+		t.Fatal(err)
 	}
-	m2.mu.Unlock()
+	if st2.Strategy != dra.StrategyTruthTable.String() {
+		t.Fatalf("default strategy = %q, want truth-table", st2.Strategy)
+	}
+}
+
+// A forced strategy the plan cannot run must fall back to the cost
+// model audibly: one log line and one cq.maintainer.fallbacks count,
+// never a silent demotion.
+func TestStrategyFallbackIsAudible(t *testing.T) {
+	s := newStoreWith(t, map[string]relation.Schema{"stocks": stockSchema()})
+	insertStock(t, s, "DEC", 150)
+	reg := obs.NewRegistry()
+	var logged []string
+	m := NewManagerConfig(s, Config{
+		UseDRA:   true,
+		Strategy: dra.StrategyIncremental, // single-table plan: ineligible
+		Metrics:  reg,
+		Logf: func(format string, args ...any) {
+			logged = append(logged, fmt.Sprintf(format, args...))
+		},
+	})
+	defer func() { _ = m.Close() }()
+	if _, err := m.Register(Def{Name: "single", Query: "SELECT * FROM stocks WHERE price > 100"}); err != nil {
+		t.Fatalf("registration must survive the fallback: %v", err)
+	}
+	if len(logged) != 1 {
+		t.Fatalf("fallback log lines = %d, want 1: %v", len(logged), logged)
+	}
+	if got := reg.Counter("cq.maintainer.fallbacks").Value(); got != 1 {
+		t.Errorf("cq.maintainer.fallbacks = %d, want 1", got)
+	}
+	st, err := m.State("single")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Strategy != dra.StrategyTruthTable.String() {
+		t.Errorf("fallback strategy = %q, want truth-table", st.Strategy)
+	}
+	// The fallback CQ still refreshes correctly.
+	insertStock(t, s, "IBM", 175)
+	if _, err := m.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := m.Result("single")
+	if res.Len() != 2 {
+		t.Errorf("result = %d rows, want 2", res.Len())
+	}
 }

@@ -26,7 +26,11 @@ type metrics struct {
 	queueDepth    *obs.Gauge     // cq.notify_queue_depth: buffered, undrained
 	gcReclaimed   *obs.Counter   // cq.gc_reclaimed_rows
 	terminated    *obs.Counter   // cq.terminated: Stop conditions reached
-	traces        *obs.TraceLog  // cq.refresh spans
+	// maintFallbacks counts registrations where a forced refresh
+	// strategy could not run on the CQ's plan and the manager fell back
+	// to the cost model (formerly a silent fallback).
+	maintFallbacks *obs.Counter  // cq.maintainer.fallbacks
+	traces         *obs.TraceLog // cq.refresh spans
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -34,24 +38,25 @@ func newMetrics(reg *obs.Registry) *metrics {
 		return nil
 	}
 	return &metrics{
-		registered:    reg.Gauge("cq.registered"),
-		polls:         reg.Counter("cq.polls"),
-		triggerEvals:  reg.Counter("cq.trigger_evals"),
-		firesEvery:    reg.Counter("cq.trigger_fires.every"),
-		firesUpdates:  reg.Counter("cq.trigger_fires.updates"),
-		firesEpsilon:  reg.Counter("cq.trigger_fires.epsilon"),
-		firesDefault:  reg.Counter("cq.trigger_fires.default"),
-		refreshes:     reg.Counter("cq.refreshes"),
-		refreshNS:     reg.Histogram("cq.refresh_ns"),
-		refreshErrors: reg.Counter("cq.refresh.errors"),
-		roundNS:       reg.Histogram("cq.round_ns"),
-		roundWorkers:  reg.Gauge("cq.round_workers"),
-		notifications: reg.Counter("cq.notifications"),
-		drops:         reg.Counter("cq.subscriber_drops"),
-		queueDepth:    reg.Gauge("cq.notify_queue_depth"),
-		gcReclaimed:   reg.Counter("cq.gc_reclaimed_rows"),
-		terminated:    reg.Counter("cq.terminated"),
-		traces:        reg.Traces(),
+		registered:     reg.Gauge("cq.registered"),
+		polls:          reg.Counter("cq.polls"),
+		triggerEvals:   reg.Counter("cq.trigger_evals"),
+		firesEvery:     reg.Counter("cq.trigger_fires.every"),
+		firesUpdates:   reg.Counter("cq.trigger_fires.updates"),
+		firesEpsilon:   reg.Counter("cq.trigger_fires.epsilon"),
+		firesDefault:   reg.Counter("cq.trigger_fires.default"),
+		refreshes:      reg.Counter("cq.refreshes"),
+		refreshNS:      reg.Histogram("cq.refresh_ns"),
+		refreshErrors:  reg.Counter("cq.refresh.errors"),
+		roundNS:        reg.Histogram("cq.round_ns"),
+		roundWorkers:   reg.Gauge("cq.round_workers"),
+		notifications:  reg.Counter("cq.notifications"),
+		drops:          reg.Counter("cq.subscriber_drops"),
+		queueDepth:     reg.Gauge("cq.notify_queue_depth"),
+		gcReclaimed:    reg.Counter("cq.gc_reclaimed_rows"),
+		terminated:     reg.Counter("cq.terminated"),
+		maintFallbacks: reg.Counter("cq.maintainer.fallbacks"),
+		traces:         reg.Traces(),
 	}
 }
 

@@ -47,6 +47,7 @@ type groupState struct {
 // refreshes.
 type IncrementalAggregate struct {
 	plan   *algebra.AggregatePlan
+	input  *compiledNode // compiled SPJ input, built once at construction
 	engine *Engine
 
 	groupEx []algebra.CompiledExpr
@@ -83,6 +84,11 @@ func NewIncrementalAggregate(engine *Engine, plan algebra.Plan, src algebra.Sour
 		engine: engine,
 		groups: make(map[uint64]*groupState),
 	}
+	in, err := compilePlan(agg.Input)
+	if err != nil {
+		return nil, err
+	}
+	ia.input = in
 	inSchema := agg.Input.Schema()
 	for _, g := range agg.GroupBy {
 		ce, err := algebra.Compile(g.Expr, inSchema)
@@ -240,11 +246,10 @@ func (ia *IncrementalAggregate) materialize() (*relation.Relation, error) {
 // O(|Δ|) for select-only inputs.
 func (ia *IncrementalAggregate) Step(ctx *Context, execTS vclock.Timestamp) (*Result, error) {
 	var st Stats
-	din, err := ia.engine.signedDelta(ia.plan.Input, ctx, &st)
+	din, err := ia.engine.signedDelta(ia.input, ctx, execTS, &st)
 	if err != nil {
 		return nil, err
 	}
-	ia.engine.setStats(st)
 	for _, r := range din.Rows {
 		if err := ia.fold(relation.Tuple{TID: r.TID, Values: r.Values}, r.Sign); err != nil {
 			return nil, err

@@ -114,13 +114,13 @@ func TestIncrementalBankSum(t *testing.T) {
 	if _, err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	stepAndVerify(t, f, ia, plan)
+	res = stepAndVerify(t, f, ia, plan)
 	if ia.Result().At(0).Values[0].AsFloat() != 260 {
 		t.Errorf("after withdrawal+correction = %v", ia.Result().At(0).Values)
 	}
-	// The engine never scanned base data for these steps.
-	if e := ia.engine; e.Stats.PreTuplesScanned != 0 {
-		t.Errorf("incremental aggregate scanned %d pre tuples", e.Stats.PreTuplesScanned)
+	// The engine never scanned base data for this step.
+	if res.Stats.PreTuplesScanned != 0 {
+		t.Errorf("incremental aggregate scanned %d pre tuples", res.Stats.PreTuplesScanned)
 	}
 }
 

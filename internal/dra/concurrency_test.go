@@ -64,7 +64,7 @@ func TestNetSignedHashCollision(t *testing.T) {
 // TestConcurrentReevaluateSharedEngine drives one engine from many
 // goroutines over the same context, as the cq scheduler's refresh
 // workers do. Run under -race this is the regression test for the
-// shared Engine.Stats data race; the assertions check every concurrent
+// stats be shared mutable engine state; the assertions check every concurrent
 // call still computes the serial answer.
 func TestConcurrentReevaluateSharedEngine(t *testing.T) {
 	f := newFixture(t, map[string]relation.Schema{"stocks": stockSchema()})

@@ -18,6 +18,7 @@ import (
 // count rises from zero and leaves when it returns to zero.
 type IncrementalDistinct struct {
 	plan   *algebra.DistinctPlan
+	input  *compiledNode // compiled SPJ input, built once at construction
 	engine *Engine
 
 	counts map[uint64]*distinctEntry
@@ -44,6 +45,11 @@ func NewIncrementalDistinct(engine *Engine, plan algebra.Plan, src algebra.Sourc
 		engine: engine,
 		counts: make(map[uint64]*distinctEntry),
 	}
+	in, err := compilePlan(d.Input)
+	if err != nil {
+		return nil, err
+	}
+	id.input = in
 	input, err := algebra.NewExecutor(src).Execute(d.Input)
 	if err != nil {
 		return nil, err
@@ -86,11 +92,10 @@ func (id *IncrementalDistinct) Result() *relation.Relation { return id.out }
 // Step folds the update window and returns the result change.
 func (id *IncrementalDistinct) Step(ctx *Context, execTS vclock.Timestamp) (*Result, error) {
 	var st Stats
-	din, err := id.engine.signedDelta(id.plan.Input, ctx, &st)
+	din, err := id.engine.signedDelta(id.input, ctx, execTS, &st)
 	if err != nil {
 		return nil, err
 	}
-	id.engine.setStats(st)
 	for _, r := range din.Rows {
 		id.fold(r.Values, r.Sign)
 	}

@@ -38,14 +38,12 @@ package dra
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"github.com/diorama/continual/internal/algebra"
 	"github.com/diorama/continual/internal/delta"
 	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/relation"
-	"github.com/diorama/continual/internal/sql"
 	"github.com/diorama/continual/internal/vclock"
 )
 
@@ -77,6 +75,15 @@ type Context struct {
 	// again. The cq scheduler's shared window cache sets this when it
 	// hands the same compacted window to many CQs.
 	Compacted bool
+
+	// Versions carries per-table change-counter snapshots
+	// (storage.Store.ChangeCounts) for prepared-plan operand caches.
+	// The snapshot MUST be taken before the refresh timestamp is
+	// issued — the counters then cover at most the commits older than
+	// the timestamp, so a later equality proves the table untouched in
+	// between. Nil disables counter revalidation (caches still hit on
+	// consecutive refreshes via timestamps alone).
+	Versions map[string]uint64
 }
 
 // Stats records the work of one differential re-evaluation, consumed by
@@ -96,6 +103,12 @@ type Stats struct {
 	// Skipped reports that the relevant-update refinement (Section 5.2)
 	// proved all updates irrelevant and skipped evaluation entirely.
 	Skipped bool
+	// IndexCacheHits counts operand pre-states served from a prepared
+	// plan's cross-refresh cache (no snapshot scan, indexes reused);
+	// IndexCacheMisses counts replica rebuilds and first-time index
+	// builds. Both stay zero on the unprepared Reevaluate path.
+	IndexCacheHits   int
+	IndexCacheMisses int
 }
 
 // Engine evaluates differential forms of SPJ plans. The flags correspond
@@ -116,25 +129,14 @@ type Engine struct {
 	// operand's filtered delta is empty the re-evaluation is skipped.
 	SkipIrrelevant bool
 
-	// Stats holds the stats of the most recent evaluation. Each call
-	// accumulates into a private per-call value and publishes it here
-	// under statsMu, so one Engine may serve concurrent Reevaluate
-	// calls; readers that need the stats of a specific call should use
-	// Result.Stats instead of this field.
-	Stats   Stats
-	statsMu sync.Mutex
-
 	// Metrics accumulates per-call Stats into the engine-wide obs
 	// registry and records a span per Reevaluate. Nil (the default)
 	// leaves the engine uninstrumented; see Instrument.
+	//
+	// Per-call stats live in Result.Stats, owned by the caller; the
+	// engine keeps no mutable evaluation state of its own, which is
+	// what lets one engine serve concurrent refresh workers.
 	Metrics *Metrics
-}
-
-// setStats publishes a finished call's stats to the legacy Stats field.
-func (e *Engine) setStats(st Stats) {
-	e.statsMu.Lock()
-	e.Stats = st
-	e.statsMu.Unlock()
 }
 
 // NewEngine returns an engine with all optimizations enabled.
@@ -151,9 +153,8 @@ type Result struct {
 	Delta *delta.Delta
 	// ExecTS is the timestamp assigned to this execution.
 	ExecTS vclock.Timestamp
-	// Stats is the work of this evaluation. Unlike Engine.Stats it is
-	// owned by the caller, so it stays coherent when one engine serves
-	// concurrent re-evaluations.
+	// Stats is the work of this evaluation, owned by the caller, so it
+	// stays coherent when one engine serves concurrent re-evaluations.
 	Stats Stats
 
 	// materialized is set when the evaluation already produced the full
@@ -184,12 +185,31 @@ func (r *Result) Deleted() *relation.Relation { return r.Delta.Deletions() }
 func (r *Result) Modified() []delta.Row { return r.Delta.Modifications() }
 
 // Reevaluate computes the result of the current execution of the query
-// differentially. ctx.Prev must hold the previous complete result.
+// differentially, compiling the plan transiently per call. ctx.Prev
+// must hold the previous complete result. Standing queries should
+// Prepare once and Step instead: the compiled tree and the operand
+// index cache then persist across refreshes.
 //
 // Reevaluate is safe for concurrent use: stats accumulate into a
 // per-call value (returned in Result.Stats) and the context is only
 // read, so the cq scheduler's refresh workers share one engine.
 func (e *Engine) Reevaluate(plan algebra.Plan, ctx *Context, execTS vclock.Timestamp) (*Result, error) {
+	var root *compiledNode
+	if supportsDifferential(plan) {
+		r, err := compilePlan(plan)
+		if err != nil {
+			return nil, err
+		}
+		root = r
+	}
+	return e.evaluate(plan, root, ctx, execTS)
+}
+
+// evaluate is the refresh core shared by Reevaluate (transient compile
+// per call) and Prepared.Step (compile once at registration): the
+// truth-table differential evaluation when root is non-nil, the
+// Propagate fallback otherwise.
+func (e *Engine) evaluate(plan algebra.Plan, root *compiledNode, ctx *Context, execTS vclock.Timestamp) (*Result, error) {
 	if ctx.Prev == nil {
 		return nil, ErrNoPrev
 	}
@@ -202,19 +222,27 @@ func (e *Engine) Reevaluate(plan algebra.Plan, ctx *Context, execTS vclock.Times
 	}
 
 	var signed *delta.Signed
-	if supportsDifferential(plan) {
+	if root != nil {
 		if e.SkipIrrelevant {
-			relevant, err := e.relevant(plan, ctx)
+			relevant, err := e.relevant(root, ctx)
 			if err != nil {
 				return nil, err
 			}
 			if !relevant {
 				st.Skipped = true
 				signed = &delta.Signed{Schema: plan.Schema()}
+				// The skipped window still moves the operand caches
+				// forward: every filtered delta is empty, so each
+				// replica already equals its operand's state at execTS.
+				root.eachJoin(func(cj *compiledJoin) {
+					if cj.cache != nil {
+						cj.cache.skipTo(ctx, execTS)
+					}
+				})
 			}
 		}
 		if signed == nil {
-			s, err := e.signedDelta(plan, ctx, &st)
+			s, err := e.signedDelta(root, ctx, execTS, &st)
 			if err != nil {
 				return nil, err
 			}
@@ -230,7 +258,6 @@ func (e *Engine) Reevaluate(plan algebra.Plan, ctx *Context, execTS vclock.Times
 	}
 
 	net := netSigned(signed)
-	e.setStats(st)
 	if m := e.Metrics; m != nil {
 		m.observe(st, span, time.Since(start))
 	}
@@ -247,19 +274,23 @@ func (e *Engine) Reevaluate(plan algebra.Plan, ctx *Context, execTS vclock.Times
 // and reports whether any update can affect the query result. It never
 // materializes pre-states, so it is cheap (O(Σ|ΔRi|)).
 func (e *Engine) Relevant(plan algebra.Plan, ctx *Context) (bool, error) {
-	return e.relevant(plan, ctx)
-}
-
-// relevant is Relevant on a scratch Stats: the rows it scans are counted
-// again by the real evaluation, so its work never reaches Engine.Stats.
-func (e *Engine) relevant(plan algebra.Plan, ctx *Context) (bool, error) {
-	var scratch Stats
-	ops, _, err := flatten(plan)
+	if !supportsDifferential(plan) {
+		return true, nil
+	}
+	root, err := compilePlan(plan)
 	if err != nil {
 		return false, err
 	}
-	for _, op := range ops {
-		d, err := e.operandDelta(op, ctx, &scratch)
+	return e.relevant(root, ctx)
+}
+
+// relevant tests every maximal join-free subtree's filtered delta for
+// emptiness, on a scratch Stats: the rows it scans are counted again by
+// the real evaluation, so its work never reaches Result.Stats.
+func (e *Engine) relevant(root *compiledNode, ctx *Context) (bool, error) {
+	var scratch Stats
+	for _, op := range root.operands(nil) {
+		d, err := e.signedDelta(op, ctx, 0, &scratch)
 		if err != nil {
 			return false, err
 		}
@@ -287,28 +318,31 @@ func supportsDifferential(p algebra.Plan) bool {
 	}
 }
 
-// signedDelta computes the signed change of a plan node's output between
-// the pre and post states, accumulating work counts into st.
-func (e *Engine) signedDelta(p algebra.Plan, ctx *Context, st *Stats) (*delta.Signed, error) {
-	switch n := p.(type) {
-	case *algebra.ScanPlan:
-		return e.scanDelta(n, ctx, st)
-	case *algebra.SelectPlan:
-		in, err := e.signedDelta(n.Input, ctx, st)
+// signedDelta computes the signed change of a compiled node's output
+// between the pre and post states, accumulating work counts into st.
+// execTS is the timestamp the refresh runs at; join groups with an
+// operand cache use it to tag advanced replicas (zero is fine when no
+// cache is attached, e.g. relevance probes on join-free subtrees).
+func (e *Engine) signedDelta(n *compiledNode, ctx *Context, execTS vclock.Timestamp, st *Stats) (*delta.Signed, error) {
+	switch {
+	case n.scan != nil:
+		return e.scanDelta(n.scan, ctx, st)
+	case n.sel != nil:
+		in, err := e.signedDelta(n.sel.input, ctx, execTS, st)
 		if err != nil {
 			return nil, err
 		}
-		return filterSigned(in, n.Pred)
-	case *algebra.ProjectPlan:
-		in, err := e.signedDelta(n.Input, ctx, st)
+		return filterSigned(in, n.sel.pred)
+	case n.proj != nil:
+		in, err := e.signedDelta(n.proj.input, ctx, execTS, st)
 		if err != nil {
 			return nil, err
 		}
-		return projectSigned(in, n, p.Schema())
-	case *algebra.JoinPlan:
-		return e.joinDelta(n, ctx, st)
+		return projectSigned(in, n.proj.items, n.proj.schema)
+	case n.join != nil:
+		return e.joinDelta(n.join, ctx, execTS, st)
 	default:
-		return nil, fmt.Errorf("%w: %T", ErrUnsupportedPlan, p)
+		return nil, fmt.Errorf("%w: %T", ErrUnsupportedPlan, n.plan)
 	}
 }
 
@@ -328,14 +362,11 @@ func (e *Engine) scanDelta(n *algebra.ScanPlan, ctx *Context, st *Stats) (*delta
 	return &delta.Signed{Schema: n.Schema(), Rows: s.Rows}, nil
 }
 
-// filterSigned applies a selection predicate to each signed row. A
-// modification whose old half passes and whose new half fails nets to a
-// deletion from the result, exactly as in Example 2 of the paper.
-func filterSigned(in *delta.Signed, pred sql.Expr) (*delta.Signed, error) {
-	ce, err := algebra.Compile(pred, in.Schema)
-	if err != nil {
-		return nil, err
-	}
+// filterSigned applies a compiled selection predicate to each signed
+// row. A modification whose old half passes and whose new half fails
+// nets to a deletion from the result, exactly as in Example 2 of the
+// paper.
+func filterSigned(in *delta.Signed, ce algebra.CompiledExpr) (*delta.Signed, error) {
 	out := &delta.Signed{Schema: in.Schema, Rows: make([]delta.SignedRow, 0, len(in.Rows))}
 	for _, r := range in.Rows {
 		pass, err := algebra.EvalPredicate(ce, relation.Tuple{TID: r.TID, Values: r.Values})
@@ -349,16 +380,8 @@ func filterSigned(in *delta.Signed, pred sql.Expr) (*delta.Signed, error) {
 	return out, nil
 }
 
-// projectSigned maps each signed row through the projection items.
-func projectSigned(in *delta.Signed, n *algebra.ProjectPlan, outSchema relation.Schema) (*delta.Signed, error) {
-	compiled := make([]algebra.CompiledExpr, len(n.Items))
-	for i, it := range n.Items {
-		ce, err := algebra.Compile(it.Expr, in.Schema)
-		if err != nil {
-			return nil, err
-		}
-		compiled[i] = ce
-	}
+// projectSigned maps each signed row through compiled projection items.
+func projectSigned(in *delta.Signed, compiled []algebra.CompiledExpr, outSchema relation.Schema) (*delta.Signed, error) {
 	out := &delta.Signed{Schema: outSchema, Rows: make([]delta.SignedRow, 0, len(in.Rows))}
 	for _, r := range in.Rows {
 		vals := make([]relation.Value, len(compiled))

@@ -166,10 +166,10 @@ func TestExample2(t *testing.T) {
 		t.Fatalf("complete result len = %d, want 1 (DEC@149)", complete.Len())
 	}
 	// The engine must not have scanned any pre-state (pure select query).
-	if e.Stats.PreTuplesScanned != 0 {
-		t.Errorf("select-only DRA scanned %d pre tuples, want 0", e.Stats.PreTuplesScanned)
+	if res.Stats.PreTuplesScanned != 0 {
+		t.Errorf("select-only DRA scanned %d pre tuples, want 0", res.Stats.PreTuplesScanned)
 	}
-	if e.Stats.FellBack {
+	if res.Stats.FellBack {
 		t.Error("select query should not fall back")
 	}
 }
@@ -248,7 +248,7 @@ func TestIrrelevantUpdatesSkipped(t *testing.T) {
 
 	e := NewEngine()
 	res, _ := f.reval(t, e, plan, prev)
-	if !e.Stats.Skipped {
+	if !res.Stats.Skipped {
 		t.Error("irrelevant updates should be skipped (Section 5.2)")
 	}
 	if res.Delta.Len() != 0 {
@@ -258,7 +258,7 @@ func TestIrrelevantUpdatesSkipped(t *testing.T) {
 	e2 := NewEngine()
 	e2.SkipIrrelevant = false
 	res2, _ := f.reval(t, e2, plan, prev)
-	if e2.Stats.Skipped {
+	if res2.Stats.Skipped {
 		t.Error("Skipped should be false when refinement disabled")
 	}
 	if res2.Delta.Len() != 0 {
@@ -292,8 +292,8 @@ func TestJoinDeltaSingleChangedOperand(t *testing.T) {
 	if res.Inserted().Len() != 1 {
 		t.Fatalf("inserted = %d:\n%s", res.Inserted().Len(), res.Inserted())
 	}
-	if e.Stats.Terms != 1 {
-		t.Errorf("terms = %d, want 1 (single changed operand)", e.Stats.Terms)
+	if res.Stats.Terms != 1 {
+		t.Errorf("terms = %d, want 1 (single changed operand)", res.Stats.Terms)
 	}
 }
 
@@ -322,8 +322,8 @@ func TestJoinDeltaBothOperandsChanged(t *testing.T) {
 
 	e := NewEngine()
 	res, _ := f.reval(t, e, plan, prev)
-	if e.Stats.Terms != 3 {
-		t.Errorf("terms = %d, want 3 (2^2-1)", e.Stats.Terms)
+	if res.Stats.Terms != 3 {
+		t.Errorf("terms = %d, want 3 (2^2-1)", res.Stats.Terms)
 	}
 	// IBM@80 joined with old trade (modification) and with new trade
 	// (insertion).
@@ -374,8 +374,8 @@ func TestThreeWayJoinDelta(t *testing.T) {
 
 	e := NewEngine()
 	res, _ := f.reval(t, e, plan, prev)
-	if e.Stats.Terms != 7 {
-		t.Errorf("terms = %d, want 7 (2^3-1)", e.Stats.Terms)
+	if res.Stats.Terms != 7 {
+		t.Errorf("terms = %d, want 7 (2^3-1)", res.Stats.Terms)
 	}
 	if res.Inserted().Len() != 1 {
 		t.Errorf("inserted = %d:\n%s", res.Inserted().Len(), res.Inserted())
@@ -398,7 +398,7 @@ func TestAggregateFallsBackToPropagate(t *testing.T) {
 
 	e := NewEngine()
 	res, complete := f.reval(t, e, plan, prev)
-	if !e.Stats.FellBack {
+	if !res.Stats.FellBack {
 		t.Error("aggregate should fall back to Propagate")
 	}
 	if complete.Len() != 1 || complete.At(0).Values[0].AsFloat() != 350 {

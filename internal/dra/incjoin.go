@@ -28,11 +28,12 @@ import (
 // for differential or incremental evaluation of CQs") as a maintained-
 // index variant.
 type IncrementalJoin struct {
-	engine *Engine
-	plan   algebra.Plan // full root (may include a projection)
-	join   algebra.Plan // the join subtree
-	ops    []*operand
-	preds  []sql.Expr
+	engine  *Engine
+	plan    algebra.Plan // full root (may include a projection)
+	join    algebra.Plan // the join subtree
+	ops     []*operand
+	opNodes []*compiledNode // compiled operand subtrees for delta extraction
+	preds   []sql.Expr
 	cPreds []algebra.CompiledExpr
 	masks  []uint64
 
@@ -81,13 +82,21 @@ func NewIncrementalJoin(engine *Engine, plan algebra.Plan, src algebra.Source) (
 	if len(ops) < 2 {
 		return nil, fmt.Errorf("%w: single operand", ErrNotIncremental)
 	}
+	opNodes := make([]*compiledNode, len(ops))
+	for i, op := range ops {
+		opNodes[i], err = compilePlan(op.plan)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	ij := &IncrementalJoin{
-		engine: engine,
-		plan:   plan,
-		join:   root,
-		ops:    ops,
-		preds:  preds,
+		engine:  engine,
+		plan:    plan,
+		join:    root,
+		ops:     ops,
+		opNodes: opNodes,
+		preds:   preds,
 	}
 	ij.cPreds, ij.masks, err = compilePreds(preds, root.Schema(), ops)
 	if err != nil {
@@ -247,7 +256,7 @@ func (ij *IncrementalJoin) Step(ctx *Context, execTS vclock.Timestamp) (*Result,
 	var outRows []delta.SignedRow
 
 	for i := range ij.ops {
-		din, err := ij.engine.signedDelta(ij.ops[i].plan, ctx, &st)
+		din, err := ij.engine.signedDelta(ij.opNodes[i], ctx, execTS, &st)
 		if err != nil {
 			return nil, err
 		}
@@ -347,7 +356,6 @@ func (ij *IncrementalJoin) Step(ctx *Context, execTS vclock.Timestamp) (*Result,
 
 	net := netSigned(&delta.Signed{Schema: ij.outSchema, Rows: outRows})
 	delta.ApplySigned(ij.result, net)
-	ij.engine.setStats(st)
 	res := &Result{
 		Signed: net,
 		Delta:  net.ToDelta(execTS),

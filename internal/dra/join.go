@@ -7,6 +7,7 @@ import (
 	"github.com/diorama/continual/internal/delta"
 	"github.com/diorama/continual/internal/relation"
 	"github.com/diorama/continual/internal/sql"
+	"github.com/diorama/continual/internal/vclock"
 )
 
 // maxChangedOperands caps the truth-table width; beyond it (4096 terms)
@@ -55,41 +56,40 @@ func flatten(p algebra.Plan) ([]*operand, []sql.Expr, error) {
 	return ops, preds, nil
 }
 
-// operandDelta computes the signed delta of a join-free operand subtree.
-func (e *Engine) operandDelta(op *operand, ctx *Context, st *Stats) (*delta.Signed, error) {
-	return e.signedDelta(op.plan, ctx, st)
+// termInput is one operand's relation within a truth-table term: the
+// signed rows to enumerate, or — when the operand is an unsubstituted
+// pre-state served by a prepared plan's cache — the live cache entry,
+// whose maintained hash indexes the hash step probes directly instead
+// of building a transient index per term.
+type termInput struct {
+	signed *delta.Signed
+	ent    *cachedOperand
 }
 
-// operandPre materializes the operand's pre-state (its subtree executed
-// against the last-execution snapshot), as a +1 signed relation.
-func (e *Engine) operandPre(op *operand, ctx *Context, st *Stats) (*delta.Signed, error) {
-	ex := algebra.NewExecutor(ctx.Pre)
-	ex.UseHashJoin = e.UseHashJoin
-	rel, err := ex.Execute(op.plan)
-	if err != nil {
-		return nil, fmt.Errorf("dra: operand pre-state: %w", err)
+func (t termInput) len() int {
+	if t.ent != nil {
+		return t.ent.rel.Len()
 	}
-	st.PreTuplesScanned += rel.Len()
-	out := &delta.Signed{Schema: rel.Schema(), Rows: make([]delta.SignedRow, 0, rel.Len())}
-	for _, t := range rel.Tuples() {
-		out.Rows = append(out.Rows, delta.SignedRow{TID: t.TID, Values: t.Values, Sign: +1})
-	}
-	return out, nil
+	return t.signed.Len()
 }
 
-// joinDelta computes the signed delta of a join subtree by truth-table
-// expansion (Algorithm 1, steps 1-3).
-func (e *Engine) joinDelta(n *algebra.JoinPlan, ctx *Context, st *Stats) (*delta.Signed, error) {
-	ops, preds, err := flatten(n)
-	if err != nil {
-		return nil, err
+// rows returns the signed enumeration of the input (building the cached
+// replica's +1 view lazily).
+func (t termInput) rows() *delta.Signed {
+	if t.ent != nil {
+		return t.ent.signedView()
 	}
-	outSchema := n.Schema()
+	return t.signed
+}
 
-	deltas := make([]*delta.Signed, len(ops))
+// joinDelta computes the signed delta of a join group by truth-table
+// expansion (Algorithm 1, steps 1-3), against the group's compiled
+// predicates and — when prepared — its cross-refresh operand cache.
+func (e *Engine) joinDelta(cj *compiledJoin, ctx *Context, execTS vclock.Timestamp, st *Stats) (*delta.Signed, error) {
+	deltas := make([]*delta.Signed, len(cj.ops))
 	var changed []int
-	for i, op := range ops {
-		d, err := e.operandDelta(op, ctx, st)
+	for i := range cj.ops {
+		d, err := e.signedDelta(cj.opNodes[i], ctx, execTS, st)
 		if err != nil {
 			return nil, err
 		}
@@ -99,37 +99,40 @@ func (e *Engine) joinDelta(n *algebra.JoinPlan, ctx *Context, st *Stats) (*delta
 		}
 	}
 	if len(changed) == 0 {
-		return &delta.Signed{Schema: outSchema}, nil
+		if cj.cache != nil {
+			cj.cache.advance(ctx, execTS, deltas)
+		}
+		return &delta.Signed{Schema: cj.outSchema}, nil
 	}
 	if len(changed) > maxChangedOperands {
-		return PropagateSigned(n, ctx.Pre, ctx.Post)
+		// Complete re-evaluation; the cache is left behind and will
+		// revalidate by table version or rebuild at the next refresh.
+		return PropagateSigned(cj.plan, ctx.Pre, ctx.Post)
 	}
 
-	// Lazily materialized pre-states for unsubstituted operands.
-	pres := make([]*delta.Signed, len(ops))
-	preOf := func(i int) (*delta.Signed, error) {
-		if pres[i] == nil {
-			p, err := e.operandPre(ops[i], ctx, st)
+	// Lazily materialized pre-states for unsubstituted operands, served
+	// from the cache when one is attached.
+	pres := make([]termInput, len(cj.ops))
+	have := make([]bool, len(cj.ops))
+	preOf := func(i int) (termInput, error) {
+		if !have[i] {
+			ti, err := e.operandPre(cj, i, ctx, st)
 			if err != nil {
-				return nil, err
+				return termInput{}, err
 			}
-			pres[i] = p
+			pres[i] = ti
+			have[i] = true
 		}
 		return pres[i], nil
 	}
 
-	compiledPreds, predMasks, err := compilePreds(preds, outSchema, ops)
-	if err != nil {
-		return nil, err
-	}
-
-	out := &delta.Signed{Schema: outSchema}
+	out := &delta.Signed{Schema: cj.outSchema}
 	k := len(changed)
 	for mask := 1; mask < 1<<k; mask++ {
-		term := make([]*delta.Signed, len(ops))
-		isDelta := make([]bool, len(ops))
+		term := make([]termInput, len(cj.ops))
+		isDelta := make([]bool, len(cj.ops))
 		empty := false
-		for i := range ops {
+		for i := range cj.ops {
 			substituted := false
 			for b, ci := range changed {
 				if ci == i && mask&(1<<b) != 0 {
@@ -138,7 +141,7 @@ func (e *Engine) joinDelta(n *algebra.JoinPlan, ctx *Context, st *Stats) (*delta
 				}
 			}
 			if substituted {
-				term[i] = deltas[i]
+				term[i] = termInput{signed: deltas[i]}
 				isDelta[i] = true
 			} else {
 				p, err := preOf(i)
@@ -147,7 +150,7 @@ func (e *Engine) joinDelta(n *algebra.JoinPlan, ctx *Context, st *Stats) (*delta
 				}
 				term[i] = p
 			}
-			if term[i].Len() == 0 {
+			if term[i].len() == 0 {
 				empty = true
 				break
 			}
@@ -156,13 +159,41 @@ func (e *Engine) joinDelta(n *algebra.JoinPlan, ctx *Context, st *Stats) (*delta
 			continue
 		}
 		st.Terms++
-		rows, err := e.evalTerm(ops, term, isDelta, preds, compiledPreds, predMasks, outSchema)
+		rows, err := e.evalTerm(cj, term, isDelta, st)
 		if err != nil {
 			return nil, err
 		}
 		out.Rows = append(out.Rows, rows...)
 	}
+	if cj.cache != nil {
+		cj.cache.advance(ctx, execTS, deltas)
+	}
 	return out, nil
+}
+
+// operandPre materializes operand i's pre-state: from the cross-refresh
+// cache when the join is prepared, transiently from the last-execution
+// snapshot otherwise.
+func (e *Engine) operandPre(cj *compiledJoin, i int, ctx *Context, st *Stats) (termInput, error) {
+	if cj.cache != nil {
+		ent, err := cj.cache.pre(i, ctx, st)
+		if err != nil {
+			return termInput{}, err
+		}
+		return termInput{ent: ent}, nil
+	}
+	ex := algebra.NewExecutor(ctx.Pre)
+	ex.UseHashJoin = e.UseHashJoin
+	rel, err := ex.Execute(cj.ops[i].plan)
+	if err != nil {
+		return termInput{}, fmt.Errorf("dra: operand pre-state: %w", err)
+	}
+	st.PreTuplesScanned += rel.Len()
+	out := &delta.Signed{Schema: rel.Schema(), Rows: make([]delta.SignedRow, 0, rel.Len())}
+	for _, t := range rel.Tuples() {
+		out.Rows = append(out.Rows, delta.SignedRow{TID: t.TID, Values: t.Values, Sign: +1})
+	}
+	return termInput{signed: out}, nil
 }
 
 // compilePreds compiles each cross-operand conjunct against the flattened
@@ -201,34 +232,27 @@ type partial struct {
 
 // evalTerm joins the term's operand relations, multiplying signs and
 // applying predicates as soon as all referenced operands are joined.
-func (e *Engine) evalTerm(
-	ops []*operand,
-	term []*delta.Signed,
-	isDelta []bool,
-	preds []sql.Expr,
-	compiledPreds []algebra.CompiledExpr,
-	predMasks []uint64,
-	outSchema relation.Schema,
-) ([]delta.SignedRow, error) {
-	order := e.termOrder(ops, term, isDelta, preds, outSchema)
-	width := outSchema.Len()
+func (e *Engine) evalTerm(cj *compiledJoin, term []termInput, isDelta []bool, st *Stats) ([]delta.SignedRow, error) {
+	order := e.termOrder(cj, term, isDelta)
+	width := cj.outSchema.Len()
 
-	applied := make([]bool, len(preds))
+	applied := make([]bool, len(cj.preds))
 	var filled uint64
 
 	// Seed with the first operand.
 	first := order[0]
-	cur := make([]*partial, 0, term[first].Len())
-	for _, r := range term[first].Rows {
+	seed := term[first].rows()
+	cur := make([]*partial, 0, len(seed.Rows))
+	for _, r := range seed.Rows {
 		vals := make([]relation.Value, width)
-		copy(vals[ops[first].lo:ops[first].hi], r.Values)
-		tids := make([]relation.TID, len(ops))
+		copy(vals[cj.ops[first].lo:cj.ops[first].hi], r.Values)
+		tids := make([]relation.TID, len(cj.ops))
 		tids[first] = r.TID
 		cur = append(cur, &partial{vals: vals, sign: r.Sign, tids: tids})
 	}
 	filled |= 1 << uint(first)
 	var err error
-	if cur, err = e.applyReady(cur, filled, applied, compiledPreds, predMasks); err != nil {
+	if cur, err = e.applyReady(cur, filled, applied, cj.cPreds, cj.masks); err != nil {
 		return nil, err
 	}
 
@@ -236,31 +260,31 @@ func (e *Engine) evalTerm(
 		if len(cur) == 0 {
 			return nil, nil
 		}
-		lk, rk := e.equiPairs(preds, applied, predMasks, filled, k, ops, outSchema)
+		lk, rk := equiPairs(cj, applied, filled, k)
 		var next []*partial
 		if e.UseHashJoin && len(lk) > 0 {
-			next, err = e.hashStep(cur, term[k], ops[k], k, lk, rk)
+			next, err = e.hashStep(cur, term[k], cj.ops[k], k, lk, rk, st)
 		} else {
-			next, err = e.loopStep(cur, term[k], ops[k], k)
+			next, err = e.loopStep(cur, term[k].rows(), cj.ops[k], k)
 		}
 		if err != nil {
 			return nil, err
 		}
 		// Mark equi predicates used by the hash step as applied.
 		if e.UseHashJoin && len(lk) > 0 {
-			markEquiApplied(preds, applied, predMasks, filled, k, ops, outSchema)
+			markEquiApplied(cj, applied, filled, k)
 		}
 		filled |= 1 << uint(k)
 		cur = next
-		if cur, err = e.applyReady(cur, filled, applied, compiledPreds, predMasks); err != nil {
+		if cur, err = e.applyReady(cur, filled, applied, cj.cPreds, cj.masks); err != nil {
 			return nil, err
 		}
 	}
 
 	// Any predicate not yet applied (defensive) runs now.
-	for i := range preds {
+	for i := range cj.preds {
 		if !applied[i] {
-			if cur, err = e.applyOne(cur, compiledPreds[i]); err != nil {
+			if cur, err = e.applyOne(cur, cj.cPreds[i]); err != nil {
 				return nil, err
 			}
 			applied[i] = true
@@ -281,8 +305,8 @@ func (e *Engine) evalTerm(
 // termOrder picks the operand join order: with heuristics, the smallest
 // delta operand first, then greedily the operand connected by an equi
 // predicate with the smallest relation; without, left-to-right.
-func (e *Engine) termOrder(ops []*operand, term []*delta.Signed, isDelta []bool, preds []sql.Expr, outSchema relation.Schema) []int {
-	n := len(ops)
+func (e *Engine) termOrder(cj *compiledJoin, term []termInput, isDelta []bool) []int {
+	n := len(cj.ops)
 	order := make([]int, 0, n)
 	if !e.UseHeuristics {
 		for i := 0; i < n; i++ {
@@ -295,7 +319,7 @@ func (e *Engine) termOrder(ops []*operand, term []*delta.Signed, isDelta []bool,
 	// every term).
 	best := -1
 	for i := 0; i < n; i++ {
-		if isDelta[i] && (best == -1 || term[i].Len() < term[best].Len()) {
+		if isDelta[i] && (best == -1 || term[i].len() < term[best].len()) {
 			best = i
 		}
 	}
@@ -308,12 +332,10 @@ func (e *Engine) termOrder(ops []*operand, term []*delta.Signed, isDelta []bool,
 
 	connected := func(k int) bool {
 		kbit := uint64(1) << uint(k)
-		for pi := range preds {
-			m := predMask(preds[pi], ops, outSchema)
-			if m&kbit != 0 && m&filled != 0 && m&^(filled|kbit) == 0 {
-				if isEquiConjunct(preds[pi]) {
-					return true
-				}
+		for pi := range cj.preds {
+			m := cj.masks[pi]
+			if m&kbit != 0 && m&filled != 0 && m&^(filled|kbit) == 0 && cj.equi[pi].ok {
+				return true
 			}
 		}
 		return false
@@ -332,7 +354,7 @@ func (e *Engine) termOrder(ops []*operand, term []*delta.Signed, isDelta []bool,
 			switch {
 			case kc && !nc:
 				next = k
-			case kc == nc && term[k].Len() < term[next].Len():
+			case kc == nc && term[k].len() < term[next].len():
 				next = k
 			}
 		}
@@ -341,23 +363,6 @@ func (e *Engine) termOrder(ops []*operand, term []*delta.Signed, isDelta []bool,
 		filled |= 1 << uint(next)
 	}
 	return order
-}
-
-func predMask(p sql.Expr, ops []*operand, outSchema relation.Schema) uint64 {
-	var m uint64
-	for _, col := range algebra.ColumnsOf(p) {
-		idx, ok := outSchema.ColIndex(col)
-		if !ok {
-			continue
-		}
-		for oi, op := range ops {
-			if idx >= op.lo && idx < op.hi {
-				m |= 1 << uint(oi)
-				break
-			}
-		}
-	}
-	return m
 }
 
 func isEquiConjunct(p sql.Expr) bool {
@@ -373,54 +378,69 @@ func isEquiConjunct(p sql.Expr) bool {
 // equiPairs finds unapplied equi conjuncts linking the filled operands to
 // operand k, returning (full-width column index on the filled side,
 // local column index within k).
-func (e *Engine) equiPairs(preds []sql.Expr, applied []bool, predMasks []uint64, filled uint64, k int, ops []*operand, outSchema relation.Schema) (probeCols []int, buildCols []int) {
+func equiPairs(cj *compiledJoin, applied []bool, filled uint64, k int) (probeCols []int, buildCols []int) {
 	kbit := uint64(1) << uint(k)
-	for i, p := range preds {
-		if applied[i] || !isEquiConjunct(p) {
+	lo, hi := cj.ops[k].lo, cj.ops[k].hi
+	for i := range cj.preds {
+		if applied[i] || !cj.equi[i].ok {
 			continue
 		}
-		if predMasks[i]&kbit == 0 || predMasks[i]&filled == 0 || predMasks[i]&^(filled|kbit) != 0 {
+		if cj.masks[i]&kbit == 0 || cj.masks[i]&filled == 0 || cj.masks[i]&^(filled|kbit) != 0 {
 			continue
 		}
-		be := p.(*sql.BinaryExpr)
-		li, _ := outSchema.ColIndex(be.L.(*sql.ColumnRef).Name)
-		ri, _ := outSchema.ColIndex(be.R.(*sql.ColumnRef).Name)
-		inK := func(c int) bool { return c >= ops[k].lo && c < ops[k].hi }
+		li, ri := cj.equi[i].li, cj.equi[i].ri
+		inK := func(c int) bool { return c >= lo && c < hi }
 		switch {
 		case inK(li) && !inK(ri):
 			probeCols = append(probeCols, ri)
-			buildCols = append(buildCols, li-ops[k].lo)
+			buildCols = append(buildCols, li-lo)
 		case inK(ri) && !inK(li):
 			probeCols = append(probeCols, li)
-			buildCols = append(buildCols, ri-ops[k].lo)
+			buildCols = append(buildCols, ri-lo)
 		}
 	}
 	return probeCols, buildCols
 }
 
 // markEquiApplied marks the equi conjuncts consumed by a hash step.
-func markEquiApplied(preds []sql.Expr, applied []bool, predMasks []uint64, filled uint64, k int, ops []*operand, outSchema relation.Schema) {
+func markEquiApplied(cj *compiledJoin, applied []bool, filled uint64, k int) {
 	kbit := uint64(1) << uint(k)
-	for i, p := range preds {
-		if applied[i] || !isEquiConjunct(p) {
+	lo, hi := cj.ops[k].lo, cj.ops[k].hi
+	for i := range cj.preds {
+		if applied[i] || !cj.equi[i].ok {
 			continue
 		}
-		if predMasks[i]&kbit == 0 || predMasks[i]&filled == 0 || predMasks[i]&^(filled|kbit) != 0 {
+		if cj.masks[i]&kbit == 0 || cj.masks[i]&filled == 0 || cj.masks[i]&^(filled|kbit) != 0 {
 			continue
 		}
-		be := p.(*sql.BinaryExpr)
-		li, _ := outSchema.ColIndex(be.L.(*sql.ColumnRef).Name)
-		ri, _ := outSchema.ColIndex(be.R.(*sql.ColumnRef).Name)
-		inK := func(c int) bool { return c >= ops[k].lo && c < ops[k].hi }
+		li, ri := cj.equi[i].li, cj.equi[i].ri
+		inK := func(c int) bool { return c >= lo && c < hi }
 		if inK(li) != inK(ri) {
 			applied[i] = true
 		}
 	}
 }
 
-// hashStep joins the current partials with operand k through a hash index
-// on the equi-key columns.
-func (e *Engine) hashStep(cur []*partial, rel *delta.Signed, op *operand, opIdx int, probeCols, buildCols []int) ([]*partial, error) {
+// hashStep joins the current partials with operand k through a hash
+// index on the equi-key columns: the maintained index of a cached
+// pre-state replica when one is attached, a transient per-term index
+// otherwise.
+func (e *Engine) hashStep(cur []*partial, in termInput, op *operand, opIdx int, probeCols, buildCols []int, st *Stats) ([]*partial, error) {
+	if in.ent != nil {
+		ix := in.ent.index(buildCols, st)
+		probe := make([]relation.Value, len(probeCols))
+		var out []*partial
+		for _, p := range cur {
+			for i, c := range probeCols {
+				probe[i] = p.vals[c]
+			}
+			for _, match := range ix.Probe(probe) {
+				out = append(out, mergeReplicaTuple(p, match, op, opIdx))
+			}
+		}
+		return out, nil
+	}
+	rel := in.signed
 	type bucket []delta.SignedRow
 	idx := make(map[uint64]bucket, rel.Len())
 	key := make([]relation.Value, len(buildCols))

@@ -16,10 +16,10 @@ import (
 const spanSample = 16
 
 // Metrics is the engine's bundle of obs handles, resolved once at
-// construction. Engine.Stats keeps the per-call numbers (reset every
-// Reevaluate, used by the benchmark harness); Metrics accumulates them
-// across calls for the /stats surface. With a nil *Metrics the engine
-// is uninstrumented: the only cost in Reevaluate is one nil check.
+// construction. Result.Stats keeps the per-call numbers (used by the
+// benchmark harness); Metrics accumulates them across calls for the
+// /stats surface. With a nil *Metrics the engine is uninstrumented: the
+// only cost in Reevaluate is one nil check.
 type Metrics struct {
 	Reevaluations *obs.Counter   // dra.reevaluations
 	Terms         *obs.Counter   // dra.terms_evaluated
@@ -28,10 +28,36 @@ type Metrics struct {
 	Differential  *obs.Counter   // dra.differential_path
 	Fallbacks     *obs.Counter   // dra.fallback_path
 	Skips         *obs.Counter   // dra.skipped
+	IndexHits     *obs.Counter   // dra.index_cache.hits
+	IndexMisses   *obs.Counter   // dra.index_cache.misses
+	Repicks       *obs.Counter   // dra.strategy.repicks
 	Latency       *obs.Histogram // dra.reevaluate_ns
+	PrepareNS     *obs.Histogram // dra.prepare_ns
 	Traces        *obs.TraceLog  // per-Reevaluate spans, sampled
 
+	// stratTruthTable / stratIncremental / stratPropagate gauge how many
+	// live Prepared plans currently run each strategy; re-picks move a
+	// unit between gauges and Close decrements.
+	stratTruthTable  *obs.Gauge // dra.strategy.truth_table
+	stratIncremental *obs.Gauge // dra.strategy.incremental
+	stratPropagate   *obs.Gauge // dra.strategy.propagate
+
 	calls atomic.Uint64 // span sampling cursor
+}
+
+// strategyGauge maps a concrete (non-Auto) strategy to its gauge; nil
+// for Auto or an unknown value.
+func (m *Metrics) strategyGauge(s Strategy) *obs.Gauge {
+	switch s {
+	case StrategyTruthTable:
+		return m.stratTruthTable
+	case StrategyIncremental:
+		return m.stratIncremental
+	case StrategyPropagate:
+		return m.stratPropagate
+	default:
+		return nil
+	}
 }
 
 // startSpan begins a sampled per-Reevaluate span; nil outside the
@@ -55,8 +81,16 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		Differential:  reg.Counter("dra.differential_path"),
 		Fallbacks:     reg.Counter("dra.fallback_path"),
 		Skips:         reg.Counter("dra.skipped"),
+		IndexHits:     reg.Counter("dra.index_cache.hits"),
+		IndexMisses:   reg.Counter("dra.index_cache.misses"),
+		Repicks:       reg.Counter("dra.strategy.repicks"),
 		Latency:       reg.Histogram("dra.reevaluate_ns"),
+		PrepareNS:     reg.Histogram("dra.prepare_ns"),
 		Traces:        reg.Traces(),
+
+		stratTruthTable:  reg.Gauge("dra.strategy.truth_table"),
+		stratIncremental: reg.Gauge("dra.strategy.incremental"),
+		stratPropagate:   reg.Gauge("dra.strategy.propagate"),
 	}
 }
 
@@ -76,6 +110,8 @@ func (m *Metrics) observe(st Stats, span *obs.Span, elapsed time.Duration) {
 	m.Terms.Add(int64(st.Terms))
 	m.DeltaRows.Add(int64(st.DeltaRows))
 	m.PreTuples.Add(int64(st.PreTuplesScanned))
+	m.IndexHits.Add(int64(st.IndexCacheHits))
+	m.IndexMisses.Add(int64(st.IndexCacheMisses))
 	switch {
 	case st.Skipped:
 		m.Skips.Inc()

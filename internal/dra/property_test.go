@@ -245,11 +245,11 @@ func TestStatsTuplesAccounting(t *testing.T) {
 	if res.Inserted().Len() != 1 {
 		t.Fatal("expected one insertion")
 	}
-	if e.Stats.DeltaRows != 1 {
-		t.Errorf("DeltaRows = %d, want 1", e.Stats.DeltaRows)
+	if res.Stats.DeltaRows != 1 {
+		t.Errorf("DeltaRows = %d, want 1", res.Stats.DeltaRows)
 	}
-	if e.Stats.PreTuplesScanned != 0 {
-		t.Errorf("PreTuplesScanned = %d, want 0 for select-only", e.Stats.PreTuplesScanned)
+	if res.Stats.PreTuplesScanned != 0 {
+		t.Errorf("PreTuplesScanned = %d, want 0 for select-only", res.Stats.PreTuplesScanned)
 	}
 	// The whole point (Section 5.1): differential work is O(|Δ|), not
 	// O(|R|). One delta row versus a 101-tuple base relation.

@@ -44,6 +44,20 @@ type Table struct {
 	// lowWater is the timestamp up to (and including) which delta rows
 	// have been garbage collected; SnapshotAt below it is impossible.
 	lowWater vclock.Timestamp
+	// version counts committed transactions that touched this table. It
+	// never resets (GC does not change base contents), so an unchanged
+	// version proves the base relation — at any timestamp — is identical
+	// to what it was when the version was last read. Prepared-plan
+	// operand index caches key their validity off it.
+	version uint64
+}
+
+// Version returns the table's change counter: the number of committed
+// transactions that have touched it since creation.
+func (t *Table) Version() uint64 {
+	t.store.mu.RLock()
+	defer t.store.mu.RUnlock()
+	return t.version
 }
 
 // Name returns the table name.
@@ -248,6 +262,36 @@ func (s *Store) DeltaLen(table string) (int, error) {
 		return 0, fmt.Errorf("%w: %q", ErrNoSuchTable, table)
 	}
 	return t.dlt.Len(), nil
+}
+
+// ChangeCount returns the per-table change counter (see Table.Version).
+// Unknown tables report 0: a cache keyed on the counter then observes a
+// "changed" transition the moment the table exists, which is the safe
+// direction.
+func (s *Store) ChangeCount(table string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[table]
+	if !ok {
+		return 0
+	}
+	return t.version
+}
+
+// ChangeCounts snapshots every table's change counter in one lock
+// acquisition. Prepared-plan operand caches (dra.Context.Versions)
+// require the snapshot to be taken BEFORE the refresh timestamp is
+// issued: a counter read after Now() may already include commits newer
+// than the timestamp, which would let a later equality check validate a
+// stale replica.
+func (s *Store) ChangeCounts() map[string]uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]uint64, len(s.tables))
+	for name, t := range s.tables {
+		out[name] = t.version
+	}
+	return out
 }
 
 // CollectGarbage drops delta rows with timestamps <= horizon on every
@@ -479,10 +523,7 @@ func (tx *Tx) Commit() (vclock.Timestamp, error) {
 
 	ts := s.clock.Tick()
 	appended := 0
-	var touched map[*Table]struct{}
-	if s.met != nil {
-		touched = make(map[*Table]struct{}, 1)
-	}
+	touched := make(map[*Table]struct{}, 1)
 	for i := range tx.ops {
 		op := &tx.ops[i]
 		if op.row.Old == nil && op.row.New == nil {
@@ -503,9 +544,10 @@ func (tx *Tx) Commit() (vclock.Timestamp, error) {
 			return 0, fmt.Errorf("storage: delta append: %w", err)
 		}
 		appended++
-		if touched != nil {
-			touched[t] = struct{}{}
-		}
+		touched[t] = struct{}{}
+	}
+	for t := range touched {
+		t.version++
 	}
 	if m := s.met; m != nil {
 		m.commits.Inc()

@@ -388,3 +388,69 @@ func TestSnapshotAtMatchesShadowProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestChangeCountPerTable(t *testing.T) {
+	s := NewStore()
+	if err := s.CreateTable("a", stockSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable("b", stockSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ChangeCount("a"); got != 0 {
+		t.Fatalf("fresh table ChangeCount = %d, want 0", got)
+	}
+	if got := s.ChangeCount("nope"); got != 0 {
+		t.Fatalf("unknown table ChangeCount = %d, want 0", got)
+	}
+
+	// One commit touching only a: a bumps once, b stays flat.
+	tx := s.Begin()
+	tidA, err := tx.Insert("a", []relation.Value{relation.Str("IBM"), relation.Float(75)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	if got := s.ChangeCount("a"); got != 1 {
+		t.Fatalf("a after one commit = %d, want 1", got)
+	}
+	if got := s.ChangeCount("b"); got != 0 {
+		t.Fatalf("b untouched = %d, want 0", got)
+	}
+
+	// A commit touching both tables bumps each exactly once, regardless
+	// of the number of ops per table.
+	tx = s.Begin()
+	if err := tx.Update("a", tidA, []relation.Value{relation.Str("IBM"), relation.Float(80)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete("a", tidA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Insert("b", []relation.Value{relation.Str("DEC"), relation.Float(150)}); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	if got := s.ChangeCount("a"); got != 2 {
+		t.Fatalf("a after two commits = %d, want 2", got)
+	}
+	if got := s.ChangeCount("b"); got != 1 {
+		t.Fatalf("b after one commit = %d, want 1", got)
+	}
+
+	// An aborted transaction leaves counters alone.
+	tx = s.Begin()
+	if _, err := tx.Insert("b", []relation.Value{relation.Str("MAC"), relation.Float(130)}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	if got := s.ChangeCount("b"); got != 1 {
+		t.Fatalf("b after abort = %d, want 1", got)
+	}
+
+	// GC does not change base contents, so it never bumps the counter.
+	s.CollectGarbage(s.Now())
+	if got := s.ChangeCount("a"); got != 2 {
+		t.Fatalf("a after GC = %d, want 2", got)
+	}
+}
