@@ -6,6 +6,7 @@
 //	cqctl delta stocks 0
 //	cqctl watch 'SELECT * FROM stocks WHERE price > 120' -interval 1s
 //	cqctl stats
+//	cqctl checkpoint
 //
 // watch installs a client-side continual query (a mirror evaluated by
 // DRA over shipped deltas) and prints each change as it arrives. stats
@@ -47,7 +48,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: cqctl [flags] tables|query|snapshot|delta|watch|stats ...")
+		return fmt.Errorf("usage: cqctl [flags] tables|query|snapshot|delta|watch|stats|checkpoint ...")
 	}
 
 	policy := remote.DefaultPolicy()
@@ -161,6 +162,13 @@ func run(args []string) error {
 			return err
 		}
 		snap.WriteTable(os.Stdout)
+		return nil
+
+	case "checkpoint":
+		if err := client.Checkpoint(); err != nil {
+			return err
+		}
+		fmt.Println("checkpoint written")
 		return nil
 
 	default:

@@ -14,6 +14,15 @@
 // goroutines (0 = GOMAXPROCS); their deltas stay available to remote
 // mirrors because the server never garbage-collects at the CQ horizon.
 //
+// With -data set, the daemon is durable: committed transactions and CQ
+// executions append their deltas to a write-ahead log in that directory
+// (-fsync selects the sync policy), checkpoints are cut automatically
+// every -checkpoint-every commits and on shutdown, and a restart
+// recovers the store and resumes every CQ differentially. A recovered
+// data directory is authoritative: -init and -demo are ignored with a
+// notice instead of re-seeding (which would duplicate rows on every
+// restart). `cqctl checkpoint` forces a checkpoint remotely.
+//
 // With -http set, the daemon also serves its metrics over HTTP:
 // GET /stats returns the metrics snapshot as JSON and GET /debug/traces
 // the recent spans. The same snapshot is available over the TCP
@@ -38,11 +47,13 @@ import (
 
 	"github.com/diorama/continual/internal/cq"
 	"github.com/diorama/continual/internal/dra"
+	"github.com/diorama/continual/internal/durable"
 	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/relation"
 	"github.com/diorama/continual/internal/remote"
 	"github.com/diorama/continual/internal/sql"
 	"github.com/diorama/continual/internal/storage"
+	"github.com/diorama/continual/internal/wal"
 	"github.com/diorama/continual/internal/workload"
 )
 
@@ -65,6 +76,9 @@ func run(args []string) error {
 	parallelism := fs.Int("parallelism", 0, "refresh worker pool size for server-side CQs (0 = GOMAXPROCS)")
 	strategy := fs.String("strategy", "auto", "refresh strategy for server-side CQs (auto, truth-table, incremental, propagate)")
 	pollEvery := fs.Duration("poll", 250*time.Millisecond, "poll interval for server-side CQ triggers")
+	dataDir := fs.String("data", "", "durable data directory (WAL + checkpoints; empty = in-memory)")
+	fsyncPolicy := fs.String("fsync", "always", "WAL sync policy: always, interval, never")
+	ckptEvery := fs.Int("checkpoint-every", 0, "auto-checkpoint after N committed transactions (0 = only on shutdown)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,36 +87,57 @@ func run(args []string) error {
 		return err
 	}
 
-	store := storage.NewStore()
 	reg := obs.NewRegistry()
-	store.Instrument(reg)
 	// AutoGC stays off server-side: garbage-collecting at the local CQ
 	// horizon would truncate delta windows that remote mirrors (which
 	// refresh on their own schedule) still need.
-	mgr := cq.NewManagerConfig(store, cq.Config{
+	cqCfg := cq.Config{
 		UseDRA:      true,
 		AutoGC:      false,
 		Parallelism: *parallelism,
 		Strategy:    strat,
 		Metrics:     reg,
-	})
-	defer func() { _ = mgr.Close() }()
-	if *initFile != "" {
-		if err := loadScript(store, mgr, *initFile); err != nil {
-			return err
-		}
 	}
-	if *demo {
-		if err := store.CreateTable("stocks", workload.StockSchema()); err != nil {
+	var store *storage.Store
+	var mgr *cq.Manager
+	var sys *durable.System
+	recovered := false
+	if *dataDir != "" {
+		pol, err := wal.ParseFsyncPolicy(*fsyncPolicy)
+		if err != nil {
 			return err
 		}
-		gen := workload.NewStocks(store, "stocks", 1, workload.DefaultMix)
-		if err := gen.Seed(*demoRows); err != nil {
+		sys, err = durable.Open(durable.Options{
+			Dir:             *dataDir,
+			Fsync:           pol,
+			CheckpointEvery: *ckptEvery,
+			Metrics:         reg,
+			CQ:              cqCfg,
+		})
+		if err != nil {
 			return err
 		}
+		store, mgr = sys.Store, sys.Manager
+		recovered = sys.Recovery.HasState()
+		if recovered {
+			fmt.Printf("cqd: recovered %s: %d tables, %d continual queries, %d records replayed\n",
+				*dataDir, len(store.TableNames()), sys.Recovery.CQs, sys.Recovery.Records)
+		}
+		defer func() { _ = sys.Close() }()
+	} else {
+		store = storage.NewStore()
+		store.Instrument(reg)
+		mgr = cq.NewManagerConfig(store, cqCfg)
+		defer func() { _ = mgr.Close() }()
+	}
+	if err := seed(store, mgr, recovered, *dataDir, *initFile, *demo, *demoRows); err != nil {
+		return err
 	}
 
 	srv := remote.NewServer(store)
+	if sys != nil {
+		srv.SetCheckpointFunc(sys.Checkpoint)
+	}
 	srv.Instrument(reg)
 	srv.SetIdleTimeout(*idleTimeout)
 	srv.SetDrainTimeout(*drainTimeout)
@@ -149,11 +184,48 @@ func run(args []string) error {
 	if httpLn != nil {
 		_ = httpLn.Close()
 	}
-	_ = mgr.Close()
 	err = srv.Close()
+	// Checkpoint after the drain so the last in-flight updates are
+	// covered and the next start replays nothing.
+	if sys != nil {
+		if cerr := sys.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "cqd: final checkpoint:", cerr)
+		} else {
+			fmt.Println("cqd: final checkpoint written")
+		}
+	} else {
+		_ = mgr.Close()
+	}
 	fmt.Println("cqd: final stats:")
 	reg.Snapshot().WriteTable(os.Stdout)
 	return err
+}
+
+// seed loads the -init script and/or the -demo dataset — unless the
+// data directory was recovered with state, in which case the directory
+// is authoritative and seeding is skipped with a notice: re-running the
+// script would duplicate its rows and fail its CREATE statements on
+// every restart.
+func seed(store *storage.Store, mgr *cq.Manager, recovered bool, dataDir, initFile string, demo bool, demoRows int) error {
+	if recovered && (initFile != "" || demo) {
+		fmt.Printf("cqd: %s already initialized; ignoring -init/-demo\n", dataDir)
+		return nil
+	}
+	if initFile != "" {
+		if err := loadScript(store, mgr, initFile); err != nil {
+			return err
+		}
+	}
+	if demo {
+		if err := store.CreateTable("stocks", workload.StockSchema()); err != nil {
+			return err
+		}
+		gen := workload.NewStocks(store, "stocks", 1, workload.DefaultMix)
+		if err := gen.Seed(demoRows); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // loadScript executes CREATE TABLE / INSERT / CREATE CONTINUAL QUERY

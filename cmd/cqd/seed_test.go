@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/diorama/continual/internal/cq"
+	"github.com/diorama/continual/internal/durable"
+	"github.com/diorama/continual/internal/wal"
+)
+
+const seedScript = `CREATE TABLE stocks (name STRING, price FLOAT);
+INSERT INTO stocks VALUES ('DEC', 150), ('IBM', 75);
+CREATE CONTINUAL QUERY expensive AS
+  SELECT name, price FROM stocks WHERE price > 120
+  TRIGGER UPDATES 1
+  MODE COMPLETE`
+
+// TestSeedSkippedOnRecoveredDir is the -init re-run bug: restarting a
+// durable daemon with the same -init script used to re-execute it —
+// duplicating rows and failing on the CREATE statements. A recovered
+// directory must win over the script.
+func TestSeedSkippedOnRecoveredDir(t *testing.T) {
+	dir := t.TempDir()
+	script := filepath.Join(dir, "init.sql")
+	if err := os.WriteFile(script, []byte(seedScript), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	open := func() *durable.System {
+		sys, err := durable.Open(durable.Options{
+			Dir:   filepath.Join(dir, "data"),
+			Fsync: wal.FsyncAlways,
+			CQ:    cq.Config{UseDRA: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+
+	// First boot: fresh directory, script runs.
+	sys := open()
+	if err := seed(sys.Store, sys.Manager, sys.Recovery.HasState(), "data", script, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sys.Store.Snapshot("stocks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != 2 {
+		t.Fatalf("seeded %d rows, want 2", snap.Len())
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart with the same flags: the recovered state is authoritative
+	// and the script must NOT re-run.
+	sys2 := open()
+	defer sys2.Close()
+	if !sys2.Recovery.HasState() {
+		t.Fatalf("restart found no state: %+v", sys2.Recovery)
+	}
+	if err := seed(sys2.Store, sys2.Manager, sys2.Recovery.HasState(), "data", script, false, 0); err != nil {
+		t.Fatalf("seed on recovered dir must be a skip, not an error: %v", err)
+	}
+	snap2, err := sys2.Store.Snapshot("stocks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Len() != 2 {
+		t.Fatalf("script re-ran: %d rows, want 2", snap2.Len())
+	}
+	if names := sys2.Manager.Names(); len(names) != 1 || names[0] != "expensive" {
+		t.Fatalf("CQ registry after restart: %v", names)
+	}
+}

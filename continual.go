@@ -33,10 +33,12 @@ import (
 	"github.com/diorama/continual/internal/cq"
 	"github.com/diorama/continual/internal/diom"
 	"github.com/diorama/continual/internal/dra"
+	"github.com/diorama/continual/internal/durable"
 	"github.com/diorama/continual/internal/epsilon"
 	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/sql"
 	"github.com/diorama/continual/internal/storage"
+	"github.com/diorama/continual/internal/wal"
 )
 
 // Mode selects what each refresh of a continual query delivers.
@@ -59,6 +61,7 @@ type DB struct {
 	manager  *cq.Manager
 	mediator *diom.Mediator
 	metrics  *obs.Registry
+	durable  *durable.System // nil for in-memory engines
 }
 
 // Options tune engine construction for OpenWith.
@@ -76,6 +79,22 @@ type Options struct {
 	// run falls back to auto for that query, logged and counted in
 	// cq.maintainer.fallbacks.
 	Strategy string
+
+	// DataDir makes the engine durable (OpenDurable only): committed
+	// transactions and CQ executions append their deltas to a
+	// write-ahead log in this directory before applying, and restarts
+	// recover by loading the newest checkpoint and replaying the tail.
+	// OpenWith ignores it — the in-memory constructors stay in-memory.
+	DataDir string
+	// Fsync is the WAL durability policy: "always" (default — every
+	// acknowledged commit survives a crash), "interval" (background
+	// sync; a crash may lose the last interval), or "never" (OS
+	// decides; for benchmarks).
+	Fsync string
+	// CheckpointEvery takes an automatic background checkpoint after
+	// that many committed transactions; 0 checkpoints only on Close and
+	// explicit Checkpoint calls.
+	CheckpointEvery int
 }
 
 // Open creates an empty engine with default options. The engine is
@@ -111,9 +130,94 @@ func OpenWith(opts Options) *DB {
 	}
 }
 
+// OpenDurable opens (or creates) a durable engine rooted at
+// opts.DataDir. Committed state survives restarts: recovery loads the
+// newest checkpoint, replays the WAL tail, and resumes every continual
+// query at its last logged execution, so the first Poll after a crash
+// computes an ordinary differential catch-up over the missed window.
+func OpenDurable(opts Options) (*DB, error) {
+	if opts.DataDir == "" {
+		return nil, errors.New("continual: OpenDurable needs Options.DataDir")
+	}
+	pol, err := wal.ParseFsyncPolicy(opts.Fsync)
+	if err != nil {
+		return nil, fmt.Errorf("continual: %w", err)
+	}
+	strat, err := dra.ParseStrategy(opts.Strategy)
+	if err != nil {
+		strat = dra.StrategyAuto
+	}
+	reg := obs.NewRegistry()
+	sys, err := durable.Open(durable.Options{
+		Dir:             opts.DataDir,
+		Fsync:           pol,
+		CheckpointEvery: opts.CheckpointEvery,
+		Metrics:         reg,
+		CQ: cq.Config{
+			UseDRA:      true,
+			AutoGC:      true,
+			Parallelism: opts.Parallelism,
+			Strategy:    strat,
+			Metrics:     reg,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{
+		store:    sys.Store,
+		manager:  sys.Manager,
+		mediator: diom.NewMediator(sys.Store),
+		metrics:  reg,
+		durable:  sys,
+	}, nil
+}
+
+// RecoveryInfo reports what OpenDurable rebuilt.
+type RecoveryInfo struct {
+	// FromCheckpoint is true when a checkpoint seeded the state.
+	FromCheckpoint bool
+	// Records is the number of WAL records replayed past the cut.
+	Records int
+	// CQs is the number of continual queries resumed.
+	CQs int
+}
+
+// HasState reports whether recovery found any prior state at all.
+func (r RecoveryInfo) HasState() bool { return r.FromCheckpoint || r.Records > 0 }
+
+// Recovery describes what opening this engine recovered (zero for
+// in-memory engines and fresh data directories).
+func (db *DB) Recovery() RecoveryInfo {
+	if db.durable == nil {
+		return RecoveryInfo{}
+	}
+	return RecoveryInfo{
+		FromCheckpoint: db.durable.Recovery.FromCheckpoint,
+		Records:        db.durable.Recovery.Records,
+		CQs:            db.durable.Recovery.CQs,
+	}
+}
+
+// Checkpoint durably snapshots the store, the CQ registry, and the log
+// position, truncating the replay work a future recovery must do.
+// Errors for in-memory engines.
+func (db *DB) Checkpoint() error {
+	if db.durable == nil {
+		return errors.New("continual: Checkpoint needs a durable engine (OpenDurable)")
+	}
+	return db.durable.Checkpoint()
+}
+
 // Close shuts the engine down: the background loop stops and all
-// subscription channels close.
-func (db *DB) Close() error { return db.manager.Close() }
+// subscription channels close. A durable engine writes a final
+// checkpoint first, so its next Open replays nothing.
+func (db *DB) Close() error {
+	if db.durable != nil {
+		return db.durable.Close()
+	}
+	return db.manager.Close()
+}
 
 // Exec runs a DDL or DML statement (CREATE TABLE, DROP TABLE, INSERT,
 // UPDATE, DELETE).

@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/diorama/continual/internal/cq"
+	"github.com/diorama/continual/internal/delta"
+	"github.com/diorama/continual/internal/durable"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/storage"
+	"github.com/diorama/continual/internal/vclock"
+	"github.com/diorama/continual/internal/wal"
+)
+
+// E17 measures the durability subsystem's two costs. Logging overhead:
+// single-row commit throughput with the write-ahead delta log detached
+// (in-memory baseline) and attached under each fsync policy — the gap
+// between "never" and the baseline is the logging code path, the gap
+// between "always" and "never" is the disk's sync latency, which is the
+// price of zero-loss acknowledged commits. Recovery: wall time and
+// records replayed for a WAL of the same committed history, cold and
+// with a mid-log checkpoint — the checkpoint converts full-log replay
+// into tail-only replay, which is what keeps restart time flat as the
+// log grows.
+func E17(scale Scale) (*Table, error) {
+	nCommits := scale.BaseRows / 10
+	if nCommits < 50 {
+		nCommits = 50
+	}
+	t := &Table{
+		ID:    "E17",
+		Title: "delta WAL: logging overhead and differential crash recovery",
+		Note: fmt.Sprintf("%d single-row commits; recovery over a %d-record WAL, checkpoint at half",
+			nCommits, scale.BaseRows),
+		Header: []string{"config", "commits/s", "recover ms", "records replayed"},
+	}
+
+	base, err := commitThroughput(scale, nCommits, "", wal.FsyncAlways)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{"in-memory (no wal)", perSec(nCommits, base), "-", "-"})
+	for _, pol := range []wal.FsyncPolicy{wal.FsyncNever, wal.FsyncInterval, wal.FsyncAlways} {
+		d, err := commitThroughput(scale, nCommits, "wal", pol)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{"wal fsync=" + pol.String(), perSec(nCommits, d), "-", "-"})
+	}
+
+	for _, ckpt := range []bool{false, true} {
+		d, records, err := recoveryTime(scale.BaseRows, ckpt)
+		if err != nil {
+			return nil, err
+		}
+		name := "recover full log"
+		if ckpt {
+			name = "recover from checkpoint"
+		}
+		t.Rows = append(t.Rows, []string{name, "-", fmt.Sprintf("%.2f", float64(d.Microseconds())/1000), fmt.Sprint(records)})
+	}
+	return t, nil
+}
+
+func perSec(n int, d time.Duration) string {
+	if d <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", float64(n)/d.Seconds())
+}
+
+func e17Schema() relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "name", Type: relation.TString},
+		relation.Column{Name: "v", Type: relation.TInt},
+	)
+}
+
+// commitThroughput times nCommits single-row insert transactions.
+// mode "" runs the in-memory baseline; "wal" attaches a durable system
+// on a real temporary directory under the given fsync policy.
+func commitThroughput(scale Scale, nCommits int, mode string, pol wal.FsyncPolicy) (time.Duration, error) {
+	var store *storage.Store
+	var cleanup func()
+	if mode == "" {
+		store = storage.NewStore()
+		cleanup = func() {}
+	} else {
+		dir, err := os.MkdirTemp("", "cq-e17-*")
+		if err != nil {
+			return 0, err
+		}
+		sys, err := durable.Open(durable.Options{
+			Dir:   dir,
+			Fsync: pol,
+			CQ:    cq.Config{UseDRA: true},
+		})
+		if err != nil {
+			os.RemoveAll(dir)
+			return 0, err
+		}
+		store = sys.Store
+		cleanup = func() {
+			_ = sys.Close()
+			os.RemoveAll(dir)
+		}
+	}
+	defer cleanup()
+	if err := store.CreateTable("stocks", e17Schema()); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < nCommits; i++ {
+		tx := store.Begin()
+		if _, err := tx.Insert("stocks", []relation.Value{relation.Str("r"), relation.Int(int64(i))}); err != nil {
+			return 0, err
+		}
+		if _, err := tx.Commit(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// recoveryTime builds a WAL holding nRecords committed single-row
+// inserts — optionally cut by a checkpoint at the midpoint — and times
+// a cold durable.Open of the directory.
+func recoveryTime(nRecords int, withCheckpoint bool) (time.Duration, int, error) {
+	dir, err := os.MkdirTemp("", "cq-e17-rec-*")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	schema := e17Schema()
+	l, err := wal.Open(dir, wal.Options{Fsync: wal.FsyncNever})
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := l.AppendCreateTable("stocks", schema); err != nil {
+		return 0, 0, err
+	}
+	row := func(i int) []wal.TxRow {
+		return []wal.TxRow{{Table: "stocks", Row: delta.Row{
+			TID: relation.TID(i + 1),
+			TS:  vclock.Timestamp(i + 1),
+			New: []relation.Value{relation.Str("r"), relation.Int(int64(i))},
+		}}}
+	}
+	half := nRecords / 2
+	for i := 0; i < half; i++ {
+		if err := l.AppendTx(vclock.Timestamp(i+1), row(i)); err != nil {
+			return 0, 0, err
+		}
+	}
+	if withCheckpoint {
+		seg, err := l.Rotate()
+		if err != nil {
+			return 0, 0, err
+		}
+		tuples := make([]relation.Tuple, half)
+		for i := range tuples {
+			tuples[i] = relation.Tuple{
+				TID:    relation.TID(i + 1),
+				Values: []relation.Value{relation.Str("r"), relation.Int(int64(i))},
+			}
+		}
+		ck := &wal.Checkpoint{
+			Seg:     seg,
+			TS:      vclock.Timestamp(half),
+			NextTID: uint64(half + 1),
+			Tables: []wal.TableState{{
+				Name:    "stocks",
+				Schema:  schema,
+				Tuples:  tuples,
+				Version: uint64(half),
+			}},
+		}
+		if err := l.WriteCheckpoint(ck); err != nil {
+			return 0, 0, err
+		}
+	}
+	for i := half; i < nRecords; i++ {
+		if err := l.AppendTx(vclock.Timestamp(i+1), row(i)); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := l.Close(); err != nil {
+		return 0, 0, err
+	}
+
+	start := time.Now()
+	sys, err := durable.Open(durable.Options{Dir: dir, Fsync: wal.FsyncNever, CQ: cq.Config{UseDRA: true}})
+	if err != nil {
+		return 0, 0, err
+	}
+	elapsed := time.Since(start)
+	records := sys.Recovery.Records
+	if n, _ := sys.Store.Snapshot("stocks"); n == nil || n.Len() != nRecords {
+		_ = sys.Close()
+		return 0, 0, fmt.Errorf("e17: recovered %v rows, want %d", n, nRecords)
+	}
+	_ = sys.Close()
+	return elapsed, records, nil
+}

@@ -32,6 +32,7 @@ func All() []Experiment {
 		{"E14", "mirror refresh latency under injected faults", E14},
 		{"E15", "parallel group refresh: throughput vs worker count", E15},
 		{"E16", "prepared vs per-refresh compilation + operand index cache", E16},
+		{"E17", "delta WAL: logging overhead and differential crash recovery", E17},
 		{"A1", "ablation: heuristic term ordering", A1},
 		{"A2", "ablation: delta compaction", A2},
 		{"A3", "ablation: hash vs nested-loop term joins", A3},

@@ -128,6 +128,10 @@ type instance struct {
 	mode    sql.ResultMode
 	trigger sql.TriggerSpec
 	stop    sql.StopSpec
+	// queryText is the canonical rendering of the query, captured at
+	// registration; the durable registry persists it and re-parses it at
+	// recovery.
+	queryText string
 
 	// mu guards the mutable refresh state below (and subs). Lock order
 	// is Manager.mu before instance.mu; the refresh workers of a Poll
@@ -206,6 +210,10 @@ type Config struct {
 	// the uninstrumented refresh path is benchmarkable against the
 	// instrumented one.
 	Metrics *obs.Registry
+	// Journal, when set, receives every registry mutation and every
+	// delivered execution in write-ahead order (see Journal). Nil on
+	// in-memory managers.
+	Journal Journal
 }
 
 // Manager owns the registered continual queries over one store.
@@ -289,11 +297,12 @@ func (m *Manager) Register(def Def) (*relation.Relation, error) {
 	plan = algebra.Optimize(plan)
 
 	inst := &instance{
-		def:     def,
-		plan:    plan,
-		mode:    def.Mode,
-		trigger: def.Trigger,
-		stop:    def.Stop,
+		def:       def,
+		plan:      plan,
+		mode:      def.Mode,
+		trigger:   def.Trigger,
+		stop:      def.Stop,
+		queryText: stmt.String(),
 	}
 	for _, scan := range algebra.Tables(plan) {
 		inst.tables = append(inst.tables, scan.Table)
@@ -311,7 +320,7 @@ func (m *Manager) Register(def Def) (*relation.Relation, error) {
 	// seeds its state from the same initial pass.
 	var initial *relation.Relation
 	if m.cfg.UseDRA {
-		maint, err := newMaintainer(m.cfg, plan, m.store)
+		maint, err := newMaintainer(m.cfg, plan, m.store.Live())
 		if err != nil {
 			return nil, err
 		}
@@ -319,7 +328,7 @@ func (m *Manager) Register(def Def) (*relation.Relation, error) {
 			inst.maint = maint
 			initial = maint.Result().Clone()
 		} else {
-			prep, err := m.prepare(def.Name, plan)
+			prep, err := m.prepare(def.Name, plan, m.cfg.Strategy)
 			if err != nil {
 				return nil, err
 			}
@@ -337,6 +346,19 @@ func (m *Manager) Register(def Def) (*relation.Relation, error) {
 	inst.seq = 1
 	inst.lastExec = m.store.Now()
 	inst.lastObs = inst.lastExec
+	// Journal before the registry mutation becomes visible: a journal
+	// failure fails the registration with the manager unchanged.
+	if m.cfg.Journal != nil {
+		inst.mu.Lock()
+		entry := m.entryLocked(inst)
+		inst.mu.Unlock()
+		if err := m.cfg.Journal.CQRegistered(entry); err != nil {
+			if inst.prepared != nil {
+				inst.prepared.Close()
+			}
+			return nil, fmt.Errorf("cq %q: journal registration: %w", def.Name, err)
+		}
+	}
 	m.cqs[def.Name] = inst
 	m.updateRegisteredLocked()
 	return initial.Clone(), nil
@@ -503,6 +525,13 @@ func (m *Manager) Drop(name string) error {
 	inst, ok := m.cqs[name]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchCQ, name)
+	}
+	// Journal first: a drop that is not durable must not happen in
+	// memory, or a restart would resurrect the CQ.
+	if m.cfg.Journal != nil {
+		if err := m.cfg.Journal.CQDropped(name); err != nil {
+			return fmt.Errorf("cq %q: journal drop: %w", name, err)
+		}
 	}
 	inst.mu.Lock()
 	closeSubs(inst)
@@ -820,16 +849,30 @@ func (m *Manager) refreshInstance(inst *instance, execTS vclock.Timestamp, cache
 		return fmt.Errorf("cq %q: %w", inst.def.Name, err)
 	}
 
+	// Journal the execution BEFORE any state mutates or a notification
+	// goes out: a journal failure fails the refresh with the instance
+	// unchanged (the trigger re-fires next round), so a delivered
+	// notification is always durable — at-most-once delivery across
+	// crashes. Subscribers that need the gap re-fetch Result() after a
+	// restart.
+	newSeq := inst.seq + 1
+	willTerm := inst.stop.AfterN > 0 && int64(newSeq) >= inst.stop.AfterN
+	if m.cfg.Journal != nil {
+		if jerr := m.cfg.Journal.CQExecuted(inst.def.Name, newSeq, execTS, res.Delta, willTerm); jerr != nil {
+			return fmt.Errorf("cq %q: journal execution: %w", inst.def.Name, jerr)
+		}
+	}
+
 	inst.prev = res.ApplyTo(inst.prev)
 	inst.lastExec = execTS
 	inst.lastObs = execTS
-	inst.seq++
+	inst.seq = newSeq
 	inst.updatesSeen = 0
 	for _, acct := range inst.eps {
 		acct.Reset()
 	}
 
-	if inst.stop.AfterN > 0 && int64(inst.seq) >= inst.stop.AfterN {
+	if willTerm {
 		inst.terminated.Store(true)
 	}
 
@@ -1067,14 +1110,14 @@ func (m *Manager) Close() error {
 // return means the plan is plain SPJ (or otherwise unsupported) and the
 // caller should prepare it instead (Manager.prepare). Join maintenance
 // moved into the prepared layer as dra.StrategyIncremental.
-func newMaintainer(cfg Config, plan algebra.Plan, store *storage.Store) (maintainer, error) {
+func newMaintainer(cfg Config, plan algebra.Plan, src algebra.Source) (maintainer, error) {
 	engine := cfg.Engine
-	if ia, err := dra.NewIncrementalAggregate(engine, plan, store.Live()); err == nil {
+	if ia, err := dra.NewIncrementalAggregate(engine, plan, src); err == nil {
 		return ia, nil
 	} else if !errors.Is(err, dra.ErrNotIncremental) {
 		return nil, err
 	}
-	if id, err := dra.NewIncrementalDistinct(engine, plan, store.Live()); err == nil {
+	if id, err := dra.NewIncrementalDistinct(engine, plan, src); err == nil {
 		return id, nil
 	} else if !errors.Is(err, dra.ErrNotIncremental) {
 		return nil, err
@@ -1087,8 +1130,7 @@ func newMaintainer(cfg Config, plan algebra.Plan, store *storage.Store) (maintai
 // error for the registration: it falls back to the cost model — but
 // audibly, through Logf and the cq.maintainer.fallbacks counter, never
 // silently.
-func (m *Manager) prepare(name string, plan algebra.Plan) (*dra.Prepared, error) {
-	strat := m.cfg.Strategy
+func (m *Manager) prepare(name string, plan algebra.Plan, strat dra.Strategy) (*dra.Prepared, error) {
 	if strat == dra.StrategyAuto && m.cfg.IncrementalJoins {
 		strat = dra.StrategyIncremental
 	}

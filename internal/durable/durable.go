@@ -1,0 +1,340 @@
+// Package durable binds the storage engine, the CQ manager, and the
+// write-ahead log into a crash-recoverable system.
+//
+// The contract follows the paper's differential spirit: persistence
+// records DELTAS, not states. Every committed transaction appends its
+// delta to the WAL before the store applies it; every delivered CQ
+// refresh appends its result delta before the notification goes out.
+// Recovery therefore is itself a differential evaluation — the latest
+// checkpoint restores a consistent cut, the WAL tail replays the
+// deltas past it, and each resumed CQ picks up at its last logged
+// execution so the first post-crash Poll computes an ordinary
+// differential catch-up over the replayed window.
+package durable
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/diorama/continual/internal/cq"
+	"github.com/diorama/continual/internal/delta"
+	"github.com/diorama/continual/internal/obs"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/storage"
+	"github.com/diorama/continual/internal/vclock"
+	"github.com/diorama/continual/internal/wal"
+)
+
+// Options configures a durable system.
+type Options struct {
+	// Dir is the data directory holding WAL segments and checkpoints.
+	Dir string
+	// FS overrides the filesystem (fault injection in tests); nil uses
+	// the real one.
+	FS wal.FS
+	// Fsync is the WAL durability policy (default FsyncAlways).
+	Fsync wal.FsyncPolicy
+	// SyncEvery is the FsyncInterval period (default 50ms).
+	SyncEvery time.Duration
+	// CheckpointEvery triggers an automatic background checkpoint after
+	// that many committed transactions. 0 means manual checkpoints only
+	// (Checkpoint / Close).
+	CheckpointEvery int
+	// Metrics receives wal.* and recovery instruments when non-nil.
+	Metrics *obs.Registry
+	// CQ configures the manager. The zero value means complete
+	// re-evaluation with no auto-GC; callers wanting the engine
+	// defaults should set UseDRA and AutoGC explicitly (continual.Open*
+	// does).
+	CQ cq.Config
+}
+
+// RecoveryInfo summarizes what Open rebuilt.
+type RecoveryInfo struct {
+	// FromCheckpoint reports whether a checkpoint seeded the state.
+	FromCheckpoint bool
+	// Records is the number of WAL records replayed past the cut.
+	Records int
+	// Torn is the number of segments that ended in a torn record
+	// (at most one per crash, always the final segment written).
+	Torn int
+	// CQs is the number of continual queries resumed.
+	CQs int
+	// Elapsed is the wall time recovery took.
+	Elapsed time.Duration
+}
+
+// HasState reports whether recovery found anything at all — used by
+// cqd to refuse re-seeding an existing data directory.
+func (r RecoveryInfo) HasState() bool {
+	return r.FromCheckpoint || r.Records > 0
+}
+
+// System is a store + CQ manager pair whose committed state survives
+// crashes via the WAL.
+type System struct {
+	Store    *storage.Store
+	Manager  *cq.Manager
+	Recovery RecoveryInfo
+
+	log     *wal.Log
+	every   int
+	commits atomic.Int64
+	ckptMu  sync.Mutex // serializes checkpoint construction
+	inAuto  atomic.Bool
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+}
+
+// Open recovers (or initializes) the data directory and returns a
+// running system. Recovery order: restore the newest loadable
+// checkpoint, replay the WAL tail through the store and the CQ
+// registry fold, open a fresh WAL segment, wire the write-ahead sinks,
+// then resume every surviving CQ.
+func Open(opts Options) (*System, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = wal.OSFS{}
+	}
+	if err := fs.MkdirAll(opts.Dir); err != nil {
+		return nil, fmt.Errorf("durable: create %s: %w", opts.Dir, err)
+	}
+	store := storage.NewStore()
+	if opts.Metrics != nil {
+		store.Instrument(opts.Metrics)
+	}
+
+	// The registry fold: checkpoint entries seed it, then KindCQRegister
+	// / KindCQExec / KindCQDrop records move it forward in log order.
+	reg := make(map[string]*wal.CQEntry)
+	var order []string
+	start := time.Now()
+	res, err := wal.Scan(fs, opts.Dir, func(ck *wal.Checkpoint) error {
+		if err := store.Restore(storage.State{TS: ck.TS, NextTID: ck.NextTID, Tables: ck.Tables}); err != nil {
+			return fmt.Errorf("restore checkpoint: %w", err)
+		}
+		for i := range ck.CQs {
+			e := ck.CQs[i]
+			reg[e.Name] = &e
+			order = append(order, e.Name)
+		}
+		return nil
+	}, func(rec *wal.Record) error {
+		switch rec.Kind {
+		case wal.KindCreateTable:
+			return store.CreateTable(rec.Table, rec.Schema)
+		case wal.KindDropTable:
+			return store.DropTable(rec.Table)
+		case wal.KindTx:
+			return store.ApplyReplay(rec.TS, rec.Rows)
+		case wal.KindCQRegister:
+			e := *rec.CQ
+			if _, seen := reg[e.Name]; !seen {
+				order = append(order, e.Name)
+			}
+			reg[e.Name] = &e
+		case wal.KindCQExec:
+			e := reg[rec.Name]
+			if e == nil {
+				return fmt.Errorf("wal: execution record for unregistered cq %q", rec.Name)
+			}
+			e.Seq = rec.Seq
+			e.LastExec = rec.ExecTS
+			e.Terminated = rec.Terminated
+			if e.Result != nil {
+				if err := foldChange(e.Result, rec.Change); err != nil {
+					// The materialized result can't absorb this delta;
+					// drop it and let Resume reseed by evaluation at
+					// LastExec. Recovery stays correct, just slower.
+					e.Result = nil
+				}
+			}
+		case wal.KindCQDrop:
+			delete(reg, rec.Name)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("durable: recover %s: %w", opts.Dir, err)
+	}
+
+	log, err := wal.Open(opts.Dir, wal.Options{
+		FS:        fs,
+		Fsync:     opts.Fsync,
+		SyncEvery: opts.SyncEvery,
+		Metrics:   opts.Metrics,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("durable: open wal: %w", err)
+	}
+
+	s := &System{
+		Store: store,
+		log:   log,
+		every: opts.CheckpointEvery,
+	}
+	// Write-ahead wiring: the store logs commits and DDL through us,
+	// the manager journals registry changes and executions. Replay is
+	// done, so nothing gets double-logged.
+	store.SetWALSink(s)
+	cfg := opts.CQ
+	if cfg.Metrics == nil {
+		cfg.Metrics = opts.Metrics
+	}
+	cfg.Journal = s
+	s.Manager = cq.NewManagerConfig(store, cfg)
+
+	resumed := 0
+	for _, name := range order {
+		e := reg[name]
+		if e == nil {
+			continue // dropped later in the log
+		}
+		if err := s.Manager.Resume(*e); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("durable: resume: %w", err)
+		}
+		resumed++
+	}
+
+	s.Recovery = RecoveryInfo{
+		FromCheckpoint: res.Checkpoint != nil,
+		Records:        res.Records,
+		Torn:           res.Torn,
+		CQs:            resumed,
+		Elapsed:        time.Since(start),
+	}
+	if opts.Metrics != nil {
+		opts.Metrics.Gauge("wal.recovery_ns").Set(s.Recovery.Elapsed.Nanoseconds())
+		opts.Metrics.Gauge("wal.records_replayed").Set(int64(res.Records))
+	}
+	return s, nil
+}
+
+// foldChange applies one execution's result delta to a materialized
+// result relation.
+func foldChange(rel *relation.Relation, rows []delta.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	d := delta.New(rel.Schema())
+	for _, r := range rows {
+		if err := d.Append(r); err != nil {
+			return err
+		}
+	}
+	return d.Apply(rel)
+}
+
+// --- write-ahead sinks -------------------------------------------------
+
+// AppendTx implements storage.WALSink: called under the store lock
+// before the commit applies, so an error leaves the store untouched.
+func (s *System) AppendTx(ts vclock.Timestamp, rows []wal.TxRow) error {
+	if err := s.log.AppendTx(ts, rows); err != nil {
+		return err
+	}
+	s.noteCommit()
+	return nil
+}
+
+func (s *System) AppendCreateTable(name string, schema relation.Schema) error {
+	return s.log.AppendCreateTable(name, schema)
+}
+
+func (s *System) AppendDropTable(name string) error {
+	return s.log.AppendDropTable(name)
+}
+
+// CQRegistered implements cq.Journal.
+func (s *System) CQRegistered(e wal.CQEntry) error { return s.log.AppendCQRegister(&e) }
+
+// CQExecuted implements cq.Journal: logged before the refresh mutates
+// the instance or notifies anyone, making delivery at-most-once across
+// crashes.
+func (s *System) CQExecuted(name string, seq int, ts vclock.Timestamp, change *delta.Delta, terminated bool) error {
+	var rows []delta.Row
+	if change != nil {
+		rows = change.Rows()
+	}
+	return s.log.AppendCQExec(name, seq, ts, rows, terminated)
+}
+
+// CQDropped implements cq.Journal.
+func (s *System) CQDropped(name string) error { return s.log.AppendCQDrop(name) }
+
+// noteCommit counts committed transactions toward the automatic
+// checkpoint threshold. It runs under the store lock, so the actual
+// checkpoint is taken on a fresh goroutine (checkpointing needs the
+// manager and store locks in front-door order).
+func (s *System) noteCommit() {
+	if s.every <= 0 || s.closed.Load() {
+		return
+	}
+	if s.commits.Add(1) < int64(s.every) {
+		return
+	}
+	if !s.inAuto.CompareAndSwap(false, true) {
+		return // one auto-checkpoint at a time; the counter keeps rising
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.inAuto.Store(false)
+		// Best effort: a failed background checkpoint leaves the log
+		// longer but the system correct; the next threshold retries.
+		_ = s.Checkpoint()
+	}()
+}
+
+// Checkpoint atomically snapshots store + CQ registry + log position
+// and writes it durably. Concurrent calls serialize; each produces a
+// full, self-sufficient checkpoint.
+func (s *System) Checkpoint() error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	var st storage.State
+	var seg uint64
+	// Three-deep cut: pin every CQ instance, then the store, then
+	// rotate the log — when cut returns, store state, CQ bookkeeping
+	// and the segment boundary all describe the same instant.
+	entries, err := s.Manager.SnapshotRegistry(func() error {
+		var err error
+		st, err = s.Store.CheckpointState(func() error {
+			var err error
+			seg, err = s.log.Rotate()
+			return err
+		})
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("durable: checkpoint cut: %w", err)
+	}
+	ck := &wal.Checkpoint{Seg: seg, TS: st.TS, NextTID: st.NextTID, Tables: st.Tables, CQs: entries}
+	if err := s.log.WriteCheckpoint(ck); err != nil {
+		return fmt.Errorf("durable: write checkpoint: %w", err)
+	}
+	s.commits.Store(0)
+	return nil
+}
+
+// Close takes a final checkpoint (so the next Open replays nothing),
+// closes the manager, and closes the log. Safe to call once.
+func (s *System) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.wg.Wait()
+	ckErr := s.Checkpoint()
+	mgErr := s.Manager.Close()
+	lgErr := s.log.Close()
+	if ckErr != nil {
+		return ckErr
+	}
+	if mgErr != nil {
+		return mgErr
+	}
+	return lgErr
+}

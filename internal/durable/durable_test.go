@@ -1,0 +1,232 @@
+package durable_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/diorama/continual/internal/cq"
+	"github.com/diorama/continual/internal/durable"
+	"github.com/diorama/continual/internal/faults"
+	"github.com/diorama/continual/internal/obs"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/storage"
+	"github.com/diorama/continual/internal/wal"
+)
+
+func stockSchema() relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "name", Type: relation.TString},
+		relation.Column{Name: "v", Type: relation.TInt},
+	)
+}
+
+func openSys(t *testing.T, fs wal.FS, every int) *durable.System {
+	t.Helper()
+	sys, err := durable.Open(durable.Options{
+		Dir:             "data",
+		FS:              fs,
+		Fsync:           wal.FsyncAlways,
+		CheckpointEvery: every,
+		CQ:              cq.Config{UseDRA: true, AutoGC: true},
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return sys
+}
+
+func insertRow(t *testing.T, s *storage.Store, name string, v int64) {
+	t.Helper()
+	tx := s.Begin()
+	if _, err := tx.Insert("stocks", []relation.Value{relation.Str(name), relation.Int(v)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const watchQuery = `CREATE CONTINUAL QUERY watch AS
+	SELECT name, v FROM stocks WHERE v >= 50
+	TRIGGER UPDATES 1
+	MODE COMPLETE`
+
+func TestLifecycleAcrossRestart(t *testing.T) {
+	fs := faults.NewMemFS(1)
+	sys := openSys(t, fs, 0)
+	if sys.Recovery.HasState() {
+		t.Fatalf("fresh directory reported state: %+v", sys.Recovery)
+	}
+	if err := sys.Store.CreateTable("stocks", stockSchema()); err != nil {
+		t.Fatal(err)
+	}
+	insertRow(t, sys.Store, "DEC", 150)
+	insertRow(t, sys.Store, "IBM", 40)
+	if _, err := sys.Manager.RegisterSQL(watchQuery); err != nil {
+		t.Fatal(err)
+	}
+	insertRow(t, sys.Store, "HP", 99)
+	if _, err := sys.Manager.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := sys.Manager.Result("watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantState, err := sys.Manager.State("watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantContents, _ := sys.Store.Snapshot("stocks")
+	wantCounts := sys.Store.ChangeCounts()
+	if err := sys.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	sys2 := openSys(t, fs, 0)
+	defer sys2.Close()
+	// Close checkpointed, so recovery loads it and replays nothing.
+	if !sys2.Recovery.FromCheckpoint || sys2.Recovery.Records != 0 || sys2.Recovery.CQs != 1 {
+		t.Fatalf("recovery: %+v", sys2.Recovery)
+	}
+	got, err := sys2.Store.Snapshot("stocks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualContents(wantContents) {
+		t.Fatal("table contents differ after restart")
+	}
+	if counts := sys2.Store.ChangeCounts(); counts["stocks"] != wantCounts["stocks"] {
+		t.Fatalf("change counts: %v vs %v", counts, wantCounts)
+	}
+	gotRes, err := sys2.Manager.Result("watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotRes.EqualContents(wantRes) {
+		t.Fatal("cq result differs after restart")
+	}
+	st, err := sys2.Manager.State("watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seq != wantState.Seq || st.LastExec != wantState.LastExec {
+		t.Fatalf("cq state after restart: %+v, want seq=%d lastExec=%d", st, wantState.Seq, wantState.LastExec)
+	}
+
+	// The resumed CQ keeps computing differentially: a new qualifying
+	// row fires the trigger and the seq continues past the old one.
+	insertRow(t, sys2.Store, "SUN", 77)
+	if _, err := sys2.Manager.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := sys2.Manager.State("watch")
+	if st2.Seq != wantState.Seq+1 {
+		t.Fatalf("post-restart seq %d, want %d", st2.Seq, wantState.Seq+1)
+	}
+	res2, _ := sys2.Manager.Result("watch")
+	if res2.Len() != 3 { // DEC, HP, SUN
+		t.Fatalf("post-restart result len %d: %v", res2.Len(), res2)
+	}
+}
+
+func TestDropIsDurable(t *testing.T) {
+	fs := faults.NewMemFS(2)
+	sys := openSys(t, fs, 0)
+	if err := sys.Store.CreateTable("stocks", stockSchema()); err != nil {
+		t.Fatal(err)
+	}
+	insertRow(t, sys.Store, "DEC", 150)
+	if _, err := sys.Manager.RegisterSQL(watchQuery); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Manager.Drop("watch"); err != nil {
+		t.Fatal(err)
+	}
+	// Crash without a close: the drop must still be gone after replay.
+	fs.CrashClean()
+	sys2 := openSys(t, fs, 0)
+	defer sys2.Close()
+	if sys2.Recovery.CQs != 0 {
+		t.Fatalf("dropped cq resurrected: %+v", sys2.Recovery)
+	}
+	if names := sys2.Manager.Names(); len(names) != 0 {
+		t.Fatalf("names after drop+recovery: %v", names)
+	}
+}
+
+func TestAutoCheckpointTriggers(t *testing.T) {
+	fs := faults.NewMemFS(3)
+	sys := openSys(t, fs, 4)
+	if err := sys.Store.CreateTable("stocks", stockSchema()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		insertRow(t, sys.Store, "r", int64(i))
+	}
+	// The threshold checkpoint runs on a background goroutine; wait for
+	// a checkpoint file to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		names, err := fs.List("data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, n := range names {
+			if len(n) > 10 && n[:10] == "checkpoint" {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no automatic checkpoint after threshold; dir: %v", names)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sys2 := openSys(t, fs, 0)
+	defer sys2.Close()
+	got, _ := sys2.Store.Snapshot("stocks")
+	if got.Len() != 8 {
+		t.Fatalf("recovered %d rows, want 8", got.Len())
+	}
+}
+
+func TestRecoveryMetrics(t *testing.T) {
+	fs := faults.NewMemFS(4)
+	sys := openSys(t, fs, 0)
+	if err := sys.Store.CreateTable("stocks", stockSchema()); err != nil {
+		t.Fatal(err)
+	}
+	insertRow(t, sys.Store, "DEC", 1)
+	insertRow(t, sys.Store, "IBM", 2)
+	fs.CrashClean() // skip the close checkpoint so records must replay
+
+	reg := obs.NewRegistry()
+	sys2, err := durable.Open(durable.Options{
+		Dir:     "data",
+		FS:      fs,
+		Fsync:   wal.FsyncAlways,
+		Metrics: reg,
+		CQ:      cq.Config{UseDRA: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	if sys2.Recovery.Records != 3 { // create + 2 txs
+		t.Fatalf("records replayed: %+v", sys2.Recovery)
+	}
+	snap := reg.Snapshot()
+	if snap.Gauges["wal.records_replayed"] != 3 {
+		t.Fatalf("wal.records_replayed gauge: %v", snap.Gauges)
+	}
+	if snap.Gauges["wal.recovery_ns"] <= 0 {
+		t.Fatalf("wal.recovery_ns gauge: %v", snap.Gauges)
+	}
+}

@@ -1,0 +1,54 @@
+package remote
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/diorama/continual/internal/storage"
+)
+
+func TestCheckpointOpRefusedWithoutHandler(t *testing.T) {
+	_, _, client := startServer(t)
+	err := client.Checkpoint()
+	if err == nil || !strings.Contains(err.Error(), "no durable store") {
+		t.Fatalf("checkpoint on bare server: %v", err)
+	}
+}
+
+func TestCheckpointOpInvokesHandler(t *testing.T) {
+	store := storage.NewStore()
+	if err := store.CreateTable("stocks", stockSchema()); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store)
+	calls := 0
+	srv.SetCheckpointFunc(func() error { calls++; return nil })
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	if err := client.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("handler invoked %d times, want 2", calls)
+	}
+}
+
+func TestCheckpointOpString(t *testing.T) {
+	if OpCheckpoint.String() != "Checkpoint" {
+		t.Fatalf("OpCheckpoint.String() = %q", OpCheckpoint.String())
+	}
+	if !OpCheckpoint.retryable() {
+		t.Fatal("checkpoint is idempotent and must be retryable")
+	}
+}

@@ -295,6 +295,13 @@ func (c *Client) Stats() (obs.Snapshot, error) {
 	return *resp.Stats, nil
 }
 
+// Checkpoint asks the server to take a durable checkpoint now
+// (OpCheckpoint). Errors if the server has no durable store.
+func (c *Client) Checkpoint() error {
+	_, err := c.roundTrip(Request{Op: OpCheckpoint})
+	return err
+}
+
 // ListTables returns the server's table names.
 func (c *Client) ListTables() ([]string, error) {
 	resp, err := c.roundTrip(Request{Op: OpListTables})

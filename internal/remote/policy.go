@@ -113,6 +113,8 @@ func (o Op) String() string {
 		return "ApplyUpdates"
 	case OpStats:
 		return "Stats"
+	case OpCheckpoint:
+		return "Checkpoint"
 	default:
 		return "Op?"
 	}

@@ -41,6 +41,11 @@ const (
 	// OpStats fetches the server's metrics snapshot (the same view cqd
 	// serves over HTTP at /stats); `cqctl stats` renders it.
 	OpStats
+	// OpCheckpoint asks a durably-backed server to take a checkpoint
+	// now (snapshot base relations + CQ registry and truncate the WAL
+	// replay horizon). Idempotent, so safe to retry; servers without a
+	// durable store refuse it.
+	OpCheckpoint
 )
 
 // Request is one client request.

@@ -49,6 +49,17 @@ type Server struct {
 	// obs instrumentation; nil unless Instrument was called.
 	met *serverMetrics
 	reg *obs.Registry
+
+	// checkpointFn handles OpCheckpoint; nil refuses the op (the
+	// server's store is not durably backed). Set before Serve.
+	checkpointFn func() error
+}
+
+// SetCheckpointFunc enables OpCheckpoint: fn is invoked once per
+// request and should durably checkpoint the backing store. Call before
+// Serve.
+func (s *Server) SetCheckpointFunc(fn func() error) {
+	s.checkpointFn = fn
 }
 
 // serverMetrics is the server's bundle of obs handles, resolved once at
@@ -322,6 +333,16 @@ func (s *Server) handle(req Request) Response {
 	case OpStats:
 		snap := s.statsSnapshot()
 		return Response{Stats: &snap, Now: s.store.Now()}
+
+	case OpCheckpoint:
+		fn := s.checkpointFn
+		if fn == nil {
+			return errResponse(fmt.Errorf("checkpoint: server has no durable store"))
+		}
+		if err := fn(); err != nil {
+			return errResponse(err)
+		}
+		return Response{Now: s.store.Now()}
 
 	default:
 		return errResponse(fmt.Errorf("unknown op %d", req.Op))

@@ -1,0 +1,87 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the statement back to parsable SQL text. The rendering
+// is canonical (explicit parentheses, upper-case keywords) and
+// round-trips through ParseSelect: the durable CQ registry persists
+// queries as text and re-parses them at recovery, so render → parse →
+// render must reach a fixed point.
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Star {
+			b.WriteString("*")
+			continue
+		}
+		b.WriteString(it.Expr.String())
+		if it.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(it.Alias)
+		}
+	}
+	if len(s.From) > 0 {
+		b.WriteString(" FROM ")
+		for i, ref := range s.From {
+			if i > 0 {
+				if ref.On != nil {
+					b.WriteString(" JOIN ")
+				} else {
+					b.WriteString(", ")
+				}
+			}
+			b.WriteString(ref.Table)
+			if ref.Alias != "" {
+				b.WriteString(" AS ")
+				b.WriteString(ref.Alias)
+			}
+			if i > 0 && ref.On != nil {
+				b.WriteString(" ON ")
+				b.WriteString(ref.On.String())
+			}
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		b.WriteString(s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}

@@ -23,6 +23,7 @@ import (
 	"github.com/diorama/continual/internal/delta"
 	"github.com/diorama/continual/internal/relation"
 	"github.com/diorama/continual/internal/vclock"
+	"github.com/diorama/continual/internal/wal"
 )
 
 // Errors returned by the store.
@@ -95,6 +96,9 @@ type Store struct {
 	// the store is shared, so hot paths read it without synchronization
 	// concerns beyond the store mutex they already hold.
 	met *metrics
+	// sink, when set, receives every committed change in write-ahead
+	// order (see SetWALSink in durable.go). Nil on in-memory stores.
+	sink WALSink
 }
 
 // NewStore creates an empty store with a fresh logical clock.
@@ -119,6 +123,11 @@ func (s *Store) CreateTable(name string, schema relation.Schema) error {
 	if _, dup := s.tables[name]; dup {
 		return fmt.Errorf("%w: %q", ErrTableExists, name)
 	}
+	if s.sink != nil {
+		if err := s.sink.AppendCreateTable(name, schema); err != nil {
+			return fmt.Errorf("storage: log create table %q: %w", name, err)
+		}
+	}
 	s.tables[name] = &Table{
 		store: s,
 		name:  name,
@@ -139,6 +148,11 @@ func (s *Store) DropTable(name string) error {
 	t, ok := s.tables[name]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	if s.sink != nil {
+		if err := s.sink.AppendDropTable(name); err != nil {
+			return fmt.Errorf("storage: log drop table %q: %w", name, err)
+		}
 	}
 	delete(s.tables, name)
 	if m := s.met; m != nil {
@@ -522,6 +536,26 @@ func (tx *Tx) Commit() (vclock.Timestamp, error) {
 	}
 
 	ts := s.clock.Tick()
+
+	// Write-ahead: the commit is logged before any in-memory state
+	// changes. A sink failure fails the whole commit with the store
+	// untouched (the consumed clock tick leaves a harmless gap).
+	if s.sink != nil {
+		walRows := make([]wal.TxRow, 0, len(tx.ops))
+		for i := range tx.ops {
+			op := &tx.ops[i]
+			if op.row.Old == nil && op.row.New == nil {
+				continue
+			}
+			row := op.row
+			row.TS = ts
+			walRows = append(walRows, wal.TxRow{Table: op.table, Row: row})
+		}
+		if err := s.sink.AppendTx(ts, walRows); err != nil {
+			return 0, fmt.Errorf("storage: log commit: %w", err)
+		}
+	}
+
 	appended := 0
 	touched := make(map[*Table]struct{}, 1)
 	for i := range tx.ops {

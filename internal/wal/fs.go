@@ -1,0 +1,87 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the write handle the log needs from a filesystem: ordered
+// writes, an explicit durability barrier, and close.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the directory operations of the log so tests can run the
+// full append/checkpoint/recover cycle against a deterministic in-memory
+// filesystem with injected crashes (internal/faults.MemFS). Paths are
+// passed through verbatim; implementations decide how to root them.
+type FS interface {
+	// Create opens name for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// Open opens name for reading.
+	Open(name string) (io.ReadCloser, error)
+	// List returns the file names (not paths) inside dir, sorted.
+	List(dir string) ([]string, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// MkdirAll creates dir and parents.
+	MkdirAll(dir string) error
+	// SyncDir flushes directory metadata (created/renamed entries) so
+	// they survive a crash.
+	SyncDir(dir string) error
+}
+
+// OSFS is the real-filesystem implementation of FS.
+type OSFS struct{}
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+// Open implements FS.
+func (OSFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+// List implements FS.
+func (OSFS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// SyncDir implements FS: fsync the directory fd so renames are durable.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

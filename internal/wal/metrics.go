@@ -1,0 +1,62 @@
+package wal
+
+import (
+	"time"
+
+	"github.com/diorama/continual/internal/obs"
+)
+
+// metrics bundles the wal.* instruments. A nil *metrics is valid and
+// records nothing, so the log is usable without a registry.
+type metrics struct {
+	appendNS     *obs.Histogram
+	fsyncNS      *obs.Histogram
+	checkpointNS *obs.Histogram
+	bytes        *obs.Counter
+	recoveryNS   *obs.Gauge
+	replayed     *obs.Gauge
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		return nil
+	}
+	return &metrics{
+		appendNS:     reg.Histogram("wal.append_ns"),
+		fsyncNS:      reg.Histogram("wal.fsync_ns"),
+		checkpointNS: reg.Histogram("wal.checkpoint_ns"),
+		bytes:        reg.Counter("wal.bytes"),
+		recoveryNS:   reg.Gauge("wal.recovery_ns"),
+		replayed:     reg.Gauge("wal.records_replayed"),
+	}
+}
+
+func (m *metrics) observeAppend(d time.Duration, n int) {
+	if m == nil {
+		return
+	}
+	m.appendNS.Observe(d)
+	m.bytes.Add(int64(n))
+}
+
+func (m *metrics) observeFsync(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.fsyncNS.Observe(d)
+}
+
+func (m *metrics) observeCheckpoint(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.checkpointNS.Observe(d)
+}
+
+func (m *metrics) observeRecovery(d time.Duration, records int) {
+	if m == nil {
+		return
+	}
+	m.recoveryNS.Set(int64(d))
+	m.replayed.Set(int64(records))
+}

@@ -91,6 +91,18 @@ func columnsOf(rel *relation.Relation) []string {
 
 // subscribe wires a freshly registered CQ to a Subscription with
 // synchronous delivery.
+// Subscribe attaches to an already-registered continual query by name.
+// This is how subscribers reattach to a query resumed by OpenDurable,
+// whose pre-restart Subscription handles did not survive; Initial holds
+// the query's current (recovered) result.
+func (db *DB) Subscribe(name string) (*Subscription, error) {
+	current, err := db.manager.Result(name)
+	if err != nil {
+		return nil, err
+	}
+	return db.subscribe(name, current)
+}
+
 func (db *DB) subscribe(name string, initial *relation.Relation) (*Subscription, error) {
 	sub := &Subscription{
 		db:      db,
