@@ -4,12 +4,14 @@
 //	cqbench -quick     # small datasets (CI-sized)
 //	cqbench -run E3,E5 # selected experiments
 //	cqbench -list      # list experiment ids
+//	cqbench -json out  # also write each table as out/BENCH_<ID>.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"github.com/diorama/continual/internal/bench"
@@ -31,6 +33,7 @@ func run(args []string) error {
 	rows := fs.Int("rows", 0, "override base relation size")
 	iters := fs.Int("iters", 0, "override measured iterations per point")
 	stats := fs.Bool("stats", true, "print a metrics snapshot after each experiment")
+	jsonDir := fs.String("json", "", "also write each table as BENCH_<ID>.json into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,6 +82,11 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		table.Render(os.Stdout)
+		if *jsonDir != "" {
+			if err := writeJSON(*jsonDir, table); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+		}
 		if *stats {
 			if snap := scale.Metrics.Snapshot(); !snap.Empty() {
 				fmt.Printf("%s metrics:\n", e.ID)
@@ -88,4 +96,20 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// writeJSON stores one experiment table as <dir>/BENCH_<ID>.json.
+func writeJSON(dir string, t *bench.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "BENCH_"+t.ID+".json"))
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -5,12 +5,14 @@
 //	cqctl snapshot stocks
 //	cqctl delta stocks 0
 //	cqctl watch 'SELECT * FROM stocks WHERE price > 120' -interval 1s
-//	cqctl stats
+//	cqctl stats [prefix]
 //	cqctl checkpoint
 //
 // watch installs a client-side continual query (a mirror evaluated by
 // DRA over shipped deltas) and prints each change as it arrives. stats
-// fetches the daemon's metrics snapshot and renders it as a table.
+// fetches the daemon's metrics snapshot and renders it as a table; an
+// optional name prefix (`cqctl stats push.`) narrows it to one
+// subsystem.
 //
 // Requests carry a -timeout deadline and are retried up to -retries
 // times with backoff, reconnecting as needed. watch survives daemon
@@ -160,6 +162,15 @@ func run(args []string) error {
 		snap, err := client.Stats()
 		if err != nil {
 			return err
+		}
+		// An optional prefix narrows the table to one subsystem:
+		// `cqctl stats push.` shows the push pipeline, `cqctl stats wal.`
+		// durability, etc.
+		if len(rest) > 1 {
+			snap = snap.Filter(rest[1])
+			if snap.Empty() {
+				return fmt.Errorf("no instruments match prefix %q", rest[1])
+			}
 		}
 		snap.WriteTable(os.Stdout)
 		return nil

@@ -76,6 +76,8 @@ func run(args []string) error {
 	parallelism := fs.Int("parallelism", 0, "refresh worker pool size for server-side CQs (0 = GOMAXPROCS)")
 	strategy := fs.String("strategy", "auto", "refresh strategy for server-side CQs (auto, truth-table, incremental, propagate)")
 	pollEvery := fs.Duration("poll", 250*time.Millisecond, "poll interval for server-side CQ triggers")
+	pushMode := fs.Bool("push", false, "push-based refresh: route committed deltas straight to affected CQs (poll loop stays on as fallback)")
+	pushQueue := fs.Int("push-queue", 0, "bounded push queue capacity (0 = default; overflow falls back to polling)")
 	dataDir := fs.String("data", "", "durable data directory (WAL + checkpoints; empty = in-memory)")
 	fsyncPolicy := fs.String("fsync", "always", "WAL sync policy: always, interval, never")
 	ckptEvery := fs.Int("checkpoint-every", 0, "auto-checkpoint after N committed transactions (0 = only on shutdown)")
@@ -97,6 +99,8 @@ func run(args []string) error {
 		Parallelism: *parallelism,
 		Strategy:    strat,
 		Metrics:     reg,
+		Push:        *pushMode,
+		PushQueue:   *pushQueue,
 	}
 	var store *storage.Store
 	var mgr *cq.Manager
@@ -157,6 +161,9 @@ func run(args []string) error {
 		fmt.Printf("cqd: polling %d continual queries every %s (parallelism %d)\n",
 			len(names), *pollEvery, *parallelism)
 	}
+	if *pushMode {
+		fmt.Println("cqd: push-based refresh enabled (committed deltas route straight to affected CQs)")
+	}
 
 	var httpLn net.Listener
 	if *httpAddr != "" {
@@ -185,6 +192,17 @@ func run(args []string) error {
 		_ = httpLn.Close()
 	}
 	err = srv.Close()
+	// Drain the push queue after the listener stops accepting work: every
+	// committed delta that was routed but not yet refreshed executes (or
+	// retires) now, so no notification is silently lost at exit. Pollable
+	// residue (time-triggered CQs, overflowed commits) stays in the delta
+	// store and is picked up on the next start.
+	if *pushMode {
+		if n := mgr.PushPending(); n > 0 {
+			fmt.Printf("cqd: draining %d pending push refreshes\n", n)
+		}
+		mgr.FlushPush()
+	}
 	// Checkpoint after the drain so the last in-flight updates are
 	// covered and the next start replays nothing.
 	if sys != nil {

@@ -79,6 +79,22 @@ type Options struct {
 	// run falls back to auto for that query, logged and counted in
 	// cq.maintainer.fallbacks.
 	Strategy string
+	// Push enables commit-driven reactive refresh: every committed
+	// transaction is routed immediately to the continual queries whose
+	// operand tables it touched, their triggers evaluated and — when
+	// fired — their refreshes dispatched on a worker pool, without
+	// waiting for the next Poll tick. Bursts coalesce (one refresh
+	// covers many commits) and notification latency drops from the
+	// poll interval to the refresh cost itself. Poll/Start remain
+	// available and are still needed for time-based (TriggerEvery)
+	// queries and as the overflow fallback; running both is safe —
+	// each query's update sequence stays gap-free and monotonic.
+	Push bool
+	// PushQueue bounds the push dispatch queue (default 1024). A queued
+	// query coalesces further commits instead of re-queueing, so any
+	// capacity at or above the number of registered queries makes
+	// overflow — and therefore poll fallback — impossible.
+	PushQueue int
 
 	// DataDir makes the engine durable (OpenDurable only): committed
 	// transactions and CQ executions append their deltas to a
@@ -121,6 +137,8 @@ func OpenWith(opts Options) *DB {
 		Parallelism: opts.Parallelism,
 		Strategy:    strat,
 		Metrics:     reg,
+		Push:        opts.Push,
+		PushQueue:   opts.PushQueue,
 	})
 	return &DB{
 		store:    store,
@@ -159,6 +177,8 @@ func OpenDurable(opts Options) (*DB, error) {
 			Parallelism: opts.Parallelism,
 			Strategy:    strat,
 			Metrics:     reg,
+			Push:        opts.Push,
+			PushQueue:   opts.PushQueue,
 		},
 	})
 	if err != nil {
@@ -401,6 +421,12 @@ func (db *DB) Poll() int {
 // Start launches a background loop calling Poll every interval. Close
 // stops it.
 func (db *DB) Start(interval time.Duration) error { return db.manager.Start(interval) }
+
+// FlushPush blocks until every commit already routed through the push
+// pipeline has dispatched its refresh — the quiescence barrier for
+// callers that need "everything committed so far has notified" (tests,
+// graceful shutdown). A no-op unless Options.Push is set.
+func (db *DB) FlushPush() { db.manager.FlushPush() }
 
 // CQNames lists registered continual queries.
 func (db *DB) CQNames() []string { return db.manager.Names() }

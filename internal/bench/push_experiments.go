@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/diorama/continual/internal/cq"
+	"github.com/diorama/continual/internal/obs"
+	"github.com/diorama/continual/internal/storage"
+	"github.com/diorama/continual/internal/vclock"
+	"github.com/diorama/continual/internal/workload"
+)
+
+// E18 measures push-based refresh against the poll loop it retires from
+// the hot path. The paper evaluates trigger conditions periodically, so
+// commit-to-notification latency under polling is bounded below by the
+// poll interval regardless of refresh cost; the push router routes each
+// committed delta straight to the affected CQs, so latency collapses to
+// the refresh cost itself. The experiment runs the E15 population (100
+// CQs over 4 shared tables) in both modes under two arrival processes —
+// a steady trickle, where every commit stands alone, and bursts, where
+// the router's coalescing merges back-to-back commits into one refresh.
+//
+// Columns: commits issued, latency samples collected (one per witnessed
+// commit), p50/p99 commit-to-notification latency, and refreshes per
+// routed commit — the coalescing measure: 1.0 means one refresh per
+// commit per affected CQ (no merging), below 1 means bursts were
+// coalesced; the poll loop amortizes the same way by construction, but
+// pays for it with interval-bound latency.
+func E18(scale Scale) (*Table, error) {
+	const (
+		nTables  = 4
+		nCQs     = 100
+		nCommits = 40
+		pollTick = 50 * time.Millisecond
+	)
+	// Per-commit batches stay small relative to the base: E18 measures
+	// pipeline latency, not refresh cost (E15/E16 own that), and an
+	// arrival rate beyond one core's refresh service rate would measure
+	// saturation queueing in both modes instead.
+	batch := scale.BaseRows / 1000
+	if batch < 5 {
+		batch = 5
+	}
+
+	t := &Table{
+		ID:    "E18",
+		Title: "push vs poll: commit-to-notification latency and coalescing",
+		Note: fmt.Sprintf("%d CQs over %d tables, %d commits of %d updates, poll interval %s, seed %d rows/table, host cores %d",
+			nCQs, nTables, nCommits, batch, pollTick, scale.BaseRows/nTables, runtime.NumCPU()),
+		Header: []string{"mode", "arrivals", "commits", "samples", "p50 ms", "p99 ms", "refr/commit"},
+	}
+
+	phases := []struct {
+		name   string
+		pacing workload.Pacing
+	}{
+		// Gaps are chosen coprime to the poll tick so arrivals sweep the
+		// tick phase instead of aliasing onto it (a burst gap that is a
+		// multiple of the interval phase-locks bursts to the ticks and
+		// flatters the poll baseline).
+		{"steady", workload.Steady(13 * time.Millisecond)},
+		{"bursty", workload.Bursty(10, 130*time.Millisecond)},
+	}
+	for _, mode := range []string{"poll", "push"} {
+		for _, ph := range phases {
+			row, err := e18Run(scale, mode, ph.name, ph.pacing, nTables, nCQs, nCommits, batch, pollTick)
+			if err != nil {
+				return nil, fmt.Errorf("e18 %s/%s: %w", mode, ph.name, err)
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// e18Run builds a fresh world and measures one (mode, arrival process)
+// configuration.
+func e18Run(scale Scale, mode, phase string, pacing workload.Pacing, nTables, nCQs, nCommits, batch int, pollTick time.Duration) ([]string, error) {
+	reg := obs.NewRegistry()
+	store := storage.NewStore()
+	store.Instrument(reg)
+	tableName := func(i int) string { return fmt.Sprintf("stocks%d", i%nTables) }
+	gens := make([]*workload.Stocks, nTables)
+	for i := 0; i < nTables; i++ {
+		if err := store.CreateTable(tableName(i), workload.StockSchema()); err != nil {
+			return nil, err
+		}
+		gens[i] = workload.NewStocks(store, tableName(i), int64(1+i), workload.DefaultMix)
+		if err := gens[i].Seed(scale.BaseRows / nTables); err != nil {
+			return nil, err
+		}
+	}
+
+	mgr := cq.NewManagerConfig(store, cq.Config{
+		UseDRA:  true,
+		AutoGC:  true,
+		Metrics: reg,
+		Push:    mode == "push",
+	})
+	defer func() { _ = mgr.Close() }()
+	for i := 0; i < nCQs; i++ {
+		def := cq.Def{
+			Name: fmt.Sprintf("cq%d", i),
+			Query: fmt.Sprintf("SELECT * FROM %s WHERE price > %d",
+				tableName(i), 25*(1+i%4)),
+		}
+		if i < nTables {
+			// One witness per table: a threshold every batch crosses and
+			// NotifyEmpty, so each refresh produces a notification the
+			// latency probe can anchor on.
+			def.Query = fmt.Sprintf("SELECT * FROM %s WHERE price > 1", tableName(i))
+			def.NotifyEmpty = true
+		}
+		if _, err := mgr.Register(def); err != nil {
+			return nil, err
+		}
+	}
+
+	// The latency probe: each commit records its wall-clock instant under
+	// its commit timestamp; the witness subscription for that table
+	// resolves every recorded commit at or before the notification's
+	// ExecTS. Pending commits that a refresh skipped (no matching change)
+	// resolve on the next notification that covers them.
+	var probeMu sync.Mutex
+	sent := make([]map[vclock.Timestamp]time.Time, nTables)
+	var lats []time.Duration
+	for i := range sent {
+		sent[i] = make(map[vclock.Timestamp]time.Time)
+	}
+	cancels := make([]func(), 0, nTables)
+	for i := 0; i < nTables; i++ {
+		table := i
+		cancel, err := mgr.SubscribeFunc(fmt.Sprintf("cq%d", table), func(n cq.Notification, closed bool) {
+			if closed {
+				return
+			}
+			now := time.Now()
+			probeMu.Lock()
+			for ts, at := range sent[table] {
+				if ts <= n.ExecTS {
+					lats = append(lats, now.Sub(at))
+					delete(sent[table], ts)
+				}
+			}
+			probeMu.Unlock()
+		})
+		if err != nil {
+			return nil, err
+		}
+		cancels = append(cancels, cancel)
+	}
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+
+	// Both modes run the poll loop: it IS the baseline in poll mode and
+	// the fallback (time triggers, overflow) in push mode.
+	if err := mgr.Start(pollTick); err != nil {
+		return nil, err
+	}
+
+	base := reg.Snapshot().Counter("cq.refreshes")
+	err := pacing.Run(nCommits, func(i int) error {
+		table := i % nTables
+		if err := gens[table].Batch(batch); err != nil {
+			return err
+		}
+		// Single-writer world: the store clock ticked exactly once, so
+		// Now() is this commit's timestamp.
+		probeMu.Lock()
+		sent[table][store.Now()] = time.Now()
+		probeMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Drain in two stages: first wait passively so the tail commits
+	// resolve through the same pipeline that served the phase (push
+	// dispatches, or the next poll ticks — forcing a poll here would
+	// flatter the baseline's tail latency), then force poll rounds for
+	// any residue a skipped witness refresh left behind.
+	mgr.FlushPush()
+	remaining := func() int {
+		probeMu.Lock()
+		defer probeMu.Unlock()
+		n := 0
+		for i := range sent {
+			n += len(sent[i])
+		}
+		return n
+	}
+	deadline := time.Now().Add(4*pollTick + 100*time.Millisecond)
+	for time.Now().Before(deadline) && remaining() > 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	for i := 0; i < 5 && remaining() > 0; i++ {
+		if _, err := mgr.Poll(); err != nil {
+			return nil, err
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	refreshes := reg.Snapshot().Counter("cq.refreshes") - base
+	if err := mgr.Close(); err != nil {
+		return nil, err
+	}
+
+	sortDurations(lats)
+	p50, p99 := time.Duration(0), time.Duration(0)
+	if len(lats) > 0 {
+		p50 = lats[len(lats)*50/100]
+		p99 = lats[min(len(lats)-1, len(lats)*99/100)]
+	}
+	// Each commit touches one table and therefore routes to nCQs/nTables
+	// queries; refreshes at or below that product mean the pipeline
+	// amortized, below one refresh per routed commit means it coalesced.
+	perCommit := float64(refreshes) / float64(nCommits*(nCQs/nTables))
+	return []string{
+		mode, phase,
+		fmt.Sprint(nCommits),
+		fmt.Sprint(len(lats)),
+		fmt.Sprintf("%.2f", float64(p50.Nanoseconds())/1e6),
+		fmt.Sprintf("%.2f", float64(p99.Nanoseconds())/1e6),
+		fmt.Sprintf("%.2f", perCommit),
+	}, nil
+}

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
@@ -60,6 +61,22 @@ func (t *Table) Render(w io.Writer) {
 		line(row)
 	}
 	fmt.Fprintln(w)
+}
+
+// WriteJSON writes the table as a machine-readable JSON document — the
+// format behind cqbench -json, which CI archives as BENCH_<ID>.json so
+// regressions are diffable without parsing the aligned-text render.
+func (t *Table) WriteJSON(w io.Writer) error {
+	doc := struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Note   string     `json:"note,omitempty"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{t.ID, t.Title, t.Note, t.Header, t.Rows}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // Scale sets the dataset sizes; Quick keeps unit-test latency, Paper is

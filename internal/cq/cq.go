@@ -25,6 +25,7 @@ import (
 	"github.com/diorama/continual/internal/dra"
 	"github.com/diorama/continual/internal/epsilon"
 	"github.com/diorama/continual/internal/obs"
+	"github.com/diorama/continual/internal/push"
 	"github.com/diorama/continual/internal/relation"
 	"github.com/diorama/continual/internal/sql"
 	"github.com/diorama/continual/internal/storage"
@@ -214,6 +215,23 @@ type Config struct {
 	// delivered execution in write-ahead order (see Journal). Nil on
 	// in-memory managers.
 	Journal Journal
+	// Push enables commit-driven reactive refresh: the store's commit
+	// hook publishes every committed delta into a router that evaluates
+	// the affected CQs' triggers immediately instead of waiting for the
+	// next Poll tick. The poll loop remains the fallback — time-based
+	// (TriggerEvery) CQs are never routed (a commit says nothing about
+	// the clock), and queue overflow degrades to batched polling — so
+	// callers should keep Start running at a relaxed interval. Every
+	// invariant of the poll path carries over: per-CQ Seq stays
+	// gap-free and monotonic under mixed push/poll, notifications
+	// journal before delivery, and a refresh delivered by push is
+	// skipped by a racing Poll (and vice versa) rather than duplicated.
+	Push bool
+	// PushQueue bounds the push router's ready queue (default
+	// push.DefaultQueue). A queued CQ coalesces later commits instead
+	// of re-queueing, so capacity >= registered CQs makes overflow
+	// impossible.
+	PushQueue int
 }
 
 // Manager owns the registered continual queries over one store.
@@ -226,10 +244,22 @@ type Manager struct {
 	cqs    map[string]*instance
 	closed bool
 
+	// router is the push subsystem (nil unless Config.Push): it owns
+	// the store's commit hook and the dispatcher workers. Guarded by mu
+	// for replacement; the router itself is concurrency-safe.
+	router *push.Router
+	// pushGCTicks throttles AutoGC on the push path: collecting after
+	// every dispatch would cost O(CQs) per commit, so push GCs every
+	// pushGCEvery refreshes and lets the poll loop do the rest.
+	pushGCTicks atomic.Uint64
+
 	// background loop lifecycle
 	loopStop chan struct{}
 	loopDone chan struct{}
 }
+
+// pushGCEvery is the push-path AutoGC period, in push refreshes.
+const pushGCEvery = 64
 
 // NewManager creates a manager with differential re-evaluation enabled.
 func NewManager(store *storage.Store) *Manager {
@@ -244,12 +274,22 @@ func NewManagerConfig(store *storage.Store, cfg Config) *Manager {
 	if cfg.Metrics != nil && cfg.Engine.Metrics == nil {
 		cfg.Engine.Instrument(cfg.Metrics)
 	}
-	return &Manager{
+	m := &Manager{
 		store: store,
 		cfg:   cfg,
 		met:   newMetrics(cfg.Metrics),
 		cqs:   make(map[string]*instance),
 	}
+	if cfg.Push {
+		m.router = push.NewRouter(push.Config{
+			Queue:   cfg.PushQueue,
+			Workers: cfg.Parallelism,
+			Metrics: cfg.Metrics,
+			Logf:    cfg.Logf,
+		}, m.pushDispatch)
+		store.SetCommitHook(m.router.Publish)
+	}
+	return m
 }
 
 // Stats returns a point-in-time snapshot of the metrics registry this
@@ -360,8 +400,30 @@ func (m *Manager) Register(def Def) (*relation.Relation, error) {
 		}
 	}
 	m.cqs[def.Name] = inst
+	m.routePushLocked(inst)
 	m.updateRegisteredLocked()
 	return initial.Clone(), nil
+}
+
+// routePushLocked indexes a CQ in the push router. Time-based triggers
+// are never routed: a commit carries no information about the clock, so
+// TriggerEvery CQs stay on the poll loop — the trigger-kind routing
+// rule of the hybrid execution model. Caller holds m.mu.
+func (m *Manager) routePushLocked(inst *instance) {
+	if m.router == nil || inst.trigger.Kind == sql.TriggerEvery || inst.terminated.Load() {
+		return
+	}
+	m.router.Register(inst.def.Name, inst.operandTables())
+}
+
+// operandTables is the CQ's routing key: the operand set of its
+// prepared plan when it has one (dra.Prepared.Tables — the same set the
+// operand index cache is keyed by), the plan scan set otherwise.
+func (inst *instance) operandTables() []string {
+	if inst.prepared != nil {
+		return inst.prepared.Tables()
+	}
+	return inst.tables
 }
 
 // updateRegisteredLocked recomputes the live-CQ gauge. Caller holds m.mu.
@@ -541,6 +603,9 @@ func (m *Manager) Drop(name string) error {
 	}
 	inst.mu.Unlock()
 	delete(m.cqs, name)
+	if m.router != nil {
+		m.router.Unregister(name)
+	}
 	m.updateRegisteredLocked()
 	return nil
 }
@@ -764,6 +829,118 @@ func (m *Manager) Refresh(name string) error {
 	return nil
 }
 
+// pushDispatch is the push router's callback: one CQ's share of a Poll
+// round, run the moment a commit touches its operands. It follows the
+// Poll discipline exactly — change-counter snapshot before the round
+// timestamp, trigger evaluation under the instance lock, refresh
+// guarded by the roundTS <= lastExec monotonicity check — so a push
+// refresh and a racing Poll (or another dispatcher) of the same CQ
+// resolve to exactly one execution per timestamp, keeping Seq gap-free
+// and the notification sequence identical to what polling would have
+// produced.
+func (m *Manager) pushDispatch(name string) (refreshed, retire bool, err error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return false, true, nil
+	}
+	inst, ok := m.cqs[name]
+	if !ok || inst.terminated.Load() {
+		m.mu.Unlock()
+		return false, true, nil
+	}
+	var versions map[string]uint64
+	if m.cfg.UseDRA {
+		versions = m.store.ChangeCounts()
+	}
+	roundTS := m.store.Now()
+	cache := m.store.NewWindowCache()
+	inst.mu.Lock()
+	should, terr := m.observeAndTest(inst, roundTS, cache)
+	if terr != nil {
+		inst.lastErr = terr
+		inst.mu.Unlock()
+		m.mu.Unlock()
+		if mm := m.met; mm != nil {
+			mm.refreshErrors.Inc()
+		}
+		return false, false, fmt.Errorf("cq %q: %w", name, terr)
+	}
+	inst.mu.Unlock()
+	m.mu.Unlock()
+	if mm := m.met; mm != nil {
+		mm.triggerEvals.Inc()
+		if should {
+			mm.fireCounter(inst.trigger.Kind).Inc()
+		}
+	}
+	if !should {
+		return false, false, nil
+	}
+
+	inst.mu.Lock()
+	if inst.terminated.Load() || roundTS <= inst.lastExec {
+		// A racing refresh (Poll, Refresh, or another dispatcher)
+		// already covered this window.
+		inst.mu.Unlock()
+		return false, false, nil
+	}
+	if rerr := m.refreshInstance(inst, roundTS, cache, versions); rerr != nil {
+		inst.lastErr = rerr
+		inst.mu.Unlock()
+		if mm := m.met; mm != nil {
+			mm.refreshErrors.Inc()
+		}
+		return false, false, rerr
+	}
+	inst.lastErr = nil
+	terminated := inst.terminated.Load()
+	inst.mu.Unlock()
+
+	if terminated {
+		m.mu.Lock()
+		m.updateRegisteredLocked()
+		m.mu.Unlock()
+	}
+	// Amortized GC: the poll loop still collects every round; the push
+	// path chips in periodically so a pure-push deployment (no poll
+	// loop at all) keeps its delta windows bounded too.
+	if m.cfg.AutoGC && m.pushGCTicks.Add(1)%pushGCEvery == 0 {
+		m.mu.Lock()
+		if !m.closed {
+			m.gcLocked()
+		}
+		m.mu.Unlock()
+	}
+	return true, terminated, nil
+}
+
+// FlushPush blocks until every queued push dispatch has completed — the
+// quiescence barrier for graceful drains (cqd shutdown, durable
+// checkpoint-on-close) and for tests comparing push against poll. A
+// no-op when push is disabled. Callers must not hold manager locks and
+// should stop committing first.
+func (m *Manager) FlushPush() {
+	m.mu.Lock()
+	r := m.router
+	m.mu.Unlock()
+	if r != nil {
+		r.Flush()
+	}
+}
+
+// PushPending reports the number of CQs queued or mid-dispatch in the
+// push router (0 when push is disabled).
+func (m *Manager) PushPending() int {
+	m.mu.Lock()
+	r := m.router
+	m.mu.Unlock()
+	if r == nil {
+		return 0
+	}
+	return r.Pending()
+}
+
 // observeAndTest folds the unobserved update window into the CQ's trigger
 // state and evaluates the trigger condition — differentially: only delta
 // rows are read (Section 5.3). Caller holds inst.mu. Trigger accounting
@@ -946,6 +1123,7 @@ func (m *Manager) deliver(inst *instance, note Notification) {
 	if mm := m.met; mm != nil {
 		mm.notifications.Add(int64(delivered))
 		mm.drops.Add(int64(dropped))
+		mm.notifDropped.Add(int64(dropped))
 		depth := 0
 		for _, s := range inst.subs {
 			depth += len(s.ch)
@@ -1076,7 +1254,9 @@ func (m *Manager) loop(interval time.Duration, stop <-chan struct{}, done chan<-
 	}
 }
 
-// Close stops the background loop (if running) and closes all subscriber
+// Close stops the background loop (if running), drains the push router
+// (pending dispatches refresh against the still-open manager, so no
+// committed delta is left unevaluated), and closes all subscriber
 // channels.
 func (m *Manager) Close() error {
 	m.mu.Lock()
@@ -1086,10 +1266,20 @@ func (m *Manager) Close() error {
 	}
 	stop, done := m.loopStop, m.loopDone
 	m.loopStop, m.loopDone = nil, nil
+	router := m.router
+	m.router = nil
 	m.mu.Unlock()
 	if stop != nil {
 		close(stop)
 		<-done
+	}
+	if router != nil {
+		// Detach the commit hook first: a commit racing with shutdown
+		// must not publish into a closing router. Its delta stays in
+		// the store; nothing here evaluates it, which matches the
+		// poll-loop shutdown semantics.
+		m.store.SetCommitHook(nil)
+		router.Close()
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

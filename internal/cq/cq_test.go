@@ -377,7 +377,8 @@ func TestGCBoundedBySlowestCQ(t *testing.T) {
 
 func TestSubscriberBufferDropsWithoutBlocking(t *testing.T) {
 	s := newStoreWith(t, map[string]relation.Schema{"stocks": stockSchema()})
-	m := NewManager(s)
+	reg := obs.NewRegistry()
+	m := NewManagerConfig(s, Config{Metrics: reg})
 	defer func() { _ = m.Close() }()
 	if _, err := m.Register(Def{Name: "q", Query: "SELECT * FROM stocks WHERE price > 0"}); err != nil {
 		t.Fatal(err)
@@ -393,6 +394,11 @@ func TestSubscriberBufferDropsWithoutBlocking(t *testing.T) {
 	// Only one buffered; the rest dropped, but Poll never blocked.
 	if got := len(drain(ch)); got != 1 {
 		t.Errorf("buffered = %d, want 1", got)
+	}
+	// The drops are counted, not silent: 5 notifications minus the 1
+	// buffered.
+	if got := reg.Snapshot().Counter("cq.notifications.dropped"); got != 4 {
+		t.Errorf("cq.notifications.dropped = %d, want 4", got)
 	}
 }
 

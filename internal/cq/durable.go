@@ -225,6 +225,7 @@ func (m *Manager) Resume(e wal.CQEntry) error {
 	inst.lastExec = e.LastExec
 	inst.lastObs = e.LastExec
 	m.cqs[e.Name] = inst
+	m.routePushLocked(inst)
 	m.updateRegisteredLocked()
 	return nil
 }

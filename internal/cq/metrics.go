@@ -23,9 +23,16 @@ type metrics struct {
 	roundWorkers  *obs.Gauge     // cq.round_workers: worker pool size of the last round
 	notifications *obs.Counter   // cq.notifications: delivered to subscribers
 	drops         *obs.Counter   // cq.subscriber_drops: full-buffer discards
-	queueDepth    *obs.Gauge     // cq.notify_queue_depth: buffered, undrained
-	gcReclaimed   *obs.Counter   // cq.gc_reclaimed_rows
-	terminated    *obs.Counter   // cq.terminated: Stop conditions reached
+	// notifDropped counts notifications discarded because a subscriber
+	// buffer was full — the same event cq.subscriber_drops counts, but
+	// under the cq.notifications.* namespace so delivered/dropped read
+	// as a pair; the public Subscription layer (continual) feeds its
+	// own channel drops into this counter too, which subscriber_drops
+	// (manager-internal buffers only) never saw.
+	notifDropped *obs.Counter // cq.notifications.dropped
+	queueDepth   *obs.Gauge   // cq.notify_queue_depth: buffered, undrained
+	gcReclaimed  *obs.Counter // cq.gc_reclaimed_rows
+	terminated   *obs.Counter // cq.terminated: Stop conditions reached
 	// maintFallbacks counts registrations where a forced refresh
 	// strategy could not run on the CQ's plan and the manager fell back
 	// to the cost model (formerly a silent fallback).
@@ -52,6 +59,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 		roundWorkers:   reg.Gauge("cq.round_workers"),
 		notifications:  reg.Counter("cq.notifications"),
 		drops:          reg.Counter("cq.subscriber_drops"),
+		notifDropped:   reg.Counter("cq.notifications.dropped"),
 		queueDepth:     reg.Gauge("cq.notify_queue_depth"),
 		gcReclaimed:    reg.Counter("cq.gc_reclaimed_rows"),
 		terminated:     reg.Counter("cq.terminated"),

@@ -1,0 +1,222 @@
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/diorama/continual/internal/obs"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/sql"
+	"github.com/diorama/continual/internal/storage"
+	"github.com/diorama/continual/internal/workload"
+)
+
+// renderRel canonicalizes a relation for transcript comparison: rows
+// sorted, TIDs included (TID allocation is deterministic, so identical
+// commit sequences must produce identical TIDs).
+func renderRel(r *relation.Relation) string {
+	if r == nil {
+		return "-"
+	}
+	rows := make([]string, r.Len())
+	for i := 0; i < r.Len(); i++ {
+		tup := r.At(i)
+		rows[i] = fmt.Sprintf("%d:%v", tup.TID, tup.Values)
+	}
+	sort.Strings(rows)
+	return "[" + strings.Join(rows, " ") + "]"
+}
+
+// renderNotification canonicalizes one delivery.
+func renderNotification(n Notification) string {
+	mods := make([]string, len(n.Modified))
+	for i, r := range n.Modified {
+		mods[i] = fmt.Sprintf("%d:%v->%v", r.TID, r.Old, r.New)
+	}
+	sort.Strings(mods)
+	return fmt.Sprintf("seq=%d ts=%d init=%v term=%v ins=%s del=%s mod=[%s] com=%s",
+		n.Seq, n.ExecTS, n.Initial, n.Terminated,
+		renderRel(n.Inserted), renderRel(n.Deleted),
+		strings.Join(mods, " "), renderRel(n.Complete))
+}
+
+// e2eWorld runs the shared commit script under one refresh mode and
+// returns the per-CQ notification transcript plus the final metrics
+// snapshot. Modes: "poll" (push off, Poll after every commit), "push"
+// (push on, FlushPush after every commit), "mixed" (push on with a
+// 1-slot queue and 1 worker so most routings overflow, FlushPush + Poll
+// after every commit — the overflowed CQs refresh through the poll
+// fallback at the same timestamp).
+func e2eWorld(t *testing.T, mode string, steps int) (map[string][]string, obs.Snapshot) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	s := storage.NewStore()
+	s.Instrument(reg)
+	for _, table := range []string{"s1", "s2"} {
+		if err := s.CreateTable(table, workload.StockSchema()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := Config{UseDRA: true, AutoGC: true, Metrics: reg}
+	switch mode {
+	case "push":
+		cfg.Push = true
+	case "mixed":
+		cfg.Push = true
+		cfg.PushQueue = 1
+		cfg.Parallelism = 1
+	}
+	m := NewManagerConfig(s, cfg)
+	defer func() { _ = m.Close() }()
+
+	// Same-seed generators produce the same symbols in both tables, so
+	// the equi-join on name is non-trivially populated.
+	g1 := workload.NewStocks(s, "s1", 7, workload.DefaultMix)
+	g2 := workload.NewStocks(s, "s2", 7, workload.DefaultMix)
+	if err := g1.Seed(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Seed(40); err != nil {
+		t.Fatal(err)
+	}
+
+	defs := []Def{
+		{Name: "sel", Query: "SELECT * FROM s1 WHERE price > 50"},
+		{Name: "join", Query: "SELECT s1.name, s2.price FROM s1, s2 WHERE s1.name = s2.name"},
+		{Name: "upd3", Query: "SELECT * FROM s1 WHERE price > 20",
+			Trigger: sql.TriggerSpec{Kind: sql.TriggerUpdates, Updates: 3}},
+		{Name: "compl", Query: "SELECT * FROM s2 WHERE price > 100", Mode: sql.ModeComplete},
+	}
+	var mu sync.Mutex
+	transcript := make(map[string][]string)
+	for _, def := range defs {
+		if _, err := m.Register(def); err != nil {
+			t.Fatal(err)
+		}
+		name := def.Name
+		if _, err := m.SubscribeFunc(name, func(n Notification, closed bool) {
+			if closed {
+				return
+			}
+			mu.Lock()
+			transcript[name] = append(transcript[name], renderNotification(n))
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The synchronization discipline that makes the three modes
+	// comparable: the logical clock ticks only on commits, and each mode
+	// quiesces after every commit, so every refresh in every mode runs at
+	// a commit timestamp with an identical delta window.
+	for i := 0; i < steps; i++ {
+		g := g1
+		if i%3 == 1 {
+			g = g2
+		}
+		if err := g.Batch(1 + i%4); err != nil {
+			t.Fatal(err)
+		}
+		m.FlushPush() // no-op in poll mode
+		if mode != "push" {
+			if _, err := m.Poll(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m.FlushPush()
+	if _, err := m.Poll(); err != nil { // clears any final overflow residue
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return transcript, reg.Snapshot()
+}
+
+// TestPushPollEquivalence is the push/poll equivalence property: the
+// same commit sequence must yield identical per-CQ notification
+// sequences — Seq, ExecTS, and full deltas — whether refreshes are
+// driven by the poll loop, by the push router, or by a mix where a
+// deliberately starved queue forces the overflow fallback. Run with
+// -race, this is also the concurrency check on the commit-hook pipeline.
+func TestPushPollEquivalence(t *testing.T) {
+	const steps = 48
+	base, _ := e2eWorld(t, "poll", steps)
+	for _, name := range []string{"sel", "join", "upd3", "compl"} {
+		if len(base[name]) == 0 {
+			t.Fatalf("poll transcript for %q is empty; the script is too tame", name)
+		}
+	}
+	push, pushSnap := e2eWorld(t, "push", steps)
+	mixed, mixedSnap := e2eWorld(t, "mixed", steps)
+
+	// The push world must actually have pushed, and the mixed world must
+	// actually have overflowed — otherwise the property holds vacuously.
+	if pushSnap.Counter("push.refreshes") == 0 {
+		t.Fatal("push mode never dispatched a refresh")
+	}
+	if mixedSnap.Counter("push.overflows") == 0 {
+		t.Fatal("mixed mode never overflowed; the fallback path went unexercised")
+	}
+
+	for _, other := range []struct {
+		mode string
+		got  map[string][]string
+	}{{"push", push}, {"mixed", mixed}} {
+		for name, want := range base {
+			got := other.got[name]
+			if len(got) != len(want) {
+				t.Errorf("%s: %q delivered %d notifications, poll delivered %d",
+					other.mode, name, len(got), len(want))
+				continue
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("%s: %q notification %d:\n  poll: %s\n  %s: %s",
+						other.mode, name, i, want[i], other.mode, got[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPushRefreshesWithoutPolling is the latency claim in miniature: in
+// push mode a commit's refresh and notification arrive from FlushPush
+// alone — no Poll, no poll loop.
+func TestPushRefreshesWithoutPolling(t *testing.T) {
+	s := newStoreWith(t, map[string]relation.Schema{"stocks": stockSchema()})
+	reg := obs.NewRegistry()
+	m := NewManagerConfig(s, Config{UseDRA: true, Push: true, Metrics: reg})
+	defer func() { _ = m.Close() }()
+	if _, err := m.Register(Def{Name: "q", Query: "SELECT * FROM stocks WHERE price > 100"}); err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel, err := m.Subscribe("q", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	insertStock(t, s, "DEC", 150)
+	m.FlushPush()
+	notes := drain(ch)
+	if len(notes) != 1 {
+		t.Fatalf("notifications = %d, want 1 (delivered by push, not poll)", len(notes))
+	}
+	if notes[0].Seq != 2 || notes[0].Inserted == nil || notes[0].Inserted.Len() != 1 {
+		t.Fatalf("unexpected notification %+v", notes[0])
+	}
+	if reg.Snapshot().Counter("cq.polls") != 0 {
+		t.Fatal("a poll ran; the push path should not need one")
+	}
+	// Seq stays gap-free when a Poll follows: the window is already
+	// consumed, so the poll is a no-op.
+	if n, err := m.Poll(); err != nil || n != 0 {
+		t.Fatalf("post-push Poll = (%d, %v), want (0, nil)", n, err)
+	}
+}

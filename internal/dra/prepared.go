@@ -170,6 +170,16 @@ func (p *Prepared) Strategy() Strategy { return p.cur }
 // Fingerprint identifies the compiled plan shape (algebra.PlanFingerprint).
 func (p *Prepared) Fingerprint() uint64 { return p.fp }
 
+// Tables returns the plan's operand set — the base tables whose deltas
+// can change the result. This is the routing key of push-based refresh:
+// the commit router indexes each prepared CQ under exactly these names,
+// so a committed delta reaches precisely the plans it can affect.
+func (p *Prepared) Tables() []string {
+	out := make([]string, len(p.tables))
+	copy(out, p.tables)
+	return out
+}
+
 // Close releases the prepared state: the strategy gauge unit, the
 // incremental replicas, and the operand caches. The Prepared must not
 // be stepped afterwards.

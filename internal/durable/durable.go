@@ -327,6 +327,11 @@ func (s *System) Close() error {
 		return nil
 	}
 	s.wg.Wait()
+	// Drain the push queue first so every pending commit-driven refresh
+	// executes (and journals) before the final checkpoint: the
+	// checkpoint then covers those executions and the next open replays
+	// nothing. No-op when push is disabled.
+	s.Manager.FlushPush()
 	ckErr := s.Checkpoint()
 	mgErr := s.Manager.Close()
 	lgErr := s.log.Close()

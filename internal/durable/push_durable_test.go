@@ -1,0 +1,93 @@
+package durable_test
+
+import (
+	"testing"
+
+	"github.com/diorama/continual/internal/cq"
+	"github.com/diorama/continual/internal/durable"
+	"github.com/diorama/continual/internal/faults"
+	"github.com/diorama/continual/internal/wal"
+)
+
+func openPushSys(t *testing.T, fs wal.FS) *durable.System {
+	t.Helper()
+	sys, err := durable.Open(durable.Options{
+		Dir:   "data",
+		FS:    fs,
+		Fsync: wal.FsyncAlways,
+		CQ:    cq.Config{UseDRA: true, AutoGC: true, Push: true},
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return sys
+}
+
+// TestPushExecutionsAreDurable runs the commit-driven refresh path on a
+// durable system: push dispatches journal their executions through the
+// same write-ahead discipline as polled ones, Close drains the pipeline
+// before the final checkpoint, and a restart resumes the CQ with the
+// exact Seq/LastExec the push refreshes reached — then keeps pushing.
+func TestPushExecutionsAreDurable(t *testing.T) {
+	fs := faults.NewMemFS(1)
+	sys := openPushSys(t, fs)
+	if err := sys.Store.CreateTable("stocks", stockSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Manager.RegisterSQL(watchQuery); err != nil {
+		t.Fatal(err)
+	}
+	// No Poll anywhere in this test: every refresh past the initial
+	// execution arrives through the commit hook. Flushing after each
+	// commit defeats coalescing (which would legitimately merge
+	// back-to-back commits into one refresh) so Seq advances per commit.
+	for _, row := range []struct {
+		name string
+		v    int64
+	}{{"DEC", 150}, {"IBM", 40}, {"HP", 99}} {
+		insertRow(t, sys.Store, row.name, row.v)
+		sys.Manager.FlushPush()
+	}
+	wantState, err := sys.Manager.State("watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantState.Seq < 3 {
+		t.Fatalf("push refreshes did not advance seq: %+v", wantState)
+	}
+	wantRes, _ := sys.Manager.Result("watch")
+	if err := sys.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	sys2 := openPushSys(t, fs)
+	defer sys2.Close()
+	// The drained pipeline was checkpointed: nothing replays.
+	if !sys2.Recovery.FromCheckpoint || sys2.Recovery.Records != 0 || sys2.Recovery.CQs != 1 {
+		t.Fatalf("recovery: %+v", sys2.Recovery)
+	}
+	st, err := sys2.Manager.State("watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seq != wantState.Seq || st.LastExec != wantState.LastExec {
+		t.Fatalf("resumed state %+v, want seq=%d lastExec=%d", st, wantState.Seq, wantState.LastExec)
+	}
+	res, _ := sys2.Manager.Result("watch")
+	if !res.EqualContents(wantRes) {
+		t.Fatal("cq result differs after restart")
+	}
+
+	// The resumed CQ re-registered with the router: commits keep pushing
+	// with gap-free Seq.
+	insertRow(t, sys2.Store, "SUN", 77)
+	sys2.Manager.FlushPush()
+	st2, _ := sys2.Manager.State("watch")
+	if st2.Seq != wantState.Seq+1 {
+		t.Fatalf("post-restart push seq %d, want %d", st2.Seq, wantState.Seq+1)
+	}
+	res2, _ := sys2.Manager.Result("watch")
+	if res2.Len() != 3 { // DEC, HP, SUN
+		t.Fatalf("post-restart result len %d: %v", res2.Len(), res2)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -25,6 +26,37 @@ func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
 // Empty reports whether the snapshot carries no instruments.
 func (s Snapshot) Empty() bool {
 	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0
+}
+
+// Filter returns the subset of the snapshot whose instrument names start
+// with prefix — `cqctl stats push.` narrows the table to the push
+// pipeline, `cqctl stats wal.` to durability, and so on. An empty prefix
+// returns the snapshot unchanged.
+func (s Snapshot) Filter(prefix string) Snapshot {
+	if prefix == "" {
+		return s
+	}
+	out := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramStat),
+	}
+	for k, v := range s.Counters {
+		if strings.HasPrefix(k, prefix) {
+			out.Counters[k] = v
+		}
+	}
+	for k, v := range s.Gauges {
+		if strings.HasPrefix(k, prefix) {
+			out.Gauges[k] = v
+		}
+	}
+	for k, v := range s.Histograms {
+		if strings.HasPrefix(k, prefix) {
+			out.Histograms[k] = v
+		}
+	}
+	return out
 }
 
 // WriteTable renders the snapshot as aligned text, instruments sorted by

@@ -1,0 +1,256 @@
+package push
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/diorama/continual/internal/obs"
+	"github.com/diorama/continual/internal/storage"
+	"github.com/diorama/continual/internal/vclock"
+)
+
+// event builds a CommitEvent touching the given tables.
+func event(ts vclock.Timestamp, tables ...string) storage.CommitEvent {
+	ev := storage.CommitEvent{TS: ts, At: time.Now()}
+	for _, t := range tables {
+		ev.Changes = append(ev.Changes, storage.TableChange{Table: t, Rows: 1})
+	}
+	return ev
+}
+
+// TestRoutesOnlyAffectedCQs checks the operand inverted index: a commit
+// dispatches exactly the CQs whose tables it touched.
+func TestRoutesOnlyAffectedCQs(t *testing.T) {
+	var mu sync.Mutex
+	got := map[string]int{}
+	r := NewRouter(Config{Workers: 1}, func(name string) (bool, bool, error) {
+		mu.Lock()
+		got[name]++
+		mu.Unlock()
+		return true, false, nil
+	})
+	defer r.Close()
+	r.Register("a", []string{"t1"})
+	r.Register("b", []string{"t2"})
+	r.Register("ab", []string{"t1", "t2"})
+
+	r.Publish(event(1, "t1"))
+	r.Flush()
+	mu.Lock()
+	if got["a"] != 1 || got["b"] != 0 || got["ab"] != 1 {
+		t.Fatalf("after t1 commit: %v", got)
+	}
+	mu.Unlock()
+
+	// One commit touching both operands of "ab" must dispatch it once,
+	// not twice.
+	r.Publish(event(2, "t1", "t2"))
+	r.Flush()
+	mu.Lock()
+	defer mu.Unlock()
+	if got["a"] != 2 || got["b"] != 1 || got["ab"] != 2 {
+		t.Fatalf("after t1+t2 commit: %v", got)
+	}
+}
+
+// TestCoalescesBurstIntoOneDispatch blocks the single worker and
+// publishes a burst: the queued entry must absorb every later commit so
+// one refresh covers them all.
+func TestCoalescesBurstIntoOneDispatch(t *testing.T) {
+	reg := obs.NewRegistry()
+	block := make(chan struct{})
+	var calls atomic.Int64
+	r := NewRouter(Config{Workers: 1, Metrics: reg}, func(name string) (bool, bool, error) {
+		if calls.Add(1) == 1 {
+			<-block
+		}
+		return true, false, nil
+	})
+	defer r.Close()
+	r.Register("q", []string{"t"})
+	r.Register("decoy", []string{"t"})
+
+	// First commit occupies the worker (one of the two entries blocks);
+	// the rest coalesce into the queued entries.
+	for ts := 1; ts <= 10; ts++ {
+		r.Publish(event(vclock.Timestamp(ts), "t"))
+	}
+	close(block)
+	r.Flush()
+
+	snap := reg.Snapshot()
+	routed := snap.Counter("push.routed")
+	dispatches := snap.Counter("push.dispatches")
+	commits := snap.Counter("push.dispatched_commits")
+	if routed != 20 {
+		t.Fatalf("routed = %d, want 20 (10 commits x 2 CQs)", routed)
+	}
+	if commits != routed {
+		t.Fatalf("dispatched_commits = %d, want %d: no routing may be lost", commits, routed)
+	}
+	// The blocked worker guarantees real coalescing: far fewer dispatches
+	// than routings (at most one in-flight + one queued per CQ).
+	if dispatches > 6 {
+		t.Fatalf("dispatches = %d, want <= 6 under a blocked worker", dispatches)
+	}
+	if snap.Counter("push.coalesced") != commits-dispatches {
+		t.Fatalf("coalesced = %d, want routed-dispatches = %d",
+			snap.Counter("push.coalesced"), commits-dispatches)
+	}
+}
+
+// TestOverflowFallsBackWithoutBlocking fills the 1-slot queue while the
+// worker is blocked: further publishes must return immediately and count
+// overflows instead of queueing or blocking (the poll loop owns them).
+func TestOverflowFallsBackWithoutBlocking(t *testing.T) {
+	reg := obs.NewRegistry()
+	block := make(chan struct{})
+	r := NewRouter(Config{Workers: 1, Queue: 1, Metrics: reg}, func(name string) (bool, bool, error) {
+		<-block
+		return true, false, nil
+	})
+	r.Register("a", []string{"t"})
+	r.Register("b", []string{"t"})
+	r.Register("c", []string{"t"})
+
+	done := make(chan struct{})
+	go func() {
+		// 3 CQs, 1 worker slot + 1 queue slot: the third entry overflows.
+		r.Publish(event(1, "t"))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Publish blocked on a full queue")
+	}
+	// Give the worker time to pick up the first entry, then drain.
+	close(block)
+	r.Flush()
+	r.Close()
+
+	snap := reg.Snapshot()
+	if snap.Counter("push.overflows") < 1 {
+		t.Fatalf("overflows = %d, want >= 1", snap.Counter("push.overflows"))
+	}
+	if d := snap.Counter("push.dispatches"); d < 1 || d > 2 {
+		t.Fatalf("dispatches = %d, want 1 or 2", d)
+	}
+}
+
+// TestRetireUnregisters checks that a dispatch reporting retire removes
+// the CQ from the index so later commits stop routing to it.
+func TestRetireUnregisters(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRouter(Config{Workers: 1}, func(name string) (bool, bool, error) {
+		calls.Add(1)
+		return false, true, nil
+	})
+	defer r.Close()
+	r.Register("q", []string{"t"})
+	r.Publish(event(1, "t"))
+	r.Flush()
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1", calls.Load())
+	}
+	r.Publish(event(2, "t"))
+	r.Flush()
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d after retire, want still 1", calls.Load())
+	}
+}
+
+// TestReregisterReplacesTables checks Register's replace semantics and
+// Unregister's index cleanup.
+func TestReregisterReplacesTables(t *testing.T) {
+	var mu sync.Mutex
+	got := map[string]int{}
+	r := NewRouter(Config{Workers: 1}, func(name string) (bool, bool, error) {
+		mu.Lock()
+		got[name]++
+		mu.Unlock()
+		return true, false, nil
+	})
+	defer r.Close()
+	r.Register("q", []string{"t1"})
+	r.Register("q", []string{"t2"}) // replaces, does not extend
+	r.Publish(event(1, "t1"))
+	r.Publish(event(2, "t2"))
+	r.Flush()
+	mu.Lock()
+	if got["q"] != 1 {
+		mu.Unlock()
+		t.Fatalf("dispatches = %d, want 1 (t1 binding replaced)", got["q"])
+	}
+	mu.Unlock()
+	r.Unregister("q")
+	r.Publish(event(3, "t2"))
+	r.Flush()
+	mu.Lock()
+	defer mu.Unlock()
+	if got["q"] != 1 {
+		t.Fatalf("dispatches = %d after Unregister, want 1", got["q"])
+	}
+}
+
+// TestCloseDrainsPending ensures Close dispatches everything already
+// queued before stopping the workers, and that publishing after Close is
+// a safe no-op.
+func TestCloseDrainsPending(t *testing.T) {
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	r := NewRouter(Config{Workers: 1}, func(name string) (bool, bool, error) {
+		<-gate
+		calls.Add(1)
+		return true, false, nil
+	})
+	for i, name := range []string{"a", "b", "c"} {
+		r.Register(name, []string{"t"})
+		_ = i
+	}
+	r.Publish(event(1, "t"))
+	close(gate)
+	r.Close()
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3: Close must drain the queue", calls.Load())
+	}
+	r.Publish(event(2, "t")) // must not panic on the closed queue
+	r.Close()                // idempotent
+}
+
+// TestFlushWaitsForInFlight verifies Flush is a quiescence barrier: it
+// returns only after in-flight dispatches complete.
+func TestFlushWaitsForInFlight(t *testing.T) {
+	release := make(chan struct{})
+	var done atomic.Bool
+	r := NewRouter(Config{Workers: 2}, func(name string) (bool, bool, error) {
+		<-release
+		done.Store(true)
+		return true, false, nil
+	})
+	defer r.Close()
+	r.Register("q", []string{"t"})
+	r.Publish(event(1, "t"))
+
+	flushed := make(chan struct{})
+	go func() {
+		r.Flush()
+		close(flushed)
+	}()
+	select {
+	case <-flushed:
+		t.Fatal("Flush returned while a dispatch was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-flushed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Flush never returned")
+	}
+	if !done.Load() {
+		t.Fatal("dispatch did not run")
+	}
+}

@@ -1,0 +1,45 @@
+package storage
+
+import (
+	"time"
+
+	"github.com/diorama/continual/internal/vclock"
+)
+
+// TableChange is one table's share of a committed transaction: the
+// number of differential-relation rows the commit appended to it.
+type TableChange struct {
+	Table string
+	Rows  int
+}
+
+// CommitEvent describes one committed transaction to a commit hook: the
+// commit timestamp, the wall-clock instant the commit applied (the
+// anchor for commit-to-notification latency measurements), and the net
+// per-table change counts. It deliberately carries no row data — a
+// consumer that needs the rows pulls the delta window itself, so the
+// hook stays O(tables touched) however large the transaction.
+type CommitEvent struct {
+	TS      vclock.Timestamp
+	At      time.Time
+	Changes []TableChange
+}
+
+// CommitHook receives every committed transaction, invoked under the
+// store mutex immediately after the commit applies — the same ordering
+// discipline as the WAL sink (SetWALSink), so events arrive in strict
+// commit-timestamp order with the committed state already visible. The
+// hook MUST NOT block and MUST NOT call back into the store; it should
+// hand the event to its own machinery (the push router enqueues and
+// returns). Replayed recovery transactions (ApplyReplay) do not fire
+// the hook: install it after recovery, like the WAL sink.
+type CommitHook func(ev CommitEvent)
+
+// SetCommitHook attaches (or, with nil, detaches) the commit hook. Set
+// it before the store is shared, or detach it before tearing down the
+// consumer: the store calls whatever hook is installed at commit time.
+func (s *Store) SetCommitHook(h CommitHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hook = h
+}

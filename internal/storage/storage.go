@@ -99,6 +99,10 @@ type Store struct {
 	// sink, when set, receives every committed change in write-ahead
 	// order (see SetWALSink in durable.go). Nil on in-memory stores.
 	sink WALSink
+	// hook, when set, receives every committed transaction under the
+	// store mutex, after the commit applies (see SetCommitHook in
+	// commithook.go). Nil unless push-based refresh is enabled.
+	hook CommitHook
 }
 
 // NewStore creates an empty store with a fresh logical clock.
@@ -557,7 +561,7 @@ func (tx *Tx) Commit() (vclock.Timestamp, error) {
 	}
 
 	appended := 0
-	touched := make(map[*Table]struct{}, 1)
+	touched := make(map[*Table]int, 1)
 	for i := range tx.ops {
 		op := &tx.ops[i]
 		if op.row.Old == nil && op.row.New == nil {
@@ -578,7 +582,7 @@ func (tx *Tx) Commit() (vclock.Timestamp, error) {
 			return 0, fmt.Errorf("storage: delta append: %w", err)
 		}
 		appended++
-		touched[t] = struct{}{}
+		touched[t]++
 	}
 	for t := range touched {
 		t.version++
@@ -591,6 +595,16 @@ func (tx *Tx) Commit() (vclock.Timestamp, error) {
 			m.tableGauge(t.name).Set(int64(t.dlt.Len()))
 		}
 		m.commitNS.Observe(time.Since(commitStart))
+	}
+	// The commit hook fires under s.mu after the state applies, so a
+	// consumer sees events in strict commit order and every event's
+	// delta window is already readable.
+	if h := s.hook; h != nil && appended > 0 {
+		ev := CommitEvent{TS: ts, At: time.Now(), Changes: make([]TableChange, 0, len(touched))}
+		for t, n := range touched {
+			ev.Changes = append(ev.Changes, TableChange{Table: t.name, Rows: n})
+		}
+		h(ev)
 	}
 	return ts, nil
 }

@@ -1,0 +1,43 @@
+package workload
+
+import "time"
+
+// Pacing shapes the arrival process of a commit stream. Latency
+// experiments (bench E18) care about two regimes the paper's polling
+// discussion distinguishes only implicitly: a steady trickle, where each
+// commit stands alone and the question is how long it waits for the next
+// poll tick, and bursts, where many commits land back-to-back and a
+// push pipeline gets to coalesce them into one refresh.
+type Pacing struct {
+	// Burst is the number of commits issued back-to-back before pausing.
+	// 1 is a steady arrival process.
+	Burst int
+	// Gap is the pause between bursts (between every commit when
+	// Burst == 1).
+	Gap time.Duration
+}
+
+// Steady spaces single commits gap apart.
+func Steady(gap time.Duration) Pacing { return Pacing{Burst: 1, Gap: gap} }
+
+// Bursty issues size commits back-to-back, pausing gap between bursts.
+func Bursty(size int, gap time.Duration) Pacing { return Pacing{Burst: size, Gap: gap} }
+
+// Run issues n commits through f under this pacing, sleeping Gap after
+// each full burst (never after the last commit, so a measurement that
+// follows Run starts immediately). f receives the commit index.
+func (p Pacing) Run(n int, f func(i int) error) error {
+	burst := p.Burst
+	if burst < 1 {
+		burst = 1
+	}
+	for i := 0; i < n; i++ {
+		if err := f(i); err != nil {
+			return err
+		}
+		if p.Gap > 0 && (i+1)%burst == 0 && i+1 < n {
+			time.Sleep(p.Gap)
+		}
+	}
+	return nil
+}

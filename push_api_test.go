@@ -1,0 +1,51 @@
+package continual
+
+import "testing"
+
+// TestPushModeDeliversWithoutPoll checks the public push option: with
+// Options.Push set, a committed update reaches the subscriber without
+// any Poll call — FlushPush is the only synchronization.
+func TestPushModeDeliversWithoutPoll(t *testing.T) {
+	db := OpenWith(Options{Push: true})
+	defer func() { _ = db.Close() }()
+	if err := db.Exec(`CREATE TABLE stocks (name STRING, price FLOAT)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(`INSERT INTO stocks VALUES ('DEC', 150), ('IBM', 75)`); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := db.Register("expensive", `SELECT * FROM stocks WHERE price > 120`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Initial().Len() != 1 {
+		t.Fatalf("initial = %d", sub.Initial().Len())
+	}
+
+	if err := db.Exec(`INSERT INTO stocks VALUES ('MAC', 130)`); err != nil {
+		t.Fatal(err)
+	}
+	db.FlushPush()
+	select {
+	case c := <-sub.Updates():
+		if c.Seq != 2 || len(c.Inserted) != 1 || c.Inserted[0][0] != "MAC" {
+			t.Fatalf("change = %+v", c)
+		}
+	default:
+		t.Fatal("no change buffered after FlushPush; push pipeline did not deliver")
+	}
+
+	// The commit-driven path consumed the window: a Poll finds nothing,
+	// and Seq stays gap-free across the mode boundary.
+	if n := db.Poll(); n != 0 {
+		t.Fatalf("Poll after push refresh = %d, want 0", n)
+	}
+	if err := db.Exec(`UPDATE stocks SET price = 80 WHERE name = 'DEC'`); err != nil {
+		t.Fatal(err)
+	}
+	db.FlushPush()
+	c := recvChange(t, sub)
+	if c.Seq != 3 || len(c.Deleted) != 1 {
+		t.Fatalf("change = %+v", c)
+	}
+}

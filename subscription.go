@@ -2,6 +2,7 @@ package continual
 
 import (
 	"github.com/diorama/continual/internal/cq"
+	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/relation"
 	"github.com/diorama/continual/internal/sql"
 )
@@ -14,6 +15,10 @@ type Subscription struct {
 	initial *Rows
 	updates chan Change
 	cancel  func()
+	// dropped counts changes discarded because the Updates channel was
+	// full (cq.notifications.dropped, shared with the manager's own
+	// subscriber buffers).
+	dropped *obs.Counter
 }
 
 // Name returns the continual query's name.
@@ -75,6 +80,7 @@ func (s *Subscription) onNotification(n cq.Notification, closed bool) {
 	select {
 	case s.updates <- change:
 	default:
+		s.dropped.Inc()
 	}
 }
 
@@ -109,6 +115,7 @@ func (db *DB) subscribe(name string, initial *relation.Relation) (*Subscription,
 		name:    name,
 		initial: fromRelation(initial),
 		updates: make(chan Change, 64),
+		dropped: db.metrics.Counter("cq.notifications.dropped"),
 	}
 	cancel, err := db.manager.SubscribeFunc(name, sub.onNotification)
 	if err != nil {
