@@ -1,0 +1,32 @@
+# Development entry points. CI runs the same targets; see
+# .github/workflows/ci.yml for the full matrix.
+
+.PHONY: build test race lint chaos bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# lint: vet plus the guarded-goroutine check — every goroutine launched
+# in internal/cq, internal/push, and internal/guard must name its
+# recover boundary with a "// guarded:" annotation.
+lint:
+	go vet ./...
+	./scripts/lint-guarded.sh
+
+# chaos: the robustness suite — fault isolation transcripts, quarantine
+# lifecycle and recovery, backpressure, and the subscribe/drop churn
+# stress — under the race detector.
+chaos:
+	go test -race -count=2 -run 'TestChaos|TestQuarantine|TestBudget|TestBackpressure|TestSubscriber|TestDropRace|TestSubscribeDropChurn|TestManualRefresh|TestHealthCounts' ./internal/cq/
+	go test -race -count=2 -run 'TestQuarantineSurvivesRecovery' ./internal/durable/
+	go test -race -count=2 -run 'TestWatermark|TestSetWatermarks' ./internal/storage/
+	go test -race -count=2 -run 'TestSheds|TestGate' ./internal/push/
+
+bench:
+	go run ./cmd/cqbench -quick

@@ -6,6 +6,7 @@
 //	cqctl delta stocks 0
 //	cqctl watch 'SELECT * FROM stocks WHERE price > 120' -interval 1s
 //	cqctl stats [prefix]
+//	cqctl health
 //	cqctl checkpoint
 //
 // watch installs a client-side continual query (a mirror evaluated by
@@ -50,7 +51,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: cqctl [flags] tables|query|snapshot|delta|watch|stats|checkpoint ...")
+		return fmt.Errorf("usage: cqctl [flags] tables|query|snapshot|delta|watch|stats|health|checkpoint ...")
 	}
 
 	policy := remote.DefaultPolicy()
@@ -173,6 +174,39 @@ func run(args []string) error {
 			}
 		}
 		snap.WriteTable(os.Stdout)
+		return nil
+
+	case "health":
+		// Derived from the daemon's guard gauges: the same numbers the
+		// /healthz endpoint serves, over the TCP protocol.
+		snap, err := client.Stats()
+		if err != nil {
+			return err
+		}
+		healthy := snap.Gauges["cq.health.healthy"]
+		probation := snap.Gauges["cq.health.probation"]
+		quarantined := snap.Gauges["cq.health.quarantined"]
+		level := snap.Gauges["storage.overload.level"]
+		overload := "none"
+		switch level {
+		case 1:
+			overload = "soft"
+		case 2:
+			overload = "hard"
+		}
+		status := "ok"
+		switch {
+		case level >= 2:
+			status = "overloaded"
+		case level == 1 || quarantined > 0 || probation > 0:
+			status = "degraded"
+		}
+		fmt.Printf("status: %s\n", status)
+		fmt.Printf("cqs: %d healthy / %d probation / %d quarantined\n", healthy, probation, quarantined)
+		fmt.Printf("overload: %s (%d delta rows retained)\n", overload, snap.Gauges["storage.delta_len"])
+		fmt.Printf("refresh faults: %d errors, %d panics, %d timeouts, %d quarantine trips\n",
+			snap.Counters["cq.refresh.errors"], snap.Counters["cq.refresh.panics"],
+			snap.Counters["cq.refresh.timeouts"], snap.Counters["cq.quarantines"])
 		return nil
 
 	case "checkpoint":

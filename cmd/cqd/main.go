@@ -42,12 +42,14 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"github.com/diorama/continual/internal/cq"
 	"github.com/diorama/continual/internal/dra"
 	"github.com/diorama/continual/internal/durable"
+	"github.com/diorama/continual/internal/guard"
 	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/relation"
 	"github.com/diorama/continual/internal/remote"
@@ -81,6 +83,10 @@ func run(args []string) error {
 	dataDir := fs.String("data", "", "durable data directory (WAL + checkpoints; empty = in-memory)")
 	fsyncPolicy := fs.String("fsync", "always", "WAL sync policy: always, interval, never")
 	ckptEvery := fs.Int("checkpoint-every", 0, "auto-checkpoint after N committed transactions (0 = only on shutdown)")
+	refreshBudget := fs.Duration("refresh-budget", 30*time.Second, "per-refresh deadline; an overrunning CQ refresh is abandoned and counted as a failure (0 disables)")
+	quarantineAfter := fs.Int("quarantine-after", 0, "quarantine a CQ after N consecutive refresh failures (0 = default 3, negative disables)")
+	softDeltaRows := fs.Int("soft-delta-rows", 0, "soft watermark on retained delta rows: emergency GC and push->poll coalescing (0 disables)")
+	hardDeltaRows := fs.Int("hard-delta-rows", 0, "hard watermark on retained delta rows: reject writes until recovery (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,7 +107,12 @@ func run(args []string) error {
 		Metrics:     reg,
 		Push:        *pushMode,
 		PushQueue:   *pushQueue,
+		Guard: guard.Policy{
+			Budget:           *refreshBudget,
+			FailureThreshold: *quarantineAfter,
+		},
 	}
+	marks := storage.Watermarks{SoftRows: *softDeltaRows, HardRows: *hardDeltaRows}
 	var store *storage.Store
 	var mgr *cq.Manager
 	var sys *durable.System
@@ -116,6 +127,7 @@ func run(args []string) error {
 			Fsync:           pol,
 			CheckpointEvery: *ckptEvery,
 			Metrics:         reg,
+			Watermarks:      marks,
 			CQ:              cqCfg,
 		})
 		if err != nil {
@@ -131,6 +143,7 @@ func run(args []string) error {
 	} else {
 		store = storage.NewStore()
 		store.Instrument(reg)
+		store.SetWatermarks(marks)
 		mgr = cq.NewManagerConfig(store, cqCfg)
 		defer func() { _ = mgr.Close() }()
 	}
@@ -165,20 +178,52 @@ func run(args []string) error {
 		fmt.Println("cqd: push-based refresh enabled (committed deltas route straight to affected CQs)")
 	}
 
+	// draining flips before the graceful drain starts so /healthz turns
+	// not-ready while in-flight work still completes — the load-balancer
+	// handshake: stop sending traffic, but what is here will finish.
+	var draining atomic.Bool
 	var httpLn net.Listener
 	if *httpAddr != "" {
 		httpLn, err = net.Listen("tcp", *httpAddr)
 		if err != nil {
 			return fmt.Errorf("http listen: %w", err)
 		}
-		go func() { _ = http.Serve(httpLn, obs.Mux(reg)) }()
-		fmt.Printf("cqd: stats on http://%s/stats\n", httpLn.Addr())
+		check := func() (bool, any) {
+			h := mgr.Health()
+			ov := store.Overload()
+			rows, bytes := store.DeltaUsage()
+			status := "ok"
+			switch {
+			case draining.Load():
+				status = "draining"
+			case ov >= storage.OverloadHard:
+				status = "overloaded"
+			case ov >= storage.OverloadSoft || h.Quarantined > 0 || h.Probation > 0:
+				status = "degraded"
+			}
+			ready := !draining.Load() && ov < storage.OverloadHard
+			return ready, map[string]any{
+				"status":       status,
+				"ready":        ready,
+				"healthy":      h.Healthy,
+				"probation":    h.Probation,
+				"quarantined":  h.Quarantined,
+				"degraded_cqs": h.Degraded,
+				"overload":     ov.String(),
+				"delta_rows":   rows,
+				"delta_bytes":  bytes,
+			}
+		}
+		go func() { _ = http.Serve(httpLn, obs.MuxHealth(reg, check)) }()
+		fmt.Printf("cqd: stats on http://%s/stats, health on /healthz\n", httpLn.Addr())
 	}
 
-	// Graceful shutdown: the first signal drains — the listener stops,
-	// in-flight requests finish and get their responses (bounded by
-	// -drain), and the final metrics snapshot is flushed. A second
-	// signal forces immediate exit.
+	// Graceful shutdown: the first signal drains — readiness goes false,
+	// the listener stops, in-flight requests finish and get their
+	// responses (bounded by -drain), and the final metrics snapshot is
+	// flushed. The health endpoint stays up through the drain so
+	// supervisors can watch it complete; it closes last. A second signal
+	// forces immediate exit.
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 	<-sigs
@@ -188,9 +233,7 @@ func run(args []string) error {
 		fmt.Fprintln(os.Stderr, "cqd: forced exit")
 		os.Exit(1)
 	}()
-	if httpLn != nil {
-		_ = httpLn.Close()
-	}
+	draining.Store(true)
 	err = srv.Close()
 	// Drain the push queue after the listener stops accepting work: every
 	// committed delta that was routed but not yet refreshed executes (or
@@ -213,6 +256,9 @@ func run(args []string) error {
 		}
 	} else {
 		_ = mgr.Close()
+	}
+	if httpLn != nil {
+		_ = httpLn.Close()
 	}
 	fmt.Println("cqd: final stats:")
 	reg.Snapshot().WriteTable(os.Stdout)

@@ -35,6 +35,7 @@ import (
 	"github.com/diorama/continual/internal/dra"
 	"github.com/diorama/continual/internal/durable"
 	"github.com/diorama/continual/internal/epsilon"
+	"github.com/diorama/continual/internal/guard"
 	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/sql"
 	"github.com/diorama/continual/internal/storage"
@@ -111,7 +112,52 @@ type Options struct {
 	// that many committed transactions; 0 checkpoints only on Close and
 	// explicit Checkpoint calls.
 	CheckpointEvery int
+
+	// RefreshBudget bounds each query refresh's wall time. A refresh
+	// that exceeds the budget is abandoned (it finishes in the
+	// background and is counted in cq.refresh.timeouts), recorded as a
+	// failure on the query, and retried differentially by a later
+	// trigger. 0 disables deadlines; panic isolation is always on
+	// regardless.
+	RefreshBudget time.Duration
+	// QuarantineAfter is the consecutive-failure count after which a
+	// query is quarantined: skipped by poll and push under a capped
+	// exponential backoff, then probed; a successful probe catches up
+	// differentially and fully heals it. 0 means the default (3);
+	// negative disables quarantine.
+	QuarantineAfter int
+	// SoftDeltaRows / HardDeltaRows are degraded-mode watermarks on the
+	// retained differential rows across all tables (0 disables). At the
+	// soft watermark the engine sheds load: emergency GC runs and
+	// push-based refresh coalesces back to polling. At the hard
+	// watermark writes are rejected with ErrOverloaded until usage
+	// recovers below the soft level.
+	SoftDeltaRows, HardDeltaRows int
+	// SoftDeltaBytes / HardDeltaBytes are the same watermarks in
+	// approximate retained bytes (0 disables).
+	SoftDeltaBytes, HardDeltaBytes int64
 }
+
+// guardPolicy translates the public overload-protection options.
+func (o Options) guardPolicy() guard.Policy {
+	return guard.Policy{Budget: o.RefreshBudget, FailureThreshold: o.QuarantineAfter}
+}
+
+// watermarks translates the public degraded-mode options.
+func (o Options) watermarks() storage.Watermarks {
+	return storage.Watermarks{
+		SoftRows:  o.SoftDeltaRows,
+		HardRows:  o.HardDeltaRows,
+		SoftBytes: o.SoftDeltaBytes,
+		HardBytes: o.HardDeltaBytes,
+	}
+}
+
+// ErrOverloaded is returned by Exec when the engine is past its hard
+// delta watermark (Options.HardDeltaRows/HardDeltaBytes): writes are
+// refused until enough retained differential state is consumed or
+// collected. Test with errors.Is.
+var ErrOverloaded = storage.ErrOverloaded
 
 // Open creates an empty engine with default options. The engine is
 // instrumented: every layer reports into a metrics registry readable via
@@ -131,6 +177,7 @@ func OpenWith(opts Options) *DB {
 	if err != nil {
 		strat = dra.StrategyAuto
 	}
+	store.SetWatermarks(opts.watermarks())
 	manager := cq.NewManagerConfig(store, cq.Config{
 		UseDRA:      true,
 		AutoGC:      true,
@@ -139,6 +186,7 @@ func OpenWith(opts Options) *DB {
 		Metrics:     reg,
 		Push:        opts.Push,
 		PushQueue:   opts.PushQueue,
+		Guard:       opts.guardPolicy(),
 	})
 	return &DB{
 		store:    store,
@@ -171,6 +219,7 @@ func OpenDurable(opts Options) (*DB, error) {
 		Fsync:           pol,
 		CheckpointEvery: opts.CheckpointEvery,
 		Metrics:         reg,
+		Watermarks:      opts.watermarks(),
 		CQ: cq.Config{
 			UseDRA:      true,
 			AutoGC:      true,
@@ -179,6 +228,7 @@ func OpenDurable(opts Options) (*DB, error) {
 			Metrics:     reg,
 			Push:        opts.Push,
 			PushQueue:   opts.PushQueue,
+			Guard:       opts.guardPolicy(),
 		},
 	})
 	if err != nil {

@@ -1,0 +1,62 @@
+package continual
+
+import (
+	"github.com/diorama/continual/internal/storage"
+)
+
+// HealthStatus is the engine's self-assessment, served on /healthz by
+// StatsHandler (and cqd) and readable programmatically via DB.Health.
+type HealthStatus struct {
+	// Status is "ok", "degraded" (some queries quarantined or the soft
+	// delta watermark tripped — the engine is shedding load but still
+	// accepting writes), or "overloaded" (hard watermark: writes are
+	// rejected with ErrOverloaded).
+	Status string `json:"status"`
+	// Ready reports whether the engine should receive traffic: false
+	// only when overloaded (a degraded engine still serves).
+	Ready bool `json:"ready"`
+
+	// Healthy / Probation / Quarantined count live continual queries by
+	// guard state. A probing query has served its quarantine backoff
+	// and is being given one refresh to prove itself.
+	Healthy     int `json:"healthy"`
+	Probation   int `json:"probation"`
+	Quarantined int `json:"quarantined"`
+	// DegradedCQs names the queries in probation or quarantine.
+	DegradedCQs []string `json:"degraded_cqs,omitempty"`
+
+	// Overload is the delta-store watermark level: "none", "soft",
+	// "hard".
+	Overload string `json:"overload"`
+	// DeltaRows / DeltaBytes are the retained differential usage the
+	// watermarks measure.
+	DeltaRows  int   `json:"delta_rows"`
+	DeltaBytes int64 `json:"delta_bytes"`
+}
+
+// Health reports the engine's current guard state: per-query quarantine
+// counts and the delta-store overload level.
+func (db *DB) Health() HealthStatus {
+	h := db.manager.Health()
+	ov := db.store.Overload()
+	rows, bytes := db.store.DeltaUsage()
+	st := HealthStatus{
+		Healthy:     h.Healthy,
+		Probation:   h.Probation,
+		Quarantined: h.Quarantined,
+		DegradedCQs: h.Degraded,
+		Overload:    ov.String(),
+		DeltaRows:   rows,
+		DeltaBytes:  bytes,
+	}
+	switch {
+	case ov >= storage.OverloadHard:
+		st.Status = "overloaded"
+	case ov >= storage.OverloadSoft || h.Quarantined > 0 || h.Probation > 0:
+		st.Status = "degraded"
+	default:
+		st.Status = "ok"
+	}
+	st.Ready = ov < storage.OverloadHard
+	return st
+}

@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/diorama/continual/internal/cq"
+	"github.com/diorama/continual/internal/guard"
+	"github.com/diorama/continual/internal/obs"
+	"github.com/diorama/continual/internal/storage"
+	"github.com/diorama/continual/internal/vclock"
+	"github.com/diorama/continual/internal/workload"
+)
+
+// E19 is the chaos experiment: 10% of the CQ population is poisoned
+// (their predicate divides by zero on every evaluated row, so every
+// refresh attempt fails) and the healthy rest is measured under bursty
+// load in three configurations — a fault-free baseline, faults with the
+// quarantine breaker disabled, and faults with the breaker on. The
+// claim under test is the guard layer's value proposition: with
+// quarantine, healthy CQs' commit-to-notification latency stays at the
+// fault-free baseline (the acceptance bound is p99 within 2x) because
+// the poison CQs stop consuming refresh attempts after the threshold,
+// while the unguarded configuration re-fails every poison CQ on every
+// round. Differential catch-up (Section 4) is what makes the skip
+// safe — a healed CQ recomputes from lastExec — so quarantine is pure
+// shed, not data loss; the byte-identical-transcript half of the
+// acceptance is asserted by TestChaosFaultIsolation in internal/cq.
+//
+// Columns: configuration, commits issued, latency samples, p50/p99
+// commit-to-notification latency over healthy witnesses, refresh
+// errors absorbed, CQs quarantined at the end, and the goroutine
+// delta across the run (leak check).
+func E19(scale Scale) (*Table, error) {
+	const (
+		nTables  = 4
+		nCQs     = 40
+		nPoison  = 4 // 10% of the population
+		nCommits = 30
+		pollTick = 50 * time.Millisecond
+	)
+	batch := scale.BaseRows / 1000
+	if batch < 5 {
+		batch = 5
+	}
+
+	t := &Table{
+		ID:    "E19",
+		Title: "chaos: healthy-CQ latency with 10% poison CQs, quarantine on/off",
+		Note: fmt.Sprintf("%d CQs (%d poisoned) over %d tables, %d bursty commits of %d updates, poll interval %s, seed %d rows/table, host cores %d",
+			nCQs, nPoison, nTables, nCommits, batch, pollTick, scale.BaseRows/nTables, runtime.NumCPU()),
+		Header: []string{"config", "commits", "samples", "p50 ms", "p99 ms", "errors", "quarantined", "goroutine delta"},
+	}
+	configs := []struct {
+		name      string
+		poison    int
+		threshold int
+	}{
+		{"no-faults", 0, 0},               // baseline: guard on, nothing to guard
+		{"faults-unguarded", nPoison, -1}, // breaker disabled: every round re-fails
+		{"faults-guarded", nPoison, 0},    // breaker on (default threshold 3)
+	}
+	for _, c := range configs {
+		row, err := e19Run(scale, c.name, c.poison, c.threshold, nTables, nCQs, nCommits, batch, pollTick)
+		if err != nil {
+			return nil, fmt.Errorf("e19 %s: %w", c.name, err)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func e19Run(scale Scale, name string, nPoison, threshold, nTables, nCQs, nCommits, batch int, pollTick time.Duration) ([]string, error) {
+	gBefore := runtime.NumGoroutine()
+	reg := obs.NewRegistry()
+	store := storage.NewStore()
+	store.Instrument(reg)
+	tableName := func(i int) string { return fmt.Sprintf("stocks%d", i%nTables) }
+	gens := make([]*workload.Stocks, nTables)
+	for i := 0; i < nTables; i++ {
+		if err := store.CreateTable(tableName(i), workload.StockSchema()); err != nil {
+			return nil, err
+		}
+		gens[i] = workload.NewStocks(store, tableName(i), int64(1+i), workload.DefaultMix)
+	}
+
+	mgr := cq.NewManagerConfig(store, cq.Config{
+		UseDRA:  true,
+		AutoGC:  true,
+		Metrics: reg,
+		Push:    true,
+		Guard:   guard.Policy{FailureThreshold: threshold},
+		Logf:    func(string, ...any) {}, // poison chatter is the point, not output
+	})
+	defer func() { _ = mgr.Close() }()
+
+	// Register before seeding: the poison predicate divides by zero on
+	// every row it evaluates, so the initial execution must see an
+	// empty table — the faults start with the data, like production.
+	for i := 0; i < nCQs; i++ {
+		def := cq.Def{
+			Name: fmt.Sprintf("cq%d", i),
+			Query: fmt.Sprintf("SELECT * FROM %s WHERE price > %d",
+				tableName(i), 25*(1+i%4)),
+		}
+		if i < nTables {
+			// Healthy witnesses, one per table (the latency probes).
+			def.Query = fmt.Sprintf("SELECT * FROM %s WHERE price > 1", tableName(i))
+			def.NotifyEmpty = true
+		} else if i >= nCQs-nPoison {
+			// Poison: price - price is always zero, so the predicate
+			// fails evaluation on the first delta row of every refresh.
+			def.Query = fmt.Sprintf("SELECT * FROM %s WHERE price / (price - price) > 1", tableName(i))
+		}
+		if _, err := mgr.Register(def); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < nTables; i++ {
+		if err := gens[i].Seed(scale.BaseRows / nTables); err != nil {
+			return nil, err
+		}
+	}
+	mgr.FlushPush() // absorb the seed burst before probing latency
+
+	// The latency probe, as in E18: commits record their instant under
+	// the commit timestamp; each witness notification resolves every
+	// recorded commit at or before its ExecTS.
+	var probeMu sync.Mutex
+	sent := make([]map[vclock.Timestamp]time.Time, nTables)
+	var lats []time.Duration
+	for i := range sent {
+		sent[i] = make(map[vclock.Timestamp]time.Time)
+	}
+	cancels := make([]func(), 0, nTables)
+	for i := 0; i < nTables; i++ {
+		table := i
+		cancel, err := mgr.SubscribeFunc(fmt.Sprintf("cq%d", table), func(n cq.Notification, closed bool) {
+			if closed {
+				return
+			}
+			now := time.Now()
+			probeMu.Lock()
+			for ts, at := range sent[table] {
+				if ts <= n.ExecTS {
+					lats = append(lats, now.Sub(at))
+					delete(sent[table], ts)
+				}
+			}
+			probeMu.Unlock()
+		})
+		if err != nil {
+			return nil, err
+		}
+		cancels = append(cancels, cancel)
+	}
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+
+	if err := mgr.Start(pollTick); err != nil {
+		return nil, err
+	}
+	err := workload.Bursty(10, 130*time.Millisecond).Run(nCommits, func(i int) error {
+		table := i % nTables
+		if err := gens[table].Batch(batch); err != nil {
+			return err
+		}
+		probeMu.Lock()
+		sent[table][store.Now()] = time.Now()
+		probeMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	mgr.FlushPush()
+	remaining := func() int {
+		probeMu.Lock()
+		defer probeMu.Unlock()
+		n := 0
+		for i := range sent {
+			n += len(sent[i])
+		}
+		return n
+	}
+	deadline := time.Now().Add(4*pollTick + 100*time.Millisecond)
+	for time.Now().Before(deadline) && remaining() > 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	snap := reg.Snapshot()
+	errors := snap.Counter("cq.refresh.errors")
+	quarantined := snap.Gauges["cq.health.quarantined"]
+	if err := mgr.Close(); err != nil {
+		return nil, err
+	}
+
+	// Leak check: everything the run started must wind down (the E19
+	// acceptance's "zero goroutine leaks"; -race coverage comes from
+	// running this experiment in the test suite).
+	gAfter := runtime.NumGoroutine()
+	for end := time.Now().Add(2 * time.Second); gAfter > gBefore && time.Now().Before(end); {
+		time.Sleep(10 * time.Millisecond)
+		gAfter = runtime.NumGoroutine()
+	}
+
+	sortDurations(lats)
+	p50, p99 := time.Duration(0), time.Duration(0)
+	if len(lats) > 0 {
+		p50 = lats[len(lats)*50/100]
+		p99 = lats[min(len(lats)-1, len(lats)*99/100)]
+	}
+	return []string{
+		name,
+		fmt.Sprint(nCommits),
+		fmt.Sprint(len(lats)),
+		fmt.Sprintf("%.2f", float64(p50.Nanoseconds())/1e6),
+		fmt.Sprintf("%.2f", float64(p99.Nanoseconds())/1e6),
+		fmt.Sprint(errors),
+		fmt.Sprint(quarantined),
+		fmt.Sprint(gAfter - gBefore),
+	}, nil
+}

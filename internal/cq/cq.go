@@ -24,6 +24,7 @@ import (
 	"github.com/diorama/continual/internal/delta"
 	"github.com/diorama/continual/internal/dra"
 	"github.com/diorama/continual/internal/epsilon"
+	"github.com/diorama/continual/internal/guard"
 	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/push"
 	"github.com/diorama/continual/internal/relation"
@@ -65,6 +66,13 @@ type Notification struct {
 	// Terminated reports the Stop condition became true; this is the last
 	// notification for the CQ.
 	Terminated bool
+
+	// Dropped is the number of notifications this subscriber lost since
+	// the one it last received (full buffer under a backpressure policy,
+	// or the catch-up gap after a Resubscribe). Zero means the sequence
+	// is gap-free. Subscribers that care re-fetch Result() or treat
+	// Dropped > 0 as a rebase signal.
+	Dropped int
 }
 
 // Empty reports whether the notification carries no change.
@@ -92,13 +100,100 @@ type Def struct {
 	NotifyEmpty bool
 }
 
+// DeliveryPolicy selects what deliver does when a channel subscriber's
+// buffer is full. Whatever the policy, sends never block a refresh —
+// a slow consumer costs itself notifications, never the engine.
+type DeliveryPolicy int
+
+const (
+	// DropNewest (the default, and the pre-policy behavior): discard
+	// the new notification; the consumer keeps its queued backlog and
+	// learns about the gap from Dropped on the next delivery.
+	DropNewest DeliveryPolicy = iota
+	// DropOldest: evict the oldest queued notification to make room
+	// for the new one — the consumer always sees the freshest state,
+	// with Dropped marking the gap.
+	DropOldest
+	// Disconnect: close the channel and detach the subscriber. The
+	// final resume token (Sub.Resume) lets it reattach with
+	// Manager.Resubscribe and catch up differentially.
+	Disconnect
+)
+
 // subscriber is one notification sink: either a channel (sends never
-// block: when the buffer is full the notification is dropped and the drop
-// counter incremented) or a synchronous callback.
+// block: a full buffer invokes the delivery policy) or a synchronous
+// callback. All fields below ch/fn/policy are guarded by the owning
+// instance's mu.
 type subscriber struct {
-	ch      chan Notification
-	fn      func(n Notification, closed bool)
-	dropped int
+	ch     chan Notification
+	fn     func(n Notification, closed bool)
+	policy DeliveryPolicy
+	// dropped is the lifetime drop count; droppedSince counts drops
+	// since the last successful delivery and is folded into the next
+	// delivered Notification.Dropped (gap detection).
+	dropped      int
+	droppedSince int
+	// lastSeq/lastTS identify the newest notification this subscriber
+	// actually received — the resume point after Disconnect.
+	lastSeq int
+	lastTS  vclock.Timestamp
+	// disconnected marks a subscriber detached by policy (channel
+	// already closed) or by a panicking callback.
+	disconnected bool
+}
+
+// SubOptions configures a subscription (SubscribeOpts, Resubscribe).
+type SubOptions struct {
+	// Buffer is the channel capacity (minimum 1).
+	Buffer int
+	// Policy is the full-buffer backpressure policy.
+	Policy DeliveryPolicy
+}
+
+// ResumeToken identifies where a disconnected subscriber left off.
+type ResumeToken struct {
+	CQ  string
+	Seq int // last sequence number received (0 = none)
+	TS  vclock.Timestamp
+}
+
+// Sub is a subscription handle with policy-aware state: the channel,
+// cancellation, and — after a Disconnect — the resume token.
+type Sub struct {
+	inst *instance
+	s    *subscriber
+}
+
+// Ch returns the notification channel. It is closed when the CQ is
+// dropped, the manager closes, or the Disconnect policy fires.
+func (s *Sub) Ch() <-chan Notification { return s.s.ch }
+
+// Cancel detaches the subscription (idempotent; safe after disconnect).
+func (s *Sub) Cancel() {
+	s.inst.mu.Lock()
+	defer s.inst.mu.Unlock()
+	for i, x := range s.inst.subs {
+		if x == s.s {
+			s.inst.subs = append(s.inst.subs[:i], s.inst.subs[i+1:]...)
+			break
+		}
+	}
+}
+
+// Disconnected reports whether the Disconnect policy detached this
+// subscription (its channel is closed).
+func (s *Sub) Disconnected() bool {
+	s.inst.mu.Lock()
+	defer s.inst.mu.Unlock()
+	return s.s.disconnected
+}
+
+// Resume returns the token identifying the last notification this
+// subscription received, for Manager.Resubscribe.
+func (s *Sub) Resume() ResumeToken {
+	s.inst.mu.Lock()
+	defer s.inst.mu.Unlock()
+	return ResumeToken{CQ: s.inst.def.Name, Seq: s.s.lastSeq, TS: s.s.lastTS}
 }
 
 // CQState is a read-only snapshot of a registered CQ, for inspection.
@@ -118,7 +213,17 @@ type CQState struct {
 	// or refresh for this CQ (nil after a successful refresh). Poll
 	// isolates per-CQ failures — the round continues for the others —
 	// so this is where a single CQ's persistent failure surfaces.
+	// Panics and budget timeouts land here too, as *guard.PanicError
+	// and guard.ErrBudgetExceeded wrappers.
 	LastErr error
+	// Health is the guard state: "healthy", "probation", "quarantined".
+	Health string
+	// Failures is the consecutive refresh-failure count feeding the
+	// quarantine breaker (resets on success).
+	Failures int
+	// NotifsDropped counts notifications this CQ's subscribers lost to
+	// full buffers (all subscribers, lifetime).
+	NotifsDropped int64
 }
 
 // instance is the manager's record of one registered CQ.
@@ -161,6 +266,23 @@ type instance struct {
 	// (gauge recomputation, GC horizon) can read it while a refresh
 	// worker holds this instance's mu.
 	terminated atomic.Bool
+	// dropped is set by Drop under mu and read by refresh attempts
+	// after they acquire mu (and atomically by skip paths): a dropped
+	// instance must not journal executions or mutate state, or a
+	// drop racing an in-flight refresh would write an execution record
+	// after the drop record and corrupt recovery.
+	dropped atomic.Bool
+	// notifDropped is the per-CQ total of notifications lost to full
+	// subscriber buffers (CQState.NotifsDropped). Guarded by mu.
+	notifDropped int64
+
+	// breaker is the CQ's quarantine circuit breaker — a self-locked
+	// leaf, consultable under any manager/instance lock.
+	breaker *guard.Breaker
+	// guardErr records a guard verdict (budget timeout) that could not
+	// be written to lastErr because the late refresh still holds mu.
+	// Cleared at the start of every guarded attempt; read by State.
+	guardErr atomic.Pointer[error]
 }
 
 // maintainer abstracts the incremental state keepers of the dra package
@@ -232,6 +354,12 @@ type Config struct {
 	// of re-queueing, so capacity >= registered CQs makes overflow
 	// impossible.
 	PushQueue int
+	// Guard configures overload protection: the per-refresh deadline
+	// (Budget; zero disables deadlines but panic isolation is always
+	// on) and the quarantine circuit breaker (FailureThreshold,
+	// BackoffBase/Max/Jitter). The zero value gets guard defaults:
+	// no budget, quarantine after 3 consecutive failures.
+	Guard guard.Policy
 }
 
 // Manager owns the registered continual queries over one store.
@@ -252,6 +380,11 @@ type Manager struct {
 	// every dispatch would cost O(CQs) per commit, so push GCs every
 	// pushGCEvery refreshes and lets the poll loop do the rest.
 	pushGCTicks atomic.Uint64
+
+	// guardPol is Config.Guard with defaults applied; breakerSeed
+	// derives a distinct jitter stream per breaker.
+	guardPol    guard.Policy
+	breakerSeed atomic.Int64
 
 	// background loop lifecycle
 	loopStop chan struct{}
@@ -280,6 +413,11 @@ func NewManagerConfig(store *storage.Store, cfg Config) *Manager {
 		met:   newMetrics(cfg.Metrics),
 		cqs:   make(map[string]*instance),
 	}
+	m.guardPol = cfg.Guard.WithDefaults()
+	// Degraded-mode hook: a watermark trip runs emergency GC to shed
+	// delta retention. Invoked on the store's own goroutine, never
+	// under its mutex, so CollectGarbage is safe here.
+	store.SetPressureHook(m.onPressure)
 	if cfg.Push {
 		m.router = push.NewRouter(push.Config{
 			Queue:   cfg.PushQueue,
@@ -343,6 +481,7 @@ func (m *Manager) Register(def Def) (*relation.Relation, error) {
 		trigger:   def.Trigger,
 		stop:      def.Stop,
 		queryText: stmt.String(),
+		breaker:   m.newBreaker(),
 	}
 	for _, scan := range algebra.Tables(plan) {
 		inst.tables = append(inst.tables, scan.Table)
@@ -413,7 +552,18 @@ func (m *Manager) routePushLocked(inst *instance) {
 	if m.router == nil || inst.trigger.Kind == sql.TriggerEvery || inst.terminated.Load() {
 		return
 	}
-	m.router.Register(inst.def.Name, inst.operandTables())
+	// The gate lets the router skip quarantined CQs without dispatching:
+	// it runs under the router's (and possibly the store's) lock, so it
+	// must stay a side-effect-free breaker read.
+	b := inst.breaker
+	m.router.Register(inst.def.Name, inst.operandTables(), func() bool {
+		return !b.Blocked()
+	})
+}
+
+// newBreaker mints a quarantine breaker with a per-CQ jitter stream.
+func (m *Manager) newBreaker() *guard.Breaker {
+	return guard.NewBreaker(m.guardPol, m.breakerSeed.Add(1))
 }
 
 // operandTables is the CQ's routing key: the operand set of its
@@ -426,18 +576,67 @@ func (inst *instance) operandTables() []string {
 	return inst.tables
 }
 
-// updateRegisteredLocked recomputes the live-CQ gauge. Caller holds m.mu.
+// updateRegisteredLocked recomputes the live-CQ and health gauges.
+// Caller holds m.mu (breakers are self-locked leaves, safe to read here).
 func (m *Manager) updateRegisteredLocked() {
 	if m.met == nil {
 		return
 	}
-	live := 0
+	live, healthy, probation, quarantined := 0, 0, 0, 0
 	for _, inst := range m.cqs {
-		if !inst.terminated.Load() {
-			live++
+		if inst.terminated.Load() {
+			continue
+		}
+		live++
+		switch inst.breaker.State() {
+		case guard.Probation:
+			probation++
+		case guard.Quarantined:
+			quarantined++
+		default:
+			healthy++
 		}
 	}
 	m.met.registered.Set(int64(live))
+	m.met.healthHealthy.Set(int64(healthy))
+	m.met.healthProbation.Set(int64(probation))
+	m.met.healthQuarantined.Set(int64(quarantined))
+}
+
+// Health summarizes the guard state of the registry for readiness and
+// operator surfaces.
+type Health struct {
+	Healthy     int
+	Probation   int
+	Quarantined int
+	// Degraded lists the CQs currently in probation or quarantine
+	// (sorted).
+	Degraded []string
+}
+
+// Health reports how many CQs are healthy, probing, or quarantined.
+func (m *Manager) Health() Health {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out Health
+	for name, inst := range m.cqs {
+		if inst.terminated.Load() {
+			continue
+		}
+		switch inst.breaker.State() {
+		case guard.Probation:
+			out.Probation++
+			out.Degraded = append(out.Degraded, name)
+		case guard.Quarantined:
+			out.Quarantined++
+			out.Degraded = append(out.Degraded, name)
+		default:
+			out.Healthy++
+		}
+	}
+	sort.Strings(out.Degraded)
+	m.updateRegisteredLocked()
+	return out
 }
 
 // setupEpsilon resolves the monitored expression to the tables whose
@@ -497,23 +696,107 @@ func (m *Manager) RegisterSQL(src string) (*relation.Relation, error) {
 	})
 }
 
-// Subscribe attaches a notification channel to a CQ. The returned cancel
-// function detaches it. Sends never block; when the buffer is full the
-// notification is dropped.
+// Subscribe attaches a notification channel to a CQ with the default
+// DropNewest backpressure policy. The returned cancel function detaches
+// it. Sends never block; when the buffer is full the notification is
+// dropped and the gap reported via Notification.Dropped.
 func (m *Manager) Subscribe(name string, buf int) (<-chan Notification, func(), error) {
+	sub, err := m.SubscribeOpts(name, SubOptions{Buffer: buf})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub.Ch(), sub.Cancel, nil
+}
+
+// SubscribeOpts attaches a notification channel with an explicit
+// backpressure policy.
+func (m *Manager) SubscribeOpts(name string, opts SubOptions) (*Sub, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	inst, ok := m.cqs[name]
 	if !ok {
-		return nil, nil, fmt.Errorf("%w: %q", ErrNoSuchCQ, name)
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchCQ, name)
 	}
+	buf := opts.Buffer
 	if buf < 1 {
 		buf = 1
 	}
-	sub := &subscriber{ch: make(chan Notification, buf)}
+	sub := &subscriber{ch: make(chan Notification, buf), policy: opts.Policy}
 	inst.mu.Lock()
+	sub.lastSeq, sub.lastTS = inst.seq, inst.lastExec
 	inst.subs = append(inst.subs, sub)
 	inst.mu.Unlock()
+	return &Sub{inst: inst, s: sub}, nil
+}
+
+// Resubscribe reattaches a subscriber disconnected by the Disconnect
+// policy (or any caller holding a ResumeToken). The returned
+// Notification is a differential catch-up: the current complete result
+// at the CQ's present sequence, with Dropped set to the number of
+// notifications missed since the token. The snapshot and the new
+// attachment happen atomically under the instance lock, so the
+// subscription continues gap-free from the catch-up point.
+func (m *Manager) Resubscribe(tok ResumeToken, opts SubOptions) (*Sub, Notification, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inst, ok := m.cqs[tok.CQ]
+	if !ok {
+		return nil, Notification{}, fmt.Errorf("%w: %q", ErrNoSuchCQ, tok.CQ)
+	}
+	buf := opts.Buffer
+	if buf < 1 {
+		buf = 1
+	}
+	sub := &subscriber{ch: make(chan Notification, buf), policy: opts.Policy}
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	missed := inst.seq - tok.Seq
+	if missed < 0 {
+		missed = 0
+	}
+	catch := Notification{
+		CQName:     tok.CQ,
+		Seq:        inst.seq,
+		ExecTS:     inst.lastExec,
+		Mode:       inst.mode,
+		Complete:   inst.prev.Clone(),
+		Terminated: inst.terminated.Load(),
+		Dropped:    missed,
+	}
+	sub.lastSeq, sub.lastTS = inst.seq, inst.lastExec
+	inst.subs = append(inst.subs, sub)
+	return &Sub{inst: inst, s: sub}, catch, nil
+}
+
+// ResubscribeFunc is Resubscribe for callback subscribers (the public
+// Subscription layer): the catch-up snapshot and the attachment happen
+// atomically under the instance lock, so no notification falls between
+// the returned catch-up and the first callback invocation.
+func (m *Manager) ResubscribeFunc(tok ResumeToken, f func(n Notification, closed bool)) (func(), Notification, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inst, ok := m.cqs[tok.CQ]
+	if !ok {
+		return nil, Notification{}, fmt.Errorf("%w: %q", ErrNoSuchCQ, tok.CQ)
+	}
+	sub := &subscriber{fn: f}
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	missed := inst.seq - tok.Seq
+	if missed < 0 {
+		missed = 0
+	}
+	catch := Notification{
+		CQName:     tok.CQ,
+		Seq:        inst.seq,
+		ExecTS:     inst.lastExec,
+		Mode:       inst.mode,
+		Complete:   inst.prev.Clone(),
+		Terminated: inst.terminated.Load(),
+		Dropped:    missed,
+	}
+	sub.lastSeq, sub.lastTS = inst.seq, inst.lastExec
+	inst.subs = append(inst.subs, sub)
 	cancel := func() {
 		inst.mu.Lock()
 		defer inst.mu.Unlock()
@@ -524,7 +807,7 @@ func (m *Manager) Subscribe(name string, buf int) (<-chan Notification, func(), 
 			}
 		}
 	}
-	return sub.ch, cancel, nil
+	return cancel, catch, nil
 }
 
 // Names lists registered CQ names (sorted).
@@ -550,12 +833,20 @@ func (m *Manager) State(name string) (CQState, error) {
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
 	st := CQState{
-		Name:       name,
-		Seq:        inst.seq,
-		LastExec:   inst.lastExec,
-		Terminated: inst.terminated.Load(),
-		ResultLen:  inst.prev.Len(),
-		LastErr:    inst.lastErr,
+		Name:          name,
+		Seq:           inst.seq,
+		LastExec:      inst.lastExec,
+		Terminated:    inst.terminated.Load(),
+		ResultLen:     inst.prev.Len(),
+		LastErr:       inst.lastErr,
+		Health:        inst.breaker.State().String(),
+		Failures:      inst.breaker.Failures(),
+		NotifsDropped: inst.notifDropped,
+	}
+	// A budget timeout could not write lastErr (the late refresh still
+	// held the instance lock when the verdict landed); surface it here.
+	if p := inst.guardErr.Load(); p != nil {
+		st.LastErr = *p
 	}
 	if inst.prepared != nil {
 		st.Strategy = inst.prepared.Strategy().String()
@@ -588,14 +879,24 @@ func (m *Manager) Drop(name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchCQ, name)
 	}
-	// Journal first: a drop that is not durable must not happen in
-	// memory, or a restart would resurrect the CQ.
+	// The drop journals and tears down under the INSTANCE lock: a
+	// refresh already holding it journals its execution first, so the
+	// WAL never orders an execution record after the drop record
+	// (replay refuses executions for unregistered CQs). Once the lock
+	// is ours, the dropped flag stops any later refresh attempt from
+	// journaling or resurrecting per-CQ state.
+	//
+	// Journal before the in-memory mutation: a drop that is not durable
+	// must not happen in memory, or a restart would resurrect the CQ.
+	inst.mu.Lock()
+	inst.dropped.Store(true)
 	if m.cfg.Journal != nil {
 		if err := m.cfg.Journal.CQDropped(name); err != nil {
+			inst.dropped.Store(false)
+			inst.mu.Unlock()
 			return fmt.Errorf("cq %q: journal drop: %w", name, err)
 		}
 	}
-	inst.mu.Lock()
 	closeSubs(inst)
 	if inst.prepared != nil {
 		inst.prepared.Close()
@@ -610,11 +911,20 @@ func (m *Manager) Drop(name string) error {
 	return nil
 }
 
-// closeSubs closes every subscription. Caller holds inst.mu.
+// closeSubs closes every subscription. Caller holds inst.mu. Callback
+// subscribers are panic-isolated: teardown runs under manager locks, so
+// a panicking callback must not unwind through Drop or Close.
 func closeSubs(inst *instance) {
 	for _, s := range inst.subs {
+		if s.disconnected {
+			continue // channel already closed by the Disconnect policy
+		}
 		if s.fn != nil {
-			s.fn(Notification{}, true)
+			fn := s.fn
+			_ = guard.Protect(func() error {
+				fn(Notification{}, true)
+				return nil
+			})
 		} else {
 			close(s.ch)
 		}
@@ -657,24 +967,28 @@ func (m *Manager) Poll() (int, error) {
 	var fired []*instance
 	var errs []error
 	for _, inst := range m.cqs {
-		if inst.terminated.Load() {
+		if inst.terminated.Load() || inst.dropped.Load() {
 			continue
 		}
-		inst.mu.Lock()
-		should, err := m.observeAndTest(inst, roundTS, cache)
+		// Quarantine gate: a CQ with too many consecutive failures is
+		// skipped until its backoff expires, then admitted as a single
+		// probe. Differential catch-up makes the skip safe — the probe
+		// re-evaluates from lastExec and covers the whole gap.
+		if !inst.breaker.Allow() {
+			if mm := m.met; mm != nil {
+				mm.quarantineSkips.Inc()
+			}
+			continue
+		}
+		should, err := m.observeAndTestLocked(inst, roundTS, cache)
 		if err != nil {
 			// One CQ's broken trigger must not starve the others: record
 			// it and continue the round (Section 5.3 accounting is
 			// per-CQ, so skipping one leaves the rest intact).
-			inst.lastErr = err
-			inst.mu.Unlock()
 			errs = append(errs, fmt.Errorf("cq %q: %w", inst.def.Name, err))
-			if mm := m.met; mm != nil {
-				mm.refreshErrors.Inc()
-			}
+			m.noteFailure(inst)
 			continue
 		}
-		inst.mu.Unlock()
 		if mm := m.met; mm != nil {
 			mm.triggerEvals.Inc()
 			if should {
@@ -683,6 +997,10 @@ func (m *Manager) Poll() (int, error) {
 		}
 		if should {
 			fired = append(fired, inst)
+		} else {
+			// The trigger did not fire: free the probe slot (no-op for
+			// healthy CQs) so the next round can probe again.
+			inst.breaker.Release()
 		}
 	}
 	m.mu.Unlock()
@@ -720,22 +1038,8 @@ func (m *Manager) refreshGroup(fired []*instance, roundTS vclock.Timestamp, cach
 	}
 	outs := make([]outcome, len(fired))
 	run := func(i int) {
-		inst := fired[i]
-		inst.mu.Lock()
-		defer inst.mu.Unlock()
-		// A racing round (or explicit Refresh) may have re-evaluated
-		// past this round's timestamp already; refreshing would move
-		// lastExec backwards, so skip — monotonicity beats redundancy.
-		if inst.terminated.Load() || roundTS <= inst.lastExec {
-			return
-		}
-		if err := m.refreshInstance(inst, roundTS, cache, versions); err != nil {
-			inst.lastErr = err
-			outs[i] = outcome{err: err}
-			return
-		}
-		inst.lastErr = nil
-		outs[i] = outcome{refreshed: true}
+		refreshed, err := m.guardedRefresh(fired[i], roundTS, cache, versions)
+		outs[i] = outcome{refreshed: refreshed, err: err}
 	}
 	if workers <= 1 {
 		for i := range fired {
@@ -746,6 +1050,8 @@ func (m *Manager) refreshGroup(fired []*instance, roundTS vclock.Timestamp, cach
 		idx := make(chan int)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
+			// guarded: guardedRefresh isolates per-item panics; nothing
+			// in the loop body itself can panic.
 			go func() {
 				defer wg.Done()
 				for i := range idx {
@@ -771,10 +1077,129 @@ func (m *Manager) refreshGroup(fired []*instance, roundTS vclock.Timestamp, cach
 		}
 	}
 	if mm := m.met; mm != nil {
-		mm.refreshErrors.Add(int64(len(errs)))
 		mm.roundNS.Observe(time.Since(start))
 	}
 	return n, errs
+}
+
+// errSkipRefresh marks a guarded attempt that found nothing to do (the
+// CQ terminated, was dropped, or a racing path already covered this
+// timestamp). Not a failure, not a success: the breaker releases its
+// probe slot and stays where it was.
+var errSkipRefresh = errors.New("cq: refresh skipped")
+
+// guardedRefresh runs one CQ's refresh under the guard layer: panic
+// isolation always, the configured budget when set, and breaker
+// accounting on every path. It reports whether a refresh was delivered.
+//
+// On a budget timeout the attempt goroutine is abandoned — Go cannot
+// preempt it — and keeps the instance lock until it finishes; the
+// monotonicity check makes its late completion harmless, and a reaper
+// records the late outcome in metrics. The timeout itself counts as a
+// breaker failure.
+func (m *Manager) guardedRefresh(inst *instance, execTS vclock.Timestamp, cache *storage.WindowCache, versions map[string]uint64) (bool, error) {
+	attempt := func() error {
+		inst.mu.Lock()
+		defer inst.mu.Unlock()
+		// A racing round (or explicit Refresh) may have re-evaluated
+		// past this round's timestamp already; refreshing would move
+		// lastExec backwards, so skip — monotonicity beats redundancy.
+		if inst.dropped.Load() || inst.terminated.Load() || execTS <= inst.lastExec {
+			return errSkipRefresh
+		}
+		inst.guardErr.Store(nil)
+		if err := m.refreshInstance(inst, execTS, cache, versions); err != nil {
+			inst.lastErr = err
+			return err
+		}
+		inst.lastErr = nil
+		return nil
+	}
+	err := guard.Attempt(m.guardPol.Budget, attempt, func(late error) {
+		m.noteLate(inst, late)
+	})
+	switch {
+	case err == nil:
+		inst.breaker.Success()
+		return true, nil
+	case errors.Is(err, errSkipRefresh):
+		inst.breaker.Release()
+		return false, nil
+	}
+	var pe *guard.PanicError
+	switch {
+	case errors.As(err, &pe):
+		if mm := m.met; mm != nil {
+			mm.refreshPanics.Inc()
+		}
+		err = fmt.Errorf("cq %q: %w", inst.def.Name, err)
+		// The panic unwound through the attempt's deferred unlock, so
+		// the instance lock is free to record the error.
+		inst.mu.Lock()
+		inst.lastErr = err
+		inst.mu.Unlock()
+	case errors.Is(err, guard.ErrBudgetExceeded):
+		if mm := m.met; mm != nil {
+			mm.refreshTimeouts.Inc()
+		}
+		err = fmt.Errorf("cq %q: %w", inst.def.Name, err)
+		// The abandoned attempt still holds the instance lock; park the
+		// verdict in guardErr for State to surface.
+		werr := err
+		inst.guardErr.Store(&werr)
+	}
+	m.noteFailure(inst)
+	return false, err
+}
+
+// observeAndTestLocked is observeAndTest under the instance lock with
+// panic isolation: the trigger predicate runs arbitrary expressions, and
+// a panic there must not unwind through the caller's manager lock.
+func (m *Manager) observeAndTestLocked(inst *instance, now vclock.Timestamp, cache *storage.WindowCache) (bool, error) {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	var should bool
+	err := guard.Protect(func() error {
+		var terr error
+		should, terr = m.observeAndTest(inst, now, cache)
+		return terr
+	})
+	if err != nil {
+		inst.lastErr = err
+	}
+	return should, err
+}
+
+// noteFailure records one refresh (or trigger) failure against the CQ's
+// breaker, logging the transition if this trip opens the quarantine.
+func (m *Manager) noteFailure(inst *instance) {
+	if inst.breaker.Failure() {
+		if mm := m.met; mm != nil {
+			mm.quarantines.Inc()
+		}
+		if m.cfg.Logf != nil {
+			m.cfg.Logf("cq %q: quarantined after %d consecutive failures (backoff until probe)",
+				inst.def.Name, inst.breaker.Failures())
+		}
+	}
+	if mm := m.met; mm != nil {
+		mm.refreshErrors.Inc()
+	}
+}
+
+// noteLate records the eventual outcome of a refresh that outlived its
+// budget: the work completed (or failed) after the dispatcher gave up.
+func (m *Manager) noteLate(inst *instance, late error) {
+	mm := m.met
+	if mm == nil {
+		return
+	}
+	mm.refreshLate.Inc()
+	var pe *guard.PanicError
+	if errors.As(late, &pe) {
+		mm.refreshPanics.Inc()
+	}
+	_ = inst
 }
 
 // workerCount resolves Config.Parallelism against the round size.
@@ -806,8 +1231,6 @@ func (m *Manager) Refresh(name string) error {
 	if inst.terminated.Load() {
 		return fmt.Errorf("%w: %q", ErrTerminated, name)
 	}
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
 	// Counter snapshot before the timestamp, as in Poll.
 	var versions map[string]uint64
 	if m.cfg.UseDRA {
@@ -815,16 +1238,42 @@ func (m *Manager) Refresh(name string) error {
 	}
 	now := m.store.Now()
 	cache := m.store.NewWindowCache()
-	// Bring trigger accounting up to date so it resets consistently.
-	if _, err := m.observeAndTest(inst, now, cache); err != nil {
-		inst.lastErr = err
+	// A manual refresh is an operator probe: it bypasses the quarantine
+	// gate (no Allow check — the operator decided to try), runs with
+	// panic isolation but no budget (it holds the manager lock, so a
+	// deadline could not safely abandon it), and its outcome feeds the
+	// breaker: a successful manual refresh heals the CQ immediately.
+	err := guard.Protect(func() error {
+		inst.mu.Lock()
+		defer inst.mu.Unlock()
+		// Bring trigger accounting up to date so it resets consistently.
+		if _, terr := m.observeAndTest(inst, now, cache); terr != nil {
+			inst.lastErr = terr
+			return terr
+		}
+		if rerr := m.refreshInstance(inst, now, cache, versions); rerr != nil {
+			inst.lastErr = rerr
+			return rerr
+		}
+		inst.lastErr = nil
+		inst.guardErr.Store(nil)
+		return nil
+	})
+	if err != nil {
+		var pe *guard.PanicError
+		if errors.As(err, &pe) {
+			if mm := m.met; mm != nil {
+				mm.refreshPanics.Inc()
+			}
+			err = fmt.Errorf("cq %q: %w", name, err)
+			inst.mu.Lock()
+			inst.lastErr = err
+			inst.mu.Unlock()
+		}
+		m.noteFailure(inst)
 		return err
 	}
-	if err := m.refreshInstance(inst, now, cache, versions); err != nil {
-		inst.lastErr = err
-		return err
-	}
-	inst.lastErr = nil
+	inst.breaker.Success()
 	m.updateRegisteredLocked()
 	return nil
 }
@@ -845,9 +1294,19 @@ func (m *Manager) pushDispatch(name string) (refreshed, retire bool, err error) 
 		return false, true, nil
 	}
 	inst, ok := m.cqs[name]
-	if !ok || inst.terminated.Load() {
+	if !ok || inst.terminated.Load() || inst.dropped.Load() {
 		m.mu.Unlock()
 		return false, true, nil
+	}
+	// Quarantine gate, as in Poll. The router's registration gate
+	// (Blocked) already filters most routings without dispatching;
+	// Allow here closes the race and claims the probe slot.
+	if !inst.breaker.Allow() {
+		m.mu.Unlock()
+		if mm := m.met; mm != nil {
+			mm.quarantineSkips.Inc()
+		}
+		return false, false, nil
 	}
 	var versions map[string]uint64
 	if m.cfg.UseDRA {
@@ -855,18 +1314,12 @@ func (m *Manager) pushDispatch(name string) (refreshed, retire bool, err error) 
 	}
 	roundTS := m.store.Now()
 	cache := m.store.NewWindowCache()
-	inst.mu.Lock()
-	should, terr := m.observeAndTest(inst, roundTS, cache)
+	should, terr := m.observeAndTestLocked(inst, roundTS, cache)
 	if terr != nil {
-		inst.lastErr = terr
-		inst.mu.Unlock()
 		m.mu.Unlock()
-		if mm := m.met; mm != nil {
-			mm.refreshErrors.Inc()
-		}
+		m.noteFailure(inst)
 		return false, false, fmt.Errorf("cq %q: %w", name, terr)
 	}
-	inst.mu.Unlock()
 	m.mu.Unlock()
 	if mm := m.met; mm != nil {
 		mm.triggerEvals.Inc()
@@ -875,29 +1328,16 @@ func (m *Manager) pushDispatch(name string) (refreshed, retire bool, err error) 
 		}
 	}
 	if !should {
+		inst.breaker.Release()
 		return false, false, nil
 	}
 
-	inst.mu.Lock()
-	if inst.terminated.Load() || roundTS <= inst.lastExec {
-		// A racing refresh (Poll, Refresh, or another dispatcher)
-		// already covered this window.
-		inst.mu.Unlock()
-		return false, false, nil
-	}
-	if rerr := m.refreshInstance(inst, roundTS, cache, versions); rerr != nil {
-		inst.lastErr = rerr
-		inst.mu.Unlock()
-		if mm := m.met; mm != nil {
-			mm.refreshErrors.Inc()
-		}
+	refreshed, rerr := m.guardedRefresh(inst, roundTS, cache, versions)
+	if rerr != nil {
 		return false, false, rerr
 	}
-	inst.lastErr = nil
 	terminated := inst.terminated.Load()
-	inst.mu.Unlock()
-
-	if terminated {
+	if refreshed && terminated {
 		m.mu.Lock()
 		m.updateRegisteredLocked()
 		m.mu.Unlock()
@@ -905,14 +1345,14 @@ func (m *Manager) pushDispatch(name string) (refreshed, retire bool, err error) 
 	// Amortized GC: the poll loop still collects every round; the push
 	// path chips in periodically so a pure-push deployment (no poll
 	// loop at all) keeps its delta windows bounded too.
-	if m.cfg.AutoGC && m.pushGCTicks.Add(1)%pushGCEvery == 0 {
+	if refreshed && m.cfg.AutoGC && m.pushGCTicks.Add(1)%pushGCEvery == 0 {
 		m.mu.Lock()
 		if !m.closed {
 			m.gcLocked()
 		}
 		m.mu.Unlock()
 	}
-	return true, terminated, nil
+	return refreshed, terminated, nil
 }
 
 // FlushPush blocks until every queued push dispatch has completed — the
@@ -1104,26 +1544,102 @@ func (m *Manager) buildNotification(inst *instance, res *dra.Result) Notificatio
 	return note
 }
 
+// deliver fans the notification out to the CQ's subscribers under the
+// instance lock. Channel sends never block: a full buffer invokes the
+// subscriber's backpressure policy. Callback subscribers are
+// panic-isolated — a panicking callback is disconnected, not retried,
+// and never unwinds into the refresh.
 func (m *Manager) deliver(inst *instance, note Notification) {
-	delivered, dropped := 0, 0
+	delivered, dropped, disconnected := 0, 0, 0
+	removed := false
 	for _, s := range inst.subs {
 		if s.fn != nil {
-			s.fn(note, false)
+			fn := s.fn
+			if perr := guard.Protect(func() error {
+				fn(note, false)
+				return nil
+			}); perr != nil {
+				s.disconnected = true
+				removed = true
+				disconnected++
+				if mm := m.met; mm != nil {
+					mm.subscriberPanics.Inc()
+				}
+				m.logf("cq %q: subscriber callback panicked, disconnected: %v", inst.def.Name, perr)
+				continue
+			}
 			delivered++
+			s.lastSeq, s.lastTS = note.Seq, note.ExecTS
 			continue
 		}
+		send := note
+		send.Dropped = s.droppedSince
 		select {
-		case s.ch <- note:
+		case s.ch <- send:
 			delivered++
+			s.droppedSince = 0
+			s.lastSeq, s.lastTS = note.Seq, note.ExecTS
+			continue
 		default:
+		}
+		// Buffer full: apply the policy.
+		switch s.policy {
+		case DropOldest:
+			// Evict the oldest queued notification to make room; the
+			// consumer learns the gap from Dropped on this one. The
+			// evictee's own Dropped folds in, so the count survives
+			// chained evictions. deliver is the only sender (inst.mu),
+			// so the retry cannot race a refill — only a concurrent
+			// receive, which also makes room (and means nothing was
+			// dropped after all).
+			select {
+			case old := <-s.ch:
+				s.dropped++
+				dropped++
+				send.Dropped = s.droppedSince + old.Dropped + 1
+			default:
+			}
+			select {
+			case s.ch <- send:
+				delivered++
+				s.droppedSince = 0
+				s.lastSeq, s.lastTS = note.Seq, note.ExecTS
+			default:
+				s.dropped++
+				dropped++
+				s.droppedSince = send.Dropped + 1
+			}
+		case Disconnect:
+			// The consumer is too slow to keep a live feed: close the
+			// channel (the consumer sees EOF plus its resume token) and
+			// detach. Resubscribe catches up differentially.
 			s.dropped++
+			dropped++
+			s.disconnected = true
+			close(s.ch)
+			removed = true
+			disconnected++
+		default: // DropNewest
+			s.dropped++
+			s.droppedSince++
 			dropped++
 		}
 	}
+	if removed {
+		keep := inst.subs[:0]
+		for _, s := range inst.subs {
+			if !s.disconnected {
+				keep = append(keep, s)
+			}
+		}
+		inst.subs = keep
+	}
+	inst.notifDropped += int64(dropped)
 	if mm := m.met; mm != nil {
 		mm.notifications.Add(int64(delivered))
 		mm.drops.Add(int64(dropped))
 		mm.notifDropped.Add(int64(dropped))
+		mm.disconnects.Add(int64(disconnected))
 		depth := 0
 		for _, s := range inst.subs {
 			depth += len(s.ch)
@@ -1178,7 +1694,14 @@ func (m *Manager) gcLocked() {
 		if inst.terminated.Load() {
 			continue
 		}
-		inst.mu.Lock()
+		// TryLock, not Lock: an abandoned over-budget refresh may hold
+		// this instance's lock indefinitely, and the GC horizon needs
+		// its lastExec. Blocking here would re-serialize the round on
+		// the very CQ the budget abandoned, so skip GC until the next
+		// tick instead (retention is bounded by the watermarks).
+		if !inst.mu.TryLock() {
+			return
+		}
 		lastExec := inst.lastExec
 		inst.mu.Unlock()
 		if first || lastExec < horizon {
@@ -1233,6 +1756,7 @@ func (m *Manager) Start(interval time.Duration) error {
 	}
 	m.loopStop = make(chan struct{})
 	m.loopDone = make(chan struct{})
+	// guarded: loop panic-isolates each Poll and must keep ticking.
 	go m.loop(interval, m.loopStop, m.loopDone)
 	return nil
 }
@@ -1246,8 +1770,15 @@ func (m *Manager) loop(interval time.Duration, stop <-chan struct{}, done chan<-
 		case <-ticker.C:
 			// Errors inside the background loop surface through State and
 			// notifications; a failed poll leaves trigger state intact and
-			// is retried next tick.
-			_, _ = m.Poll()
+			// is retried next tick. Panic isolation keeps the loop alive:
+			// per-CQ panics are already absorbed by guardedRefresh, so
+			// this recovers only manager-level faults.
+			if perr := guard.Protect(func() error {
+				_, _ = m.Poll()
+				return nil
+			}); perr != nil {
+				m.logf("cq: poll loop recovered: %v", perr)
+			}
 		case <-stop:
 			return
 		}
@@ -1269,6 +1800,9 @@ func (m *Manager) Close() error {
 	router := m.router
 	m.router = nil
 	m.mu.Unlock()
+	// Detach the pressure hook: an overload trip after close must not
+	// call back into a dead manager.
+	m.store.SetPressureHook(nil)
 	if stop != nil {
 		close(stop)
 		<-done
@@ -1294,6 +1828,25 @@ func (m *Manager) Close() error {
 		inst.mu.Unlock()
 	}
 	return nil
+}
+
+// onPressure is the store's overload observer (Config wiring in
+// NewManagerConfig): a soft or hard watermark trip runs emergency GC,
+// reclaiming every delta row below the system active delta zone so the
+// store can clear the watermark without waiting for the next poll tick.
+// Runs on the store's hook goroutine, panic-isolated.
+func (m *Manager) onPressure(level storage.OverloadLevel) {
+	if level < storage.OverloadSoft {
+		return
+	}
+	_ = guard.Protect(func() error {
+		if mm := m.met; mm != nil {
+			mm.emergencyGC.Inc()
+		}
+		reclaimed := m.CollectGarbage()
+		m.logf("cq: overload %v: emergency GC reclaimed %d delta rows", level, reclaimed)
+		return nil
+	})
 }
 
 // newMaintainer tries the incremental state keepers in turn; a nil, nil

@@ -8,6 +8,7 @@ import (
 	"github.com/diorama/continual/internal/delta"
 	"github.com/diorama/continual/internal/dra"
 	"github.com/diorama/continual/internal/epsilon"
+	"github.com/diorama/continual/internal/guard"
 	"github.com/diorama/continual/internal/relation"
 	"github.com/diorama/continual/internal/sql"
 	"github.com/diorama/continual/internal/vclock"
@@ -48,6 +49,7 @@ func (m *Manager) entryLocked(inst *instance) wal.CQEntry {
 		Seq:            inst.seq,
 		LastExec:       inst.lastExec,
 		Terminated:     inst.terminated.Load(),
+		Health:         inst.breaker.State().String(),
 	}
 	if inst.trigger.On != nil {
 		e.TriggerOn = inst.trigger.On.String()
@@ -156,6 +158,15 @@ func (m *Manager) Resume(e wal.CQEntry) error {
 		trigger:   def.Trigger,
 		stop:      def.Stop,
 		queryText: stmt.String(),
+		breaker:   m.newBreaker(),
+	}
+	// A CQ that was quarantined (or probing) when the checkpoint cut
+	// resumes in probation, not healthy: recovery clears transient
+	// state, so one immediate probe is allowed, but its failure streak
+	// is not forgotten — a persistently failing CQ does not get a free
+	// quarantine escape via restart.
+	if guard.ParseHealth(e.Health) != guard.Healthy {
+		inst.breaker.SeedProbation()
 	}
 	for _, scan := range algebra.Tables(plan) {
 		inst.tables = append(inst.tables, scan.Table)

@@ -36,8 +36,27 @@ type metrics struct {
 	// maintFallbacks counts registrations where a forced refresh
 	// strategy could not run on the CQ's plan and the manager fell back
 	// to the cost model (formerly a silent fallback).
-	maintFallbacks *obs.Counter  // cq.maintainer.fallbacks
-	traces         *obs.TraceLog // cq.refresh spans
+	maintFallbacks *obs.Counter // cq.maintainer.fallbacks
+
+	// Guard layer (overload protection and self-healing).
+	refreshPanics   *obs.Counter // cq.refresh.panics: refreshes (or callbacks' refreshes) that panicked
+	refreshTimeouts *obs.Counter // cq.refresh.timeouts: refreshes abandoned past the budget
+	refreshLate     *obs.Counter // cq.refresh.late: abandoned refreshes that eventually finished
+	quarantines     *obs.Counter // cq.quarantines: breaker open transitions
+	quarantineSkips *obs.Counter // cq.quarantine.skips: rounds/dispatches skipped while quarantined
+	// subscriberPanics counts callback subscribers disconnected because
+	// their callback panicked; disconnects counts channel subscribers
+	// detached by the Disconnect backpressure policy plus those panics.
+	subscriberPanics *obs.Counter // cq.subscriber_panics
+	disconnects      *obs.Counter // cq.subscriber_disconnects
+	// emergencyGC counts watermark-triggered garbage collections (the
+	// store's pressure hook), as opposed to scheduled AutoGC.
+	emergencyGC       *obs.Counter // cq.gc.emergency
+	healthHealthy     *obs.Gauge   // cq.health.healthy
+	healthProbation   *obs.Gauge   // cq.health.probation
+	healthQuarantined *obs.Gauge   // cq.health.quarantined
+
+	traces *obs.TraceLog // cq.refresh spans
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -64,7 +83,20 @@ func newMetrics(reg *obs.Registry) *metrics {
 		gcReclaimed:    reg.Counter("cq.gc_reclaimed_rows"),
 		terminated:     reg.Counter("cq.terminated"),
 		maintFallbacks: reg.Counter("cq.maintainer.fallbacks"),
-		traces:         reg.Traces(),
+
+		refreshPanics:     reg.Counter("cq.refresh.panics"),
+		refreshTimeouts:   reg.Counter("cq.refresh.timeouts"),
+		refreshLate:       reg.Counter("cq.refresh.late"),
+		quarantines:       reg.Counter("cq.quarantines"),
+		quarantineSkips:   reg.Counter("cq.quarantine.skips"),
+		subscriberPanics:  reg.Counter("cq.subscriber_panics"),
+		disconnects:       reg.Counter("cq.subscriber_disconnects"),
+		emergencyGC:       reg.Counter("cq.gc.emergency"),
+		healthHealthy:     reg.Gauge("cq.health.healthy"),
+		healthProbation:   reg.Gauge("cq.health.probation"),
+		healthQuarantined: reg.Gauge("cq.health.quarantined"),
+
+		traces: reg.Traces(),
 	}
 }
 

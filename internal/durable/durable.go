@@ -44,6 +44,10 @@ type Options struct {
 	CheckpointEvery int
 	// Metrics receives wal.* and recovery instruments when non-nil.
 	Metrics *obs.Registry
+	// Watermarks bounds retained differential state (degraded mode):
+	// see storage.Watermarks. Applied before recovery, so a restart
+	// into an already-overloaded store reports overload immediately.
+	Watermarks storage.Watermarks
 	// CQ configures the manager. The zero value means complete
 	// re-evaluation with no auto-GC; callers wanting the engine
 	// defaults should set UseDRA and AutoGC explicitly (continual.Open*
@@ -105,6 +109,7 @@ func Open(opts Options) (*System, error) {
 	if opts.Metrics != nil {
 		store.Instrument(opts.Metrics)
 	}
+	store.SetWatermarks(opts.Watermarks)
 
 	// The registry fold: checkpoint entries seed it, then KindCQRegister
 	// / KindCQExec / KindCQDrop records move it forward in log order.

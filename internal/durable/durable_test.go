@@ -7,6 +7,7 @@ import (
 	"github.com/diorama/continual/internal/cq"
 	"github.com/diorama/continual/internal/durable"
 	"github.com/diorama/continual/internal/faults"
+	"github.com/diorama/continual/internal/guard"
 	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/relation"
 	"github.com/diorama/continual/internal/storage"
@@ -228,5 +229,96 @@ func TestRecoveryMetrics(t *testing.T) {
 	}
 	if snap.Gauges["wal.recovery_ns"] <= 0 {
 		t.Fatalf("wal.recovery_ns gauge: %v", snap.Gauges)
+	}
+}
+
+// TestQuarantineSurvivesRecovery is the satellite kill-point test: a
+// poison CQ (division by zero once a v=0 row lands) trips quarantine,
+// the registry checkpoints, and the process dies without a clean close.
+// After recovery the CQ must resume in probation — not healthy (it
+// would hammer the poll loop again) and not silently dropped — and a
+// failing probe must re-quarantine it, while a healthy CQ on the same
+// table keeps refreshing throughout.
+func TestQuarantineSurvivesRecovery(t *testing.T) {
+	fs := faults.NewMemFS(7)
+	guardCfg := cq.Config{
+		UseDRA: true, AutoGC: true,
+		Guard: guard.Policy{FailureThreshold: 1, BackoffBase: time.Hour, BackoffMax: time.Hour},
+		Logf:  func(string, ...any) {},
+	}
+	open := func() *durable.System {
+		t.Helper()
+		sys, err := durable.Open(durable.Options{
+			Dir: "data", FS: fs, Fsync: wal.FsyncAlways, CQ: guardCfg,
+		})
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		return sys
+	}
+	sys := open()
+	if err := sys.Store.CreateTable("stocks", stockSchema()); err != nil {
+		t.Fatal(err)
+	}
+	insertRow(t, sys.Store, "seed", 60)
+	if _, err := sys.Manager.RegisterSQL(watchQuery); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Manager.RegisterSQL(`CREATE CONTINUAL QUERY poison AS
+		SELECT name FROM stocks WHERE 100 / v > 1
+		TRIGGER UPDATES 1
+		MODE COMPLETE`); err != nil {
+		t.Fatal(err)
+	}
+	insertRow(t, sys.Store, "zero", 0) // poison: 100 / 0 fails evaluation
+	if _, err := sys.Manager.Poll(); err == nil {
+		t.Fatal("poison poll returned nil error")
+	}
+	st, err := sys.Manager.State("poison")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Health != "quarantined" {
+		t.Fatalf("pre-crash health = %q", st.Health)
+	}
+	// The healthy CQ refreshed through the same round.
+	if wst, _ := sys.Manager.State("watch"); wst.Health != "healthy" || wst.Seq < 2 {
+		t.Fatalf("watch state = %+v", wst)
+	}
+	if err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	fs.CrashClean() // kill-point: no clean shutdown
+
+	sys2 := open()
+	defer sys2.Close()
+	st, err = sys2.Manager.State("poison")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Health != "probation" {
+		t.Fatalf("post-recovery health = %q, want probation", st.Health)
+	}
+	if wst, _ := sys2.Manager.State("watch"); wst.Health != "healthy" {
+		t.Fatalf("watch resumed %q", wst.Health)
+	}
+	// Probation seeded at recovery makes the probe due immediately
+	// (no stale hour-long backoff); it fails on the still-poisoned
+	// data: straight back to quarantine.
+	insertRow(t, sys2.Store, "more", 70)
+	if _, err := sys2.Manager.Poll(); err == nil {
+		t.Fatal("probe poll returned nil error")
+	}
+	st, _ = sys2.Manager.State("poison")
+	if st.Health != "quarantined" {
+		t.Fatalf("post-probe health = %q, want quarantined", st.Health)
+	}
+	// The healthy CQ caught up differentially across crash + probe.
+	wres, err := sys2.Manager.Result("watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wres.Len() != 2 { // seed(60), more(70)
+		t.Fatalf("watch result = %d rows", wres.Len())
 	}
 }

@@ -31,11 +31,36 @@ func TracesHandler(l *TraceLog) http.Handler {
 	})
 }
 
+// Healthz serves a readiness check as JSON: HTTP 200 when ready, 503
+// Service Unavailable when not, with the detail value as the body —
+// the shape load balancers and process supervisors probe.
+func Healthz(check func() (ready bool, detail any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		ready, detail := check()
+		w.Header().Set("Content-Type", "application/json")
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(detail)
+	})
+}
+
 // Mux returns an http.Handler with the daemon's observability routes:
 // /stats and /debug/traces.
 func Mux(r *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/stats", Handler(r))
 	mux.Handle("/debug/traces", TracesHandler(r.Traces()))
+	return mux
+}
+
+// MuxHealth is Mux plus /healthz backed by check.
+func MuxHealth(r *Registry, check func() (ready bool, detail any)) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/stats", Handler(r))
+	mux.Handle("/debug/traces", TracesHandler(r.Traces()))
+	mux.Handle("/healthz", Healthz(check))
 	return mux
 }

@@ -22,6 +22,12 @@ type metrics struct {
 	errors            *obs.Counter // push.dispatch_errors
 	queueDepth        *obs.Gauge   // push.queue_depth
 	notifyNS          *obs.Histogram
+	// shed counts commit events dropped whole because the store was in
+	// degraded mode (soft watermark or worse): push→poll coalescing
+	// forced by overload, as opposed to per-CQ queue overflow.
+	shed *obs.Counter // push.shed
+	// gateSkips counts routings vetoed by a CQ's quarantine gate.
+	gateSkips *obs.Counter // push.gate_skips
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -41,7 +47,9 @@ func newMetrics(reg *obs.Registry) *metrics {
 		// notify_ns is the headline number: wall time from the oldest
 		// coalesced commit's application to the notification leaving
 		// the refresh — the quantity the poll interval used to bound.
-		notifyNS: reg.Histogram("push.notify_ns"),
+		notifyNS:  reg.Histogram("push.notify_ns"),
+		shed:      reg.Counter("push.shed"),
+		gateSkips: reg.Counter("push.gate_skips"),
 	}
 	m.registered = reg.Gauge("push.registered")
 	return m

@@ -31,6 +31,7 @@
 package push
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -76,6 +77,12 @@ type Config struct {
 type entry struct {
 	name   string
 	tables []string
+	// gate, when set, is consulted at routing time: false means the CQ
+	// is quarantined and commits should not queue a dispatch for it (the
+	// poll loop's breaker check owns probing). The gate must be
+	// side-effect-free and self-locked — it runs under Router.mu, which
+	// itself may be under the store mutex.
+	gate func() bool
 	// queued marks the entry as sitting in the ready queue: later
 	// commits merge into it instead of enqueueing again.
 	queued bool
@@ -133,14 +140,19 @@ func NewRouter(cfg Config, dispatch DispatchFunc) *Router {
 	r.cond = sync.NewCond(&r.mu)
 	for w := 0; w < cfg.Workers; w++ {
 		r.wg.Add(1)
+		// guarded: each dispatch runs through safeDispatch, the
+		// worker's recover boundary.
 		go r.worker()
 	}
 	return r
 }
 
 // Register indexes a CQ's operand tables so commits touching them route
-// to it. Re-registering a name replaces its table set.
-func (r *Router) Register(name string, tables []string) {
+// to it. Re-registering a name replaces its table set. gate (optional)
+// lets the owner veto routing per commit — the manager passes the CQ
+// breaker's Blocked check so quarantined CQs stop consuming dispatch
+// slots; nil always routes.
+func (r *Router) Register(name string, tables []string, gate func() bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
@@ -149,7 +161,7 @@ func (r *Router) Register(name string, tables []string) {
 	if old := r.cqs[name]; old != nil {
 		r.unindexLocked(old)
 	}
-	e := &entry{name: name, tables: append([]string(nil), tables...)}
+	e := &entry{name: name, tables: append([]string(nil), tables...), gate: gate}
 	r.cqs[name] = e
 	for _, t := range e.tables {
 		byCQ := r.index[t]
@@ -212,12 +224,32 @@ func (r *Router) Publish(ev storage.CommitEvent) {
 	if m := r.met; m != nil {
 		m.events.Inc()
 	}
+	// Degraded mode: at or above the soft watermark the router stops
+	// queueing dispatches entirely and lets the poll loop absorb the
+	// backlog in coalesced batch rounds — push's per-commit eagerness is
+	// exactly the wrong shape under overload. Deltas stay in the store;
+	// nothing is lost (the differential catch-up property).
+	if ev.Overload >= storage.OverloadSoft {
+		if m := r.met; m != nil {
+			m.shed.Inc()
+		}
+		return
+	}
 	for _, ch := range ev.Changes {
 		for _, e := range r.index[ch.Table] {
 			if e.lastTS == ev.TS {
 				continue // commit touched two operands of this CQ
 			}
 			e.lastTS = ev.TS
+			if e.gate != nil && !e.gate() {
+				// Quarantined: skip routing. The deltas accumulate in
+				// the store; the successful probe's refresh covers them
+				// differentially from the CQ's last timestamp.
+				if m := r.met; m != nil {
+					m.gateSkips.Inc()
+				}
+				continue
+			}
 			if m := r.met; m != nil {
 				m.routed.Inc()
 			}
@@ -263,7 +295,7 @@ func (r *Router) worker() {
 		firstAt := e.firstAt
 		r.mu.Unlock()
 
-		refreshed, retire, err := r.dispatch(e.name)
+		refreshed, retire, err := r.safeDispatch(e.name)
 		if err != nil && r.cfg.Logf != nil {
 			r.cfg.Logf("push: dispatch %q: %v", e.name, err)
 		}
@@ -290,6 +322,20 @@ func (r *Router) worker() {
 		}
 		r.mu.Unlock()
 	}
+}
+
+// safeDispatch is the worker's recover boundary: the manager isolates
+// refresh panics itself, but a panic anywhere else in the dispatch path
+// must not kill a worker goroutine (Close would hang on wg.Wait with
+// the queue still draining).
+func (r *Router) safeDispatch(name string) (refreshed, retire bool, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			refreshed, retire = false, false
+			err = fmt.Errorf("push: dispatch %q panicked: %v", name, v)
+		}
+	}()
+	return r.dispatch(name)
 }
 
 // Flush blocks until every queued dispatch has run — the

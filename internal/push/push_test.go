@@ -32,9 +32,9 @@ func TestRoutesOnlyAffectedCQs(t *testing.T) {
 		return true, false, nil
 	})
 	defer r.Close()
-	r.Register("a", []string{"t1"})
-	r.Register("b", []string{"t2"})
-	r.Register("ab", []string{"t1", "t2"})
+	r.Register("a", []string{"t1"}, nil)
+	r.Register("b", []string{"t2"}, nil)
+	r.Register("ab", []string{"t1", "t2"}, nil)
 
 	r.Publish(event(1, "t1"))
 	r.Flush()
@@ -69,8 +69,8 @@ func TestCoalescesBurstIntoOneDispatch(t *testing.T) {
 		return true, false, nil
 	})
 	defer r.Close()
-	r.Register("q", []string{"t"})
-	r.Register("decoy", []string{"t"})
+	r.Register("q", []string{"t"}, nil)
+	r.Register("decoy", []string{"t"}, nil)
 
 	// First commit occupies the worker (one of the two entries blocks);
 	// the rest coalesce into the queued entries.
@@ -111,9 +111,9 @@ func TestOverflowFallsBackWithoutBlocking(t *testing.T) {
 		<-block
 		return true, false, nil
 	})
-	r.Register("a", []string{"t"})
-	r.Register("b", []string{"t"})
-	r.Register("c", []string{"t"})
+	r.Register("a", []string{"t"}, nil)
+	r.Register("b", []string{"t"}, nil)
+	r.Register("c", []string{"t"}, nil)
 
 	done := make(chan struct{})
 	go func() {
@@ -149,7 +149,7 @@ func TestRetireUnregisters(t *testing.T) {
 		return false, true, nil
 	})
 	defer r.Close()
-	r.Register("q", []string{"t"})
+	r.Register("q", []string{"t"}, nil)
 	r.Publish(event(1, "t"))
 	r.Flush()
 	if calls.Load() != 1 {
@@ -174,8 +174,8 @@ func TestReregisterReplacesTables(t *testing.T) {
 		return true, false, nil
 	})
 	defer r.Close()
-	r.Register("q", []string{"t1"})
-	r.Register("q", []string{"t2"}) // replaces, does not extend
+	r.Register("q", []string{"t1"}, nil)
+	r.Register("q", []string{"t2"}, nil) // replaces, does not extend
 	r.Publish(event(1, "t1"))
 	r.Publish(event(2, "t2"))
 	r.Flush()
@@ -207,7 +207,7 @@ func TestCloseDrainsPending(t *testing.T) {
 		return true, false, nil
 	})
 	for i, name := range []string{"a", "b", "c"} {
-		r.Register(name, []string{"t"})
+		r.Register(name, []string{"t"}, nil)
 		_ = i
 	}
 	r.Publish(event(1, "t"))
@@ -231,7 +231,7 @@ func TestFlushWaitsForInFlight(t *testing.T) {
 		return true, false, nil
 	})
 	defer r.Close()
-	r.Register("q", []string{"t"})
+	r.Register("q", []string{"t"}, nil)
 	r.Publish(event(1, "t"))
 
 	flushed := make(chan struct{})
@@ -252,5 +252,78 @@ func TestFlushWaitsForInFlight(t *testing.T) {
 	}
 	if !done.Load() {
 		t.Fatal("dispatch did not run")
+	}
+}
+
+// TestShedsWholeEventUnderOverload: a commit carrying a soft-or-worse
+// overload level is not routed at all — degraded mode coalesces
+// refreshes into the relaxed poll loop instead of amplifying load.
+func TestShedsWholeEventUnderOverload(t *testing.T) {
+	reg := obs.NewRegistry()
+	var calls atomic.Int64
+	r := NewRouter(Config{Workers: 1, Metrics: reg}, func(name string) (bool, bool, error) {
+		calls.Add(1)
+		return true, false, nil
+	})
+	defer r.Close()
+	r.Register("q", []string{"t"}, nil)
+
+	for _, lvl := range []storage.OverloadLevel{storage.OverloadSoft, storage.OverloadHard} {
+		ev := event(1, "t")
+		ev.Overload = lvl
+		r.Publish(ev)
+	}
+	r.Flush()
+	if n := calls.Load(); n != 0 {
+		t.Fatalf("overloaded events dispatched %d refreshes", n)
+	}
+	if shed := reg.Snapshot().Counters["push.shed"]; shed != 2 {
+		t.Fatalf("push.shed = %d", shed)
+	}
+
+	// Normal events still route.
+	r.Publish(event(2, "t"))
+	r.Flush()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("post-overload dispatches = %d", n)
+	}
+}
+
+// TestGateSkipsRouting: a CQ whose gate reports false (quarantined) is
+// not enqueued; the others on the same table still are.
+func TestGateSkipsRouting(t *testing.T) {
+	reg := obs.NewRegistry()
+	var mu sync.Mutex
+	got := map[string]int{}
+	r := NewRouter(Config{Workers: 1, Metrics: reg}, func(name string) (bool, bool, error) {
+		mu.Lock()
+		got[name]++
+		mu.Unlock()
+		return true, false, nil
+	})
+	defer r.Close()
+	var open atomic.Bool
+	r.Register("gated", []string{"t"}, func() bool { return open.Load() })
+	r.Register("free", []string{"t"}, nil)
+
+	r.Publish(event(1, "t"))
+	r.Flush()
+	mu.Lock()
+	if got["gated"] != 0 || got["free"] != 1 {
+		t.Fatalf("closed gate: %v", got)
+	}
+	mu.Unlock()
+	if skips := reg.Snapshot().Counters["push.gate_skips"]; skips != 1 {
+		t.Fatalf("push.gate_skips = %d", skips)
+	}
+
+	// Reopening the gate resumes routing (probe admitted again).
+	open.Store(true)
+	r.Publish(event(2, "t"))
+	r.Flush()
+	mu.Lock()
+	defer mu.Unlock()
+	if got["gated"] != 1 || got["free"] != 2 {
+		t.Fatalf("open gate: %v", got)
 	}
 }

@@ -20,9 +20,14 @@ type TableChange struct {
 // consumer that needs the rows pulls the delta window itself, so the
 // hook stays O(tables touched) however large the transaction.
 type CommitEvent struct {
-	TS      vclock.Timestamp
-	At      time.Time
-	Changes []TableChange
+	TS vclock.Timestamp
+	At time.Time
+	// Overload is the store's degraded-mode level at commit time,
+	// carried on the event so a consumer running under the store mutex
+	// (the push router) can shed load without calling back into the
+	// store.
+	Overload OverloadLevel
+	Changes  []TableChange
 }
 
 // CommitHook receives every committed transaction, invoked under the

@@ -108,6 +108,7 @@ func (s *Store) Restore(st State) error {
 			if err := t.dlt.Append(cloneRow(r)); err != nil {
 				return fmt.Errorf("storage: restore %q delta: %w", ts.Name, err)
 			}
+			s.noteDeltaAppendLocked(r)
 		}
 		s.tables[ts.Name] = t
 		if m := s.met; m != nil {
@@ -119,6 +120,7 @@ func (s *Store) Restore(st State) error {
 	if relation.TID(st.NextTID) > s.nextID {
 		s.nextID = relation.TID(st.NextTID)
 	}
+	s.recomputeOverloadLocked()
 	if m := s.met; m != nil {
 		m.tables.Set(int64(len(s.tables)))
 	}
@@ -165,6 +167,7 @@ func (s *Store) ApplyReplay(ts vclock.Timestamp, rows []wal.TxRow) error {
 		if err := t.dlt.Append(row); err != nil {
 			return fmt.Errorf("storage: replay delta append %q: %w", tr.Table, err)
 		}
+		s.noteDeltaAppendLocked(row)
 		if row.TID > maxTID {
 			maxTID = row.TID
 		}
@@ -183,5 +186,6 @@ func (s *Store) ApplyReplay(ts vclock.Timestamp, rows []wal.TxRow) error {
 	if maxTID+1 > s.nextID {
 		s.nextID = maxTID + 1
 	}
+	s.recomputeOverloadLocked()
 	return nil
 }

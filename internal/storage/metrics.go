@@ -20,6 +20,11 @@ type metrics struct {
 	tables       *obs.Gauge            // storage.tables
 	commitNS     *obs.Histogram        // storage.commit_ns
 	perTable     map[string]*obs.Gauge // storage.delta_len.<table>
+
+	overloadLevel   *obs.Gauge   // storage.overload.level: 0 none, 1 soft, 2 hard
+	overloadRejects *obs.Counter // storage.overload.rejects: commits refused in hard mode
+	softTrips       *obs.Counter // storage.overload.soft_trips
+	hardTrips       *obs.Counter // storage.overload.hard_trips
 }
 
 // Instrument attaches the store to a metrics registry. Call it once,
@@ -45,6 +50,11 @@ func (s *Store) Instrument(reg *obs.Registry) {
 		tables:       reg.Gauge("storage.tables"),
 		commitNS:     reg.Histogram("storage.commit_ns"),
 		perTable:     make(map[string]*obs.Gauge),
+
+		overloadLevel:   reg.Gauge("storage.overload.level"),
+		overloadRejects: reg.Counter("storage.overload.rejects"),
+		softTrips:       reg.Counter("storage.overload.soft_trips"),
+		hardTrips:       reg.Counter("storage.overload.hard_trips"),
 	}
 	total := int64(0)
 	for name, t := range s.tables {

@@ -103,6 +103,16 @@ type Store struct {
 	// store mutex, after the commit applies (see SetCommitHook in
 	// commithook.go). Nil unless push-based refresh is enabled.
 	hook CommitHook
+
+	// Degraded-mode state (see watermark.go): the configured
+	// watermarks, the current overload level, the running retained
+	// delta volume they are evaluated against, and the transition
+	// observer.
+	wm         Watermarks
+	overload   OverloadLevel
+	deltaRows  int
+	deltaBytes int64
+	pressure   PressureHook
 }
 
 // NewStore creates an empty store with a fresh logical clock.
@@ -159,6 +169,12 @@ func (s *Store) DropTable(name string) error {
 		}
 	}
 	delete(s.tables, name)
+	var freedBytes int64
+	for _, r := range t.dlt.Rows() {
+		freedBytes += approxRowBytes(r)
+	}
+	s.noteDeltaDropLocked(t.dlt.Len(), freedBytes)
+	s.recomputeOverloadLocked()
 	if m := s.met; m != nil {
 		m.tables.Set(int64(len(s.tables)))
 		m.deltaTotal.Add(-int64(t.dlt.Len()))
@@ -319,7 +335,17 @@ func (s *Store) CollectGarbage(horizon vclock.Timestamp) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	total := 0
+	var freedBytes int64
 	for _, t := range s.tables {
+		// Sum the bytes of the prefix about to go before truncating:
+		// delta rows are stored in commit-timestamp order, so the
+		// collectable prefix is contiguous.
+		for _, r := range t.dlt.Rows() {
+			if r.TS > horizon {
+				break
+			}
+			freedBytes += approxRowBytes(r)
+		}
 		n := t.dlt.TruncateBefore(horizon)
 		total += n
 		if horizon > t.lowWater {
@@ -329,6 +355,8 @@ func (s *Store) CollectGarbage(horizon vclock.Timestamp) int {
 			m.tableGauge(t.name).Set(int64(t.dlt.Len()))
 		}
 	}
+	s.noteDeltaDropLocked(total, freedBytes)
+	s.recomputeOverloadLocked()
 	if m := s.met; m != nil {
 		m.gcRuns.Inc()
 		m.gcRows.Add(int64(total))
@@ -514,6 +542,18 @@ func (tx *Tx) Commit() (vclock.Timestamp, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
+	// Hard degraded mode rejects writes outright: retention is past the
+	// hard watermark, so accepting more deltas would grow the backlog
+	// the overload is made of. Reads and GC still run; the level drops
+	// (hysteresis in recomputeOverloadLocked) once GC catches up.
+	if s.overload == OverloadHard && len(tx.ops) > 0 {
+		if m := s.met; m != nil {
+			m.overloadRejects.Inc()
+		}
+		return 0, fmt.Errorf("%w: %d delta rows retained (hard watermark %d rows / %d bytes)",
+			ErrOverloaded, s.deltaRows, s.wm.HardRows, s.wm.HardBytes)
+	}
+
 	// Validate first so commit is all-or-nothing.
 	for _, op := range tx.ops {
 		if op.row.Old == nil && op.row.New == nil {
@@ -581,11 +621,15 @@ func (tx *Tx) Commit() (vclock.Timestamp, error) {
 			// Cannot happen: single writer under s.mu, monotone clock.
 			return 0, fmt.Errorf("storage: delta append: %w", err)
 		}
+		s.noteDeltaAppendLocked(op.row)
 		appended++
 		touched[t]++
 	}
 	for t := range touched {
 		t.version++
+	}
+	if appended > 0 {
+		s.recomputeOverloadLocked()
 	}
 	if m := s.met; m != nil {
 		m.commits.Inc()
@@ -600,7 +644,7 @@ func (tx *Tx) Commit() (vclock.Timestamp, error) {
 	// consumer sees events in strict commit order and every event's
 	// delta window is already readable.
 	if h := s.hook; h != nil && appended > 0 {
-		ev := CommitEvent{TS: ts, At: time.Now(), Changes: make([]TableChange, 0, len(touched))}
+		ev := CommitEvent{TS: ts, At: time.Now(), Overload: s.overload, Changes: make([]TableChange, 0, len(touched))}
 		for t, n := range touched {
 			ev.Changes = append(ev.Changes, TableChange{Table: t.name, Rows: n})
 		}

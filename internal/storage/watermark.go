@@ -1,0 +1,224 @@
+package storage
+
+import (
+	"errors"
+
+	"github.com/diorama/continual/internal/delta"
+	"github.com/diorama/continual/internal/relation"
+)
+
+// ErrOverloaded is returned by Commit while the store is in hard
+// degraded mode: the retained differential relations have grown past
+// the hard watermark and writes are rejected until GC (emergency or
+// regular) brings retention back down. The error is typed so callers
+// can distinguish load shedding from data errors and retry with
+// backoff.
+var ErrOverloaded = errors.New("storage: delta store overloaded")
+
+// OverloadLevel is the store's degraded-mode state, driven by the
+// retained delta volume against the configured watermarks.
+type OverloadLevel int
+
+const (
+	// OverloadNone: normal operation.
+	OverloadNone OverloadLevel = iota
+	// OverloadSoft: retention crossed the soft watermark. Writes still
+	// commit; the pressure hook fires (the cq manager runs emergency
+	// GC) and the push router sheds routing to the poll loop, which
+	// coalesces refreshes into batched rounds.
+	OverloadSoft
+	// OverloadHard: retention crossed the hard watermark. Commits are
+	// rejected with ErrOverloaded until retention falls back below the
+	// soft watermark (hysteresis: recovery requires more headroom than
+	// the trip needed, so the level does not flap at the boundary).
+	OverloadHard
+)
+
+func (l OverloadLevel) String() string {
+	switch l {
+	case OverloadSoft:
+		return "soft"
+	case OverloadHard:
+		return "hard"
+	default:
+		return "none"
+	}
+}
+
+// Watermarks bounds the retained differential-relation volume across
+// all tables. Zero fields disable that bound; the zero value disables
+// degraded mode entirely. Rows and bytes are independent triggers —
+// whichever crosses first raises the level.
+type Watermarks struct {
+	SoftRows int
+	HardRows int
+	// Byte bounds use a cheap structural estimate (delta.Row headers,
+	// value slots, string payloads), not precise heap accounting.
+	SoftBytes int64
+	HardBytes int64
+}
+
+func (w Watermarks) enabled() bool {
+	return w.SoftRows > 0 || w.HardRows > 0 || w.SoftBytes > 0 || w.HardBytes > 0
+}
+
+// PressureHook observes overload-level transitions, invoked on its own
+// goroutine (never under the store mutex), once per transition with
+// the new level. The cq manager installs one that runs emergency GC.
+type PressureHook func(level OverloadLevel)
+
+// SetWatermarks installs (or, with the zero value, removes) the
+// degraded-mode watermarks and recomputes the level against current
+// retention — so setting watermarks after recovery immediately
+// reflects a replayed backlog.
+func (s *Store) SetWatermarks(w Watermarks) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wm = w
+	if !w.enabled() {
+		s.setOverloadLocked(OverloadNone)
+		return
+	}
+	s.recomputeOverloadLocked()
+}
+
+// SetPressureHook attaches (or, with nil, detaches) the overload
+// transition observer.
+func (s *Store) SetPressureHook(h PressureHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pressure = h
+}
+
+// Overload reports the store's current degraded-mode level.
+func (s *Store) Overload() OverloadLevel {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.overload
+}
+
+// DeltaUsage reports the retained differential volume the watermarks
+// are evaluated against: total rows and estimated bytes.
+func (s *Store) DeltaUsage() (rows int, bytes int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.deltaRows, s.deltaBytes
+}
+
+// noteDeltaAppendLocked accounts one appended differential row.
+// Caller holds s.mu.
+func (s *Store) noteDeltaAppendLocked(r delta.Row) {
+	s.deltaRows++
+	s.deltaBytes += approxRowBytes(r)
+}
+
+// noteDeltaDropLocked accounts removed differential rows (GC,
+// DropTable). Caller holds s.mu.
+func (s *Store) noteDeltaDropLocked(rows int, bytes int64) {
+	s.deltaRows -= rows
+	s.deltaBytes -= bytes
+	if s.deltaRows < 0 {
+		s.deltaRows = 0
+	}
+	if s.deltaBytes < 0 {
+		s.deltaBytes = 0
+	}
+}
+
+// recomputeOverloadLocked re-evaluates the overload level with
+// hysteresis and fires the pressure hook on a transition. Caller
+// holds s.mu.
+func (s *Store) recomputeOverloadLocked() {
+	if !s.wm.enabled() {
+		return
+	}
+	softHit := (s.wm.SoftRows > 0 && s.deltaRows >= s.wm.SoftRows) ||
+		(s.wm.SoftBytes > 0 && s.deltaBytes >= s.wm.SoftBytes)
+	hardHit := (s.wm.HardRows > 0 && s.deltaRows >= s.wm.HardRows) ||
+		(s.wm.HardBytes > 0 && s.deltaBytes >= s.wm.HardBytes)
+	// Recovery needs headroom: soft clears only at 3/4 of the soft
+	// watermark, hard clears only below soft. A level never flaps on a
+	// single append/collect cycle at the boundary.
+	underSoftRecovery := (s.wm.SoftRows <= 0 || s.deltaRows <= s.wm.SoftRows*3/4) &&
+		(s.wm.SoftBytes <= 0 || s.deltaBytes <= s.wm.SoftBytes*3/4)
+
+	next := s.overload
+	switch s.overload {
+	case OverloadNone:
+		if hardHit {
+			next = OverloadHard
+		} else if softHit {
+			next = OverloadSoft
+		}
+	case OverloadSoft:
+		if hardHit {
+			next = OverloadHard
+		} else if underSoftRecovery {
+			next = OverloadNone
+		}
+	case OverloadHard:
+		if !softHit && !hardHit {
+			if underSoftRecovery {
+				next = OverloadNone
+			} else {
+				next = OverloadSoft
+			}
+		}
+	}
+	s.setOverloadLocked(next)
+}
+
+// setOverloadLocked applies a level transition: metrics, and the
+// pressure hook on its own goroutine (the hook may call back into the
+// store — emergency GC — so it must not run under s.mu). Caller holds
+// s.mu.
+func (s *Store) setOverloadLocked(next OverloadLevel) {
+	if next == s.overload {
+		return
+	}
+	prev := s.overload
+	s.overload = next
+	if m := s.met; m != nil {
+		m.overloadLevel.Set(int64(next))
+		if next > prev {
+			switch next {
+			case OverloadSoft:
+				m.softTrips.Inc()
+			case OverloadHard:
+				m.hardTrips.Inc()
+			}
+		}
+	}
+	if h := s.pressure; h != nil {
+		// guarded: hook runs outside s.mu on its own goroutine; the
+		// consumer (cq manager) wraps its work in its own recovery.
+		go h(next)
+	}
+}
+
+// approxRowBytes estimates the in-memory footprint of one differential
+// row: the Row struct itself plus its value slices and string
+// payloads. Cheap and deterministic — watermark math needs a stable
+// order-of-magnitude signal, not malloc truth.
+func approxRowBytes(r delta.Row) int64 {
+	const (
+		rowHeader = 32 // TID, TS, two slice headers (approx)
+		valueSlot = 48 // relation.Value struct size (approx)
+	)
+	n := int64(rowHeader)
+	n += int64(len(r.Old)+len(r.New)) * valueSlot
+	for _, v := range r.Old {
+		n += stringPayload(v)
+	}
+	for _, v := range r.New {
+		n += stringPayload(v)
+	}
+	return n
+}
+
+func stringPayload(v relation.Value) int64 {
+	if v.Kind == relation.TString && !v.IsNull() {
+		return int64(len(v.AsString()))
+	}
+	return 0
+}

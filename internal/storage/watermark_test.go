@@ -1,0 +1,191 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/diorama/continual/internal/obs"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/vclock"
+)
+
+func wmInsert(t *testing.T, s *Store, name string) error {
+	t.Helper()
+	tx := s.Begin()
+	if _, err := tx.Insert("stocks", []relation.Value{relation.Str(name), relation.Float(1)}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := tx.Commit()
+	return err
+}
+
+func TestWatermarkLevelsAndHardRejection(t *testing.T) {
+	s := newStockStore(t)
+	reg := obs.NewRegistry()
+	s.Instrument(reg)
+	s.SetWatermarks(Watermarks{SoftRows: 4, HardRows: 8})
+
+	for i := 0; i < 3; i++ {
+		if err := wmInsert(t, s, fmt.Sprintf("r%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lvl := s.Overload(); lvl != OverloadNone {
+		t.Fatalf("3 rows: level = %v", lvl)
+	}
+	if err := wmInsert(t, s, "r3"); err != nil {
+		t.Fatal(err)
+	}
+	if lvl := s.Overload(); lvl != OverloadSoft {
+		t.Fatalf("4 rows: level = %v, want soft", lvl)
+	}
+	// Soft mode still accepts writes.
+	for i := 4; i < 8; i++ {
+		if err := wmInsert(t, s, fmt.Sprintf("r%d", i)); err != nil {
+			t.Fatalf("soft-mode commit %d: %v", i, err)
+		}
+	}
+	if lvl := s.Overload(); lvl != OverloadHard {
+		t.Fatalf("8 rows: level = %v, want hard", lvl)
+	}
+	// Hard mode rejects the next commit with the typed error, without
+	// mutating the table.
+	before, _ := s.Snapshot("stocks")
+	err := wmInsert(t, s, "rejected")
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("hard-mode commit err = %v, want ErrOverloaded", err)
+	}
+	after, _ := s.Snapshot("stocks")
+	if before.Len() != after.Len() {
+		t.Fatalf("rejected commit mutated the table: %d -> %d rows", before.Len(), after.Len())
+	}
+	rows, bytes := s.DeltaUsage()
+	if rows != 8 || bytes <= 0 {
+		t.Fatalf("DeltaUsage = %d rows, %d bytes", rows, bytes)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["storage.overload.soft_trips"] != 1 || snap.Counters["storage.overload.hard_trips"] != 1 {
+		t.Errorf("trips = soft:%d hard:%d", snap.Counters["storage.overload.soft_trips"], snap.Counters["storage.overload.hard_trips"])
+	}
+	if snap.Counters["storage.overload.rejects"] != 1 {
+		t.Errorf("rejects = %d", snap.Counters["storage.overload.rejects"])
+	}
+	if snap.Gauges["storage.overload.level"] != int64(OverloadHard) {
+		t.Errorf("level gauge = %d", snap.Gauges["storage.overload.level"])
+	}
+
+	// GC everything: recovery is hysteretic but a full collect clears
+	// to None and commits flow again.
+	s.CollectGarbage(s.Now())
+	if lvl := s.Overload(); lvl != OverloadNone {
+		t.Fatalf("after GC: level = %v", lvl)
+	}
+	if rows, _ := s.DeltaUsage(); rows != 0 {
+		t.Fatalf("after GC: %d delta rows accounted", rows)
+	}
+	if err := wmInsert(t, s, "recovered"); err != nil {
+		t.Fatalf("post-recovery commit: %v", err)
+	}
+}
+
+func TestWatermarkHysteresis(t *testing.T) {
+	s := newStockStore(t)
+	s.SetWatermarks(Watermarks{SoftRows: 8, HardRows: 100})
+	var tss []vclock.Timestamp
+	for i := 0; i < 8; i++ {
+		tx := s.Begin()
+		if _, err := tx.Insert("stocks", []relation.Value{relation.Str(fmt.Sprintf("r%d", i)), relation.Float(1)}); err != nil {
+			t.Fatal(err)
+		}
+		ts, err := tx.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tss = append(tss, ts)
+	}
+	if lvl := s.Overload(); lvl != OverloadSoft {
+		t.Fatalf("level = %v, want soft", lvl)
+	}
+	// Collect down to 7 rows: still soft (recovery needs <= 6 = 3/4 of 8).
+	s.CollectGarbage(tss[0])
+	if rows, _ := s.DeltaUsage(); rows != 7 {
+		t.Fatalf("rows = %d", rows)
+	}
+	if lvl := s.Overload(); lvl != OverloadSoft {
+		t.Fatalf("at 7 rows: level = %v, want soft (hysteresis)", lvl)
+	}
+	// Down to 6: recovery headroom reached, level clears.
+	s.CollectGarbage(tss[1])
+	if lvl := s.Overload(); lvl != OverloadNone {
+		t.Fatalf("at 6 rows: level = %v, want none", lvl)
+	}
+}
+
+func TestWatermarkPressureHookFiresPerTransition(t *testing.T) {
+	s := newStockStore(t)
+	levels := make(chan OverloadLevel, 8)
+	s.SetPressureHook(func(l OverloadLevel) { levels <- l })
+	s.SetWatermarks(Watermarks{SoftRows: 2, HardRows: 4})
+
+	// Drive one transition at a time: hook invocations run on their own
+	// goroutines, so concurrent transitions would arrive unordered.
+	waitFor := func(want OverloadLevel) {
+		t.Helper()
+		select {
+		case got := <-levels:
+			if got != want {
+				t.Fatalf("transition = %v, want %v", got, want)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("pressure hook never saw %v", want)
+		}
+	}
+	_ = wmInsert(t, s, "r0")
+	_ = wmInsert(t, s, "r1")
+	waitFor(OverloadSoft)
+	_ = wmInsert(t, s, "r2")
+	_ = wmInsert(t, s, "r3")
+	waitFor(OverloadHard)
+	s.CollectGarbage(s.Now())
+	waitFor(OverloadNone)
+}
+
+func TestWatermarkByteBound(t *testing.T) {
+	s := newStockStore(t)
+	s.SetWatermarks(Watermarks{SoftBytes: 1, HardBytes: 1 << 40})
+	if err := wmInsert(t, s, "one"); err != nil {
+		t.Fatal(err)
+	}
+	if lvl := s.Overload(); lvl != OverloadSoft {
+		t.Fatalf("level = %v, want soft from byte bound", lvl)
+	}
+	_, bytes := s.DeltaUsage()
+	if bytes <= 0 {
+		t.Fatalf("DeltaUsage bytes = %d", bytes)
+	}
+}
+
+func TestSetWatermarksRecomputesAgainstBacklog(t *testing.T) {
+	s := newStockStore(t)
+	for i := 0; i < 5; i++ {
+		if err := wmInsert(t, s, fmt.Sprintf("r%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lvl := s.Overload(); lvl != OverloadNone {
+		t.Fatalf("unbounded store degraded: %v", lvl)
+	}
+	// Installing watermarks below the existing backlog trips immediately
+	// (the recovery path: replay rebuilt retention before config landed).
+	s.SetWatermarks(Watermarks{SoftRows: 2, HardRows: 4})
+	if lvl := s.Overload(); lvl != OverloadHard {
+		t.Fatalf("level = %v, want hard against backlog", lvl)
+	}
+	// Removing them clears degraded mode entirely.
+	s.SetWatermarks(Watermarks{})
+	if lvl := s.Overload(); lvl != OverloadNone {
+		t.Fatalf("level after removal = %v", lvl)
+	}
+}

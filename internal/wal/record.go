@@ -127,6 +127,11 @@ type CQEntry struct {
 	Seq            int
 	LastExec       vclock.Timestamp
 	Terminated     bool
+	// Health is the CQ's guard state at checkpoint time ("healthy",
+	// "probation", "quarantined"; "" reads as healthy). A recovered CQ
+	// that was not healthy resumes in probation — it must prove itself
+	// with a probe refresh rather than rejoin at full cadence.
+	Health string
 	// Result is the complete result as of LastExec. Nil means the
 	// recovering manager must reseed it by evaluation at LastExec.
 	Result *relation.Relation
@@ -489,6 +494,7 @@ func encodeCQEntry(e *enc, cq *CQEntry) error {
 	e.u64(uint64(cq.Seq))
 	e.u64(uint64(cq.LastExec))
 	e.bool(cq.Terminated)
+	e.str(cq.Health)
 	if cq.Result == nil {
 		e.bool(false)
 		return nil
@@ -514,6 +520,7 @@ func decodeCQEntry(d *dec) *CQEntry {
 	cq.Seq = int(d.u64())
 	cq.LastExec = vclock.Timestamp(d.u64())
 	cq.Terminated = d.bool()
+	cq.Health = d.str()
 	if d.bool() {
 		cq.Result = d.relation()
 	}

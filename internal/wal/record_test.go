@@ -40,7 +40,7 @@ func testRecords(t testing.TB) []*Record {
 			Name: "q1", Query: "SELECT name FROM stocks WHERE price > 100",
 			TriggerKind: 3, TriggerUpdates: 1, TriggerBound: 0.25, TriggerOn: "price * qty",
 			Mode: 1, StopAfterN: 10, EpsilonMeasure: 2, NotifyEmpty: true,
-			Strategy: "incremental", Seq: 4, LastExec: 41, Result: res,
+			Strategy: "incremental", Health: "quarantined", Seq: 4, LastExec: 41, Result: res,
 		}},
 		{Kind: KindCQRegister, CQ: &CQEntry{Name: "q2", Query: "SELECT * FROM stocks", TriggerKind: 3, Mode: 1}},
 		{Kind: KindCQExec, Name: "q1", Seq: 5, ExecTS: 43, Terminated: true, Change: []delta.Row{

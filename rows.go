@@ -155,6 +155,13 @@ type Change struct {
 
 	// Terminated marks the final notification of a stopped query.
 	Terminated bool
+
+	// Dropped is the number of changes this subscriber lost since the
+	// one it last received — full Updates buffer under a backpressure
+	// policy, or the catch-up gap after Resume. Zero means the change
+	// sequence is gap-free; consumers applying differentials should
+	// re-fetch Result when Dropped > 0.
+	Dropped int
 }
 
 func rowsData(rel *relation.Relation) [][]any {

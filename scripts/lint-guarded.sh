@@ -1,0 +1,29 @@
+#!/bin/sh
+# lint-guarded: every goroutine launched in the engine's guarded
+# packages (internal/cq, internal/push, internal/guard) must carry a
+# "// guarded:" annotation within the four lines above the launch,
+# naming its recover boundary. The guard layer turns refresh panics
+# into per-CQ failures only if every launch site actually routes
+# through a boundary; this check makes forgetting one a CI failure
+# instead of a crashed worker in production.
+set -eu
+cd "$(dirname "$0")/.."
+status=0
+for f in $(find internal/cq internal/push internal/guard -name '*.go' ! -name '*_test.go'); do
+	out=$(awk '
+		/guarded:/ { mark = NR }
+		/^[[:space:]]*go (func|[A-Za-z_])/ {
+			if (mark == 0 || NR - mark > 4) {
+				printf "%s:%d: goroutine launch without a \"// guarded:\" annotation\n", FILENAME, NR
+			}
+		}
+	' "$f")
+	if [ -n "$out" ]; then
+		echo "$out"
+		status=1
+	fi
+done
+if [ "$status" -ne 0 ]; then
+	echo "lint-guarded: annotate each launch with its recover boundary (see internal/guard)."
+fi
+exit $status

@@ -63,7 +63,14 @@ func statsFromSnapshot(snap obs.Snapshot) Stats {
 // table (the same view `cqctl stats` prints).
 func (db *DB) WriteStats(w io.Writer) { db.metrics.Snapshot().WriteTable(w) }
 
-// StatsHandler returns an HTTP handler serving the engine's metrics:
-// GET /stats returns the snapshot as JSON and GET /debug/traces returns
-// the recent refresh spans. cmd/cqd mounts this when -http is set.
-func (db *DB) StatsHandler() http.Handler { return obs.Mux(db.metrics) }
+// StatsHandler returns an HTTP handler serving the engine's metrics and
+// health: GET /stats returns the snapshot as JSON, GET /debug/traces the
+// recent refresh spans, and GET /healthz the HealthStatus (200 when
+// ready, 503 when overloaded). cmd/cqd mounts the same routes when
+// -http is set.
+func (db *DB) StatsHandler() http.Handler {
+	return obs.MuxHealth(db.metrics, func() (bool, any) {
+		h := db.Health()
+		return h.Ready, h
+	})
+}
