@@ -23,10 +23,15 @@ lint:
 # lifecycle and recovery, backpressure, and the subscribe/drop churn
 # stress — under the race detector.
 chaos:
-	go test -race -count=2 -run 'TestChaos|TestQuarantine|TestBudget|TestBackpressure|TestSubscriber|TestDropRace|TestSubscribeDropChurn|TestManualRefresh|TestHealthCounts' ./internal/cq/
+	go test -race -count=2 -run 'TestChaos|TestQuarantine|TestBudget|TestBackpressure|TestSubscriber|TestDropRace|TestSubscribeDropChurn|TestManualRefresh|TestHealthCounts|TestTemplateChurnRace|TestTemplateQuarantineIsolation' ./internal/cq/
 	go test -race -count=2 -run 'TestQuarantineSurvivesRecovery' ./internal/durable/
 	go test -race -count=2 -run 'TestWatermark|TestSetWatermarks' ./internal/storage/
 	go test -race -count=2 -run 'TestSheds|TestGate' ./internal/push/
 
+# bench: regenerate the committed BENCH_<ID>.json tables at the repo
+# root. E16/E18/E19 run at the quick scale; E20 runs at full scale
+# because its headline points (100k shared-vs-unshared, 1M shared) only
+# exist there.
 bench:
-	go run ./cmd/cqbench -quick
+	go run ./cmd/cqbench -quick -run E16,E18,E19 -json .
+	go run ./cmd/cqbench -run E20 -json .

@@ -87,6 +87,7 @@ func run(args []string) error {
 	quarantineAfter := fs.Int("quarantine-after", 0, "quarantine a CQ after N consecutive refresh failures (0 = default 3, negative disables)")
 	softDeltaRows := fs.Int("soft-delta-rows", 0, "soft watermark on retained delta rows: emergency GC and push->poll coalescing (0 disables)")
 	hardDeltaRows := fs.Int("hard-delta-rows", 0, "hard watermark on retained delta rows: reject writes until recovery (0 disables)")
+	shareTemplates := fs.Bool("share-templates", false, "share one differential plan across CQs that differ only in comparison constants")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,6 +112,7 @@ func run(args []string) error {
 			Budget:           *refreshBudget,
 			FailureThreshold: *quarantineAfter,
 		},
+		ShareTemplates: *shareTemplates,
 	}
 	marks := storage.Watermarks{SoftRows: *softDeltaRows, HardRows: *hardDeltaRows}
 	var store *storage.Store

@@ -136,6 +136,17 @@ type Options struct {
 	// SoftDeltaBytes / HardDeltaBytes are the same watermarks in
 	// approximate retained bytes (0 disables).
 	SoftDeltaBytes, HardDeltaBytes int64
+
+	// ShareTemplates lets queries that differ only in comparison
+	// constants (SELECT * FROM quotes WHERE price > X for varying X)
+	// share one differential plan: the engine evaluates the
+	// constant-stripped template once per refresh round and routes each
+	// template delta row to the matching subscribers through a
+	// parameter index, so a round's cost scales with the number of
+	// distinct templates, not the number of registered queries. Every
+	// query keeps its own update sequence, trigger, journal entries and
+	// health state.
+	ShareTemplates bool
 }
 
 // guardPolicy translates the public overload-protection options.
@@ -187,6 +198,8 @@ func OpenWith(opts Options) *DB {
 		Push:        opts.Push,
 		PushQueue:   opts.PushQueue,
 		Guard:       opts.guardPolicy(),
+
+		ShareTemplates: opts.ShareTemplates,
 	})
 	return &DB{
 		store:    store,
@@ -229,6 +242,8 @@ func OpenDurable(opts Options) (*DB, error) {
 			Push:        opts.Push,
 			PushQueue:   opts.PushQueue,
 			Guard:       opts.guardPolicy(),
+
+			ShareTemplates: opts.ShareTemplates,
 		},
 	})
 	if err != nil {

@@ -1,20 +1,223 @@
 package algebra
 
-import "hash/fnv"
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/sql"
+)
 
 // PlanFingerprint returns a stable 64-bit fingerprint of a plan's
-// logical shape: its operator tree (via the deterministic String
-// rendering every Plan provides) and its output schema. Two plans with
-// the same fingerprint compute the same query over the same column
-// layout, so prepared-plan caches (dra.Prepared) can use it as an
+// logical shape and output schema. Two plans with the same fingerprint
+// compute the same query over the same column layout, so prepared-plan
+// caches (dra.Prepared) and the template registry (cq) can use it as an
 // identity across re-registrations without retaining the plan itself.
+//
+// The fingerprint hashes a canonical binary encoding of the tree, not
+// the String rendering: every node and expression is tagged with its
+// kind and every variable-length field is length-prefixed, so no
+// concatenation of fields from one plan can replay as a different
+// plan's stream. The ambiguities this closes are real — a table named
+// "a AS b" rendered identically to a scan of "a" aliased "b", a column
+// named "(x > 1)" rendered identically to the comparison, and schema
+// column names colliding with the type bytes of their neighbors — see
+// the adversarial cases in fingerprint_test.go (the netSigned FNV
+// collision of PR 3 is the precedent for trusting none of this to
+// pretty-printers).
 func PlanFingerprint(p Plan) uint64 {
+	w := newFPWriter()
+	w.tag(fpVersion)
+	w.plan(p)
+	w.schema(p.Schema())
+	return w.sum()
+}
+
+// Stream tags. fpVersion leads every fingerprint stream so a future
+// encoding change cannot collide with the current one.
+const (
+	fpVersion byte = 1
+
+	fpNil       byte = 0
+	fpScan      byte = 2
+	fpSelect    byte = 3
+	fpProject   byte = 4
+	fpJoin      byte = 5
+	fpAggregate byte = 6
+	fpDistinct  byte = 7
+	fpSort      byte = 8
+	fpLimit     byte = 9
+	fpOpaque    byte = 10 // unknown node kinds fall back to String()
+
+	fpExprCol    byte = 20
+	fpExprLit    byte = 21
+	fpExprBinary byte = 22
+	fpExprUnary  byte = 23
+	fpExprFunc   byte = 24
+	fpExprOpaque byte = 25
+
+	fpTemplate byte = 30 // template fingerprints live in their own space
+)
+
+// fpWriter streams the canonical encoding into an FNV-1a hash. Every
+// string is length-prefixed and every composite field is tagged, so the
+// byte stream parses unambiguously.
+type fpWriter struct {
+	h   interface{ Write([]byte) (int, error) }
+	sm  interface{ Sum64() uint64 }
+	buf [binary.MaxVarintLen64]byte
+}
+
+func newFPWriter() *fpWriter {
 	h := fnv.New64a()
-	_, _ = h.Write([]byte(p.String()))
-	_, _ = h.Write([]byte{0})
-	for _, c := range p.Schema().Columns() {
-		_, _ = h.Write([]byte(c.Name))
-		_, _ = h.Write([]byte{0, byte(c.Type)})
+	return &fpWriter{h: h, sm: h}
+}
+
+func (w *fpWriter) sum() uint64 { return w.sm.Sum64() }
+
+func (w *fpWriter) tag(b byte) { _, _ = w.h.Write([]byte{b}) }
+
+func (w *fpWriter) uvarint(v uint64) {
+	n := binary.PutUvarint(w.buf[:], v)
+	_, _ = w.h.Write(w.buf[:n])
+}
+
+func (w *fpWriter) str(s string) {
+	w.uvarint(uint64(len(s)))
+	_, _ = w.h.Write([]byte(s))
+}
+
+func (w *fpWriter) plan(p Plan) {
+	switch n := p.(type) {
+	case *ScanPlan:
+		w.tag(fpScan)
+		w.str(n.Table)
+		w.str(n.Alias)
+	case *SelectPlan:
+		w.tag(fpSelect)
+		w.expr(n.Pred)
+		w.plan(n.Input)
+	case *ProjectPlan:
+		w.tag(fpProject)
+		w.uvarint(uint64(len(n.Items)))
+		for _, it := range n.Items {
+			w.str(it.Name)
+			w.expr(it.Expr)
+		}
+		w.plan(n.Input)
+	case *JoinPlan:
+		w.tag(fpJoin)
+		w.expr(n.On)
+		w.plan(n.Left)
+		w.plan(n.Right)
+	case *AggregatePlan:
+		w.tag(fpAggregate)
+		w.uvarint(uint64(len(n.GroupBy)))
+		for _, g := range n.GroupBy {
+			w.str(g.Name)
+			w.expr(g.Expr)
+		}
+		w.uvarint(uint64(len(n.Aggs)))
+		for _, a := range n.Aggs {
+			w.str(a.Func)
+			w.str(a.Name)
+			w.expr(a.Arg)
+		}
+		w.expr(n.Having)
+		w.plan(n.Input)
+	case *DistinctPlan:
+		w.tag(fpDistinct)
+		w.plan(n.Input)
+	case *SortPlan:
+		w.tag(fpSort)
+		w.uvarint(uint64(len(n.Keys)))
+		for _, k := range n.Keys {
+			w.expr(k.Expr)
+			if k.Desc {
+				w.tag(1)
+			} else {
+				w.tag(0)
+			}
+		}
+		w.plan(n.Input)
+	case *LimitPlan:
+		w.tag(fpLimit)
+		w.uvarint(uint64(n.N))
+		w.plan(n.Input)
+	case nil:
+		w.tag(fpNil)
+	default:
+		w.tag(fpOpaque)
+		w.str(p.String())
 	}
-	return h.Sum64()
+}
+
+func (w *fpWriter) expr(e sql.Expr) {
+	switch x := e.(type) {
+	case nil:
+		w.tag(fpNil)
+	case *sql.ColumnRef:
+		w.tag(fpExprCol)
+		w.str(x.Name)
+	case *sql.Literal:
+		w.tag(fpExprLit)
+		w.value(x.Value)
+	case *sql.BinaryExpr:
+		w.tag(fpExprBinary)
+		w.str(x.Op)
+		w.expr(x.L)
+		w.expr(x.R)
+	case *sql.UnaryExpr:
+		w.tag(fpExprUnary)
+		w.str(x.Op)
+		w.expr(x.E)
+	case *sql.FuncCall:
+		w.tag(fpExprFunc)
+		w.str(x.Name)
+		if x.Star {
+			w.tag(1)
+		} else {
+			w.tag(0)
+		}
+		w.expr(x.Arg)
+	default:
+		w.tag(fpExprOpaque)
+		w.str(e.String())
+	}
+}
+
+// value encodes a literal with its kind, so Int(1), Float(1) and
+// Str("1") hash apart.
+func (w *fpWriter) value(v relation.Value) {
+	w.tag(byte(v.Kind))
+	if v.IsNull() {
+		w.tag(1)
+		return
+	}
+	w.tag(0)
+	switch v.Kind {
+	case relation.TInt:
+		w.uvarint(uint64(v.AsInt()))
+	case relation.TFloat:
+		w.uvarint(math.Float64bits(v.AsFloat()))
+	case relation.TString:
+		w.str(v.AsString())
+	case relation.TBool:
+		if v.AsBool() {
+			w.tag(1)
+		} else {
+			w.tag(0)
+		}
+	default:
+		w.str(v.String())
+	}
+}
+
+func (w *fpWriter) schema(s relation.Schema) {
+	w.uvarint(uint64(s.Len()))
+	for _, c := range s.Columns() {
+		w.str(c.Name)
+		w.tag(byte(c.Type))
+	}
 }

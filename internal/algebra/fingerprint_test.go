@@ -1,0 +1,172 @@
+package algebra
+
+import (
+	"testing"
+
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/sql"
+)
+
+func planFor(t *testing.T, src catSource, query string) Plan {
+	t.Helper()
+	stmt, err := sql.ParseSelect(query)
+	if err != nil {
+		t.Fatalf("parse %q: %v", query, err)
+	}
+	p, err := PlanSelect(stmt, src)
+	if err != nil {
+		t.Fatalf("plan %q: %v", query, err)
+	}
+	return Optimize(p)
+}
+
+// The fingerprint must be a pure function of the logical plan: the same
+// query text planned twice hashes identically.
+func TestFingerprintStable(t *testing.T) {
+	src := stocksSource(t)
+	queries := []string{
+		"SELECT * FROM stocks WHERE price > 100",
+		"SELECT name FROM stocks WHERE price > 100 AND name != 'IBM'",
+		"SELECT s.name, t.volume FROM stocks s JOIN trades t ON s.name = t.sym",
+		"SELECT name, COUNT(*) AS n FROM stocks GROUP BY name",
+	}
+	for _, q := range queries {
+		a := PlanFingerprint(planFor(t, src, q))
+		b := PlanFingerprint(planFor(t, src, q))
+		if a != b {
+			t.Errorf("fingerprint of %q not stable: %#x vs %#x", q, a, b)
+		}
+	}
+	// And distinct queries hash apart.
+	seen := map[uint64]string{}
+	for _, q := range queries {
+		fp := PlanFingerprint(planFor(t, src, q))
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("collision between %q and %q", prev, q)
+		}
+		seen[fp] = q
+	}
+}
+
+// A table literally named "a AS b" must not collide with table "a"
+// aliased "b" — the old String()-based hash rendered both as
+// "Scan(a AS b)".
+func TestFingerprintScanAliasAmbiguity(t *testing.T) {
+	schema := relation.MustSchema(relation.Column{Name: "x", Type: relation.TInt})
+	weird := NewScanPlan("a AS b", "a AS b", schema)
+	aliased := NewScanPlan("a", "b", schema)
+	if PlanFingerprint(weird) == PlanFingerprint(aliased) {
+		t.Fatal("Scan table \"a AS b\" collides with Scan(a AS b alias)")
+	}
+}
+
+// A column whose NAME is the rendering of a comparison must not collide
+// with the comparison itself in a predicate stream.
+func TestFingerprintOperatorVsColumnName(t *testing.T) {
+	boolCol := relation.MustSchema(
+		relation.Column{Name: "x > 1", Type: relation.TBool},
+		relation.Column{Name: "x", Type: relation.TInt},
+	)
+	intCols := relation.MustSchema(
+		relation.Column{Name: "x > 1", Type: relation.TBool},
+		relation.Column{Name: "x", Type: relation.TInt},
+	)
+	scanA := NewScanPlan("t", "t", boolCol)
+	scanB := NewScanPlan("t", "t", intCols)
+	// Predicate A references the weird column by name; predicate B is
+	// the comparison x > 1. Their String() renderings can coincide
+	// (modulo parens the parser adds), but the streams must differ.
+	pa := &SelectPlan{Input: scanA, Pred: &sql.ColumnRef{Name: "(x > 1)"}}
+	pb := &SelectPlan{Input: scanB, Pred: &sql.BinaryExpr{
+		Op: ">", L: &sql.ColumnRef{Name: "x"}, R: &sql.Literal{Value: relation.Int(1)},
+	}}
+	if PlanFingerprint(pa) == PlanFingerprint(pb) {
+		t.Fatal("column named \"(x > 1)\" collides with comparison x > 1")
+	}
+}
+
+// Schema encoding must length-prefix column names so name bytes cannot
+// bleed into a neighbor's name or type byte.
+func TestFingerprintSchemaBoundary(t *testing.T) {
+	a := NewScanPlan("t", "t", relation.MustSchema(
+		relation.Column{Name: "ab", Type: relation.TInt},
+		relation.Column{Name: "c", Type: relation.TInt},
+	))
+	b := NewScanPlan("t", "t", relation.MustSchema(
+		relation.Column{Name: "a", Type: relation.TInt},
+		relation.Column{Name: "bc", Type: relation.TInt},
+	))
+	if PlanFingerprint(a) == PlanFingerprint(b) {
+		t.Fatal("schema column boundaries collide: [ab,c] vs [a,bc]")
+	}
+}
+
+// Literals carry their kind: Int(5), Float(5) and Str("5") are three
+// different constants even though two compare equal numerically.
+func TestFingerprintLiteralKinds(t *testing.T) {
+	schema := relation.MustSchema(relation.Column{Name: "price", Type: relation.TFloat})
+	mk := func(v relation.Value) Plan {
+		return &SelectPlan{
+			Input: NewScanPlan("t", "t", schema),
+			Pred: &sql.BinaryExpr{
+				Op: ">", L: &sql.ColumnRef{Name: "price"}, R: &sql.Literal{Value: v},
+			},
+		}
+	}
+	fps := map[uint64]string{}
+	for name, v := range map[string]relation.Value{
+		"int":  relation.Int(5),
+		"flt":  relation.Float(5),
+		"str":  relation.Str("5"),
+		"null": relation.TypedNull(relation.TInt),
+	} {
+		fp := PlanFingerprint(mk(v))
+		if prev, dup := fps[fp]; dup {
+			t.Errorf("literal kinds %s and %s collide", prev, name)
+		}
+		fps[fp] = name
+	}
+}
+
+// Join operand order is part of the plan: Join(a,b) and Join(b,a) are
+// different plans (their output schemas differ), and even with
+// identical column layouts the fingerprint keeps sides apart.
+func TestFingerprintJoinOrder(t *testing.T) {
+	sa := relation.MustSchema(relation.Column{Name: "a.x", Type: relation.TInt})
+	sb := relation.MustSchema(relation.Column{Name: "b.x", Type: relation.TInt})
+	left := NewScanPlan("a", "a", sa)
+	right := NewScanPlan("b", "b", sb)
+	j1, err := NewJoinPlan(left, right, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := NewJoinPlan(right, left, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PlanFingerprint(j1) == PlanFingerprint(j2) {
+		t.Fatal("join operand order does not affect fingerprint")
+	}
+}
+
+// Unary vs binary framing: NOT(a) AND b must not collide with
+// NOT(a AND b) even though a naive infix rendering could parenthesize
+// them identically under adversarial column names.
+func TestFingerprintUnaryFraming(t *testing.T) {
+	schema := relation.MustSchema(
+		relation.Column{Name: "a", Type: relation.TBool},
+		relation.Column{Name: "b", Type: relation.TBool},
+	)
+	scan := NewScanPlan("t", "t", schema)
+	aRef := &sql.ColumnRef{Name: "a"}
+	bRef := &sql.ColumnRef{Name: "b"}
+	p1 := &SelectPlan{Input: scan, Pred: &sql.BinaryExpr{
+		Op: "AND", L: &sql.UnaryExpr{Op: "NOT", E: aRef}, R: bRef,
+	}}
+	p2 := &SelectPlan{Input: scan, Pred: &sql.UnaryExpr{
+		Op: "NOT", E: &sql.BinaryExpr{Op: "AND", L: aRef, R: bRef},
+	}}
+	if PlanFingerprint(p1) == PlanFingerprint(p2) {
+		t.Fatal("NOT framing ambiguity in fingerprint stream")
+	}
+}

@@ -35,6 +35,7 @@ func All() []Experiment {
 		{"E17", "delta WAL: logging overhead and differential crash recovery", E17},
 		{"E18", "push vs poll: commit-to-notification latency and coalescing", E18},
 		{"E19", "chaos: healthy-CQ latency beside poison CQs, quarantine on/off", E19},
+		{"E20", "template sharing: shared plan + parameter dispatch vs private plans", E20},
 		{"A1", "ablation: heuristic term ordering", A1},
 		{"A2", "ablation: delta compaction", A2},
 		{"A3", "ablation: hash vs nested-loop term joins", A3},

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/diorama/continual/internal/cq"
+	"github.com/diorama/continual/internal/obs"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/storage"
+)
+
+// E20 measures multi-tenant template sharing: N continual queries that
+// differ only in a comparison constant (`price > X` for N different X)
+// against one quotes table. Unshared, every refresh round pays N
+// differential plan evaluations over the same delta window; shared, the
+// round pays ONE template evaluation plus a parameter-index dispatch
+// whose cost follows the rows that actually cross member thresholds
+// (O(matches), not O(members) x O(window)). Registration is measured
+// the same way: the unshared arm prepares N private pipelines, the
+// shared arm attaches N members to one group.
+//
+// The workload is the alerting regime the optimization targets: member
+// thresholds sit in the upper price band, most market activity jitters
+// below every threshold (a delta every member must inspect and discard),
+// and each round a couple of spike rows cross into the band, alerting
+// the members they pass. Per member per round the unshared arm scans
+// the whole delta window; the shared arm folds only the rows dispatched
+// to it.
+func E20(scale Scale) (*Table, error) {
+	const (
+		baseRows = 400
+		priceMax = 200.0
+	)
+	// The 100k-unshared and 1M-shared points take tens of seconds on
+	// one core; quick mode (CI) keeps the comparison at 10k and probes
+	// scale with the shared arm only.
+	sizes := []e20Point{
+		{cqs: 10_000, arms: []bool{false, true}},
+	}
+	if scale.BaseRows > Quick.BaseRows {
+		sizes = append(sizes,
+			e20Point{cqs: 100_000, arms: []bool{false, true}},
+			e20Point{cqs: 1_000_000, arms: []bool{true}})
+	} else {
+		sizes = append(sizes, e20Point{cqs: 100_000, arms: []bool{true}})
+	}
+	rounds := 2 + scale.Iterations
+
+	t := &Table{
+		ID:    "E20",
+		Title: "template sharing: N `price > X` tenants, shared plan vs private plans",
+		Note: fmt.Sprintf("|quotes| = %d, %d rounds of 100 sub-threshold jitters + 2 threshold-crossing spikes, X uniform in the top quartile",
+			baseRows, rounds),
+		Header: []string{"arm", "CQs", "reg/s", "us/round", "steps/round", "matches/round", "cand/match"},
+	}
+	for _, pt := range sizes {
+		for _, shared := range pt.arms {
+			row, err := e20Run(pt.cqs, shared, baseRows, priceMax, rounds)
+			if err != nil {
+				return nil, fmt.Errorf("e20 shared=%v n=%d: %w", shared, pt.cqs, err)
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+type e20Point struct {
+	cqs  int
+	arms []bool
+}
+
+func e20Run(nCQs int, shared bool, baseRows int, priceMax float64, rounds int) ([]string, error) {
+	rng := rand.New(rand.NewSource(int64(nCQs)))
+	s := storage.NewStore()
+	if err := s.CreateTable("quotes", relation.MustSchema(
+		relation.Column{Name: "name", Type: relation.TString},
+		relation.Column{Name: "price", Type: relation.TFloat},
+	)); err != nil {
+		return nil, err
+	}
+	// Prices start below every member threshold (thresholds live in
+	// [0.75, 1.0) x priceMax), so member results begin empty and stay
+	// empty except when a spike row visits the band.
+	quiet := 0.7 * priceMax
+	tids := make([]relation.TID, 0, baseRows)
+	prices := make([]float64, 0, baseRows)
+	tx := s.Begin()
+	for i := 0; i < baseRows; i++ {
+		p := rng.Float64() * quiet
+		tid, err := tx.Insert("quotes", []relation.Value{
+			relation.Str(fmt.Sprintf("Q%05d", i)), relation.Float(p),
+		})
+		if err != nil {
+			return nil, err
+		}
+		tids = append(tids, tid)
+		prices = append(prices, p)
+	}
+	if _, err := tx.Commit(); err != nil {
+		return nil, err
+	}
+
+	reg := obs.NewRegistry()
+	m := cq.NewManagerConfig(s, cq.Config{
+		UseDRA: true, AutoGC: true, Metrics: reg, ShareTemplates: shared,
+	})
+	defer func() { _ = m.Close() }()
+
+	regStart := time.Now()
+	for i := 0; i < nCQs; i++ {
+		x := 0.75*priceMax + 0.25*priceMax*float64(i)/float64(nCQs)
+		q := fmt.Sprintf("SELECT * FROM quotes WHERE price > %.4f", x)
+		if _, err := m.Register(cq.Def{Name: fmt.Sprintf("t%07d", i), Query: q}); err != nil {
+			return nil, err
+		}
+	}
+	regDur := time.Since(regStart)
+
+	times := make([]time.Duration, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		tx := s.Begin()
+		// Background noise: 100 price jitters that never reach the
+		// threshold band. Every member's window contains them; no
+		// member's result changes.
+		for k := 0; k < 100; k++ {
+			i := 2 + rng.Intn(len(tids)-2)
+			prices[i] += rng.Float64()*4 - 2
+			if prices[i] < 0 {
+				prices[i] = 0
+			}
+			if prices[i] > quiet {
+				prices[i] = quiet
+			}
+			if err := tx.Update("quotes", tids[i], []relation.Value{
+				relation.Str(fmt.Sprintf("Q%05d", i)), relation.Float(prices[i]),
+			}); err != nil {
+				return nil, err
+			}
+		}
+		// Two spike rows alternate between the quiet zone and a point
+		// inside the threshold band: each crossing alerts exactly the
+		// members whose X lies below it.
+		for k := 0; k < 2; k++ {
+			var p float64
+			if r%2 == 0 {
+				p = priceMax * (0.75 + 0.25*rng.Float64())
+			} else {
+				p = rng.Float64() * quiet
+			}
+			prices[k] = p
+			if err := tx.Update("quotes", tids[k], []relation.Value{
+				relation.Str(fmt.Sprintf("Q%05d", k)), relation.Float(p),
+			}); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := tx.Commit(); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := m.Poll(); err != nil {
+			return nil, err
+		}
+		times = append(times, time.Since(start))
+	}
+	sortDurations(times)
+
+	arm := "unshared"
+	snap := reg.Snapshot()
+	stepsPerRound, matchesPerRound, candPerMatch := "-", "-", "-"
+	if shared {
+		arm = "shared"
+		stepsPerRound = fmt.Sprintf("%.1f", float64(snap.Counter("cq.template.steps"))/float64(rounds))
+		matches := snap.Counter("cq.template.dispatch_matches")
+		matchesPerRound = fmt.Sprintf("%.0f", float64(matches)/float64(rounds))
+		if matches > 0 {
+			candPerMatch = fmt.Sprintf("%.2f", float64(snap.Counter("cq.template.dispatch_candidates"))/float64(matches))
+		}
+	}
+	return []string{
+		arm, fmt.Sprint(nCQs),
+		fmt.Sprintf("%.0f", float64(nCQs)/regDur.Seconds()),
+		us(times[len(times)/2]),
+		stepsPerRound, matchesPerRound, candPerMatch,
+	}, nil
+}

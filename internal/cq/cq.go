@@ -224,6 +224,12 @@ type CQState struct {
 	// NotifsDropped counts notifications this CQ's subscribers lost to
 	// full buffers (all subscribers, lifetime).
 	NotifsDropped int64
+	// Template is the shared-template fingerprint this CQ subscribes to
+	// (Config.ShareTemplates), 0 when the CQ runs a private plan.
+	Template uint64
+	// TemplateMates is the current member count of the CQ's template
+	// group, this CQ included (0 when unshared).
+	TemplateMates int
 }
 
 // instance is the manager's record of one registered CQ.
@@ -275,6 +281,19 @@ type instance struct {
 	// notifDropped is the per-CQ total of notifications lost to full
 	// subscriber buffers (CQState.NotifsDropped). Guarded by mu.
 	notifDropped int64
+
+	// group is the shared-template group this CQ subscribes to
+	// (Config.ShareTemplates), nil when unshared; groupParams is the
+	// member's constant vector, aligned with the template's slots.
+	// Written at registration/resume under m.mu before the instance is
+	// visible, cleared by Drop under inst.mu.
+	group       *templateGroup
+	groupParams []relation.Value
+	// pendingSync marks a recovered member that has not yet rejoined
+	// the template stream: its next refresh is a private full-plan
+	// differential catch-up, after which buffered template batches it
+	// covers are discarded (afterRefreshLocked). Guarded by mu.
+	pendingSync bool
 
 	// breaker is the CQ's quarantine circuit breaker — a self-locked
 	// leaf, consultable under any manager/instance lock.
@@ -360,6 +379,15 @@ type Config struct {
 	// BackoffBase/Max/Jitter). The zero value gets guard defaults:
 	// no budget, quarantine after 3 consecutive failures.
 	Guard guard.Policy
+	// ShareTemplates deduplicates structurally identical CQs: queries
+	// differing only in comparison constants (`price > 5` vs
+	// `price > 90`) share one prepared template plan and one operand
+	// index cache, with a parameter-dispatch stage routing each
+	// template delta row to the matching subscribers (see template.go).
+	// Per-CQ triggers, Seq, journaling, health and delivery semantics
+	// are unchanged; queries whose shape cannot be templated register
+	// unshared exactly as with ShareTemplates off.
+	ShareTemplates bool
 }
 
 // Manager owns the registered continual queries over one store.
@@ -371,6 +399,10 @@ type Manager struct {
 	mu     sync.Mutex
 	cqs    map[string]*instance
 	closed bool
+	// templates is the shared-template registry (Config.ShareTemplates):
+	// template fingerprint → group. Guarded by mu; each group's own
+	// refresh state lives behind its leaf lock (see template.go).
+	templates map[uint64]*templateGroup
 
 	// router is the push subsystem (nil unless Config.Push): it owns
 	// the store's commit hook and the dispatcher workers. Guarded by mu
@@ -408,10 +440,11 @@ func NewManagerConfig(store *storage.Store, cfg Config) *Manager {
 		cfg.Engine.Instrument(cfg.Metrics)
 	}
 	m := &Manager{
-		store: store,
-		cfg:   cfg,
-		met:   newMetrics(cfg.Metrics),
-		cqs:   make(map[string]*instance),
+		store:     store,
+		cfg:       cfg,
+		met:       newMetrics(cfg.Metrics),
+		cqs:       make(map[string]*instance),
+		templates: make(map[uint64]*templateGroup),
 	}
 	m.guardPol = cfg.Guard.WithDefaults()
 	// Degraded-mode hook: a watermark trip runs emergency GC to shed
@@ -507,24 +540,41 @@ func (m *Manager) Register(def Def) (*relation.Relation, error) {
 			inst.maint = maint
 			initial = maint.Result().Clone()
 		} else {
-			prep, err := m.prepare(def.Name, plan, m.cfg.Strategy)
+			// Template sharing first: a shared member's initial result
+			// is the parameter-filtered template result, and its
+			// lastExec is pinned to the group's step position by the
+			// join. Unshareable shapes fall through to a private plan.
+			sharedInit, shared, err := m.joinTemplateLocked(inst, false)
 			if err != nil {
 				return nil, err
 			}
-			inst.prepared = prep
+			if shared {
+				initial = sharedInit
+			} else {
+				prep, err := m.prepare(def.Name, plan, m.cfg.Strategy)
+				if err != nil {
+					return nil, err
+				}
+				inst.prepared = prep
+			}
 		}
 	}
 	if initial == nil {
 		res, err := dra.InitialResult(plan, m.store.Live())
 		if err != nil {
+			if inst.group != nil {
+				m.leaveTemplateLocked(inst)
+			}
 			return nil, err
 		}
 		initial = res
 	}
 	inst.prev = initial
 	inst.seq = 1
-	inst.lastExec = m.store.Now()
-	inst.lastObs = inst.lastExec
+	if inst.group == nil {
+		inst.lastExec = m.store.Now()
+		inst.lastObs = inst.lastExec
+	}
 	// Journal before the registry mutation becomes visible: a journal
 	// failure fails the registration with the manager unchanged.
 	if m.cfg.Journal != nil {
@@ -535,12 +585,15 @@ func (m *Manager) Register(def Def) (*relation.Relation, error) {
 			if inst.prepared != nil {
 				inst.prepared.Close()
 			}
+			if inst.group != nil {
+				m.leaveTemplateLocked(inst)
+			}
 			return nil, fmt.Errorf("cq %q: journal registration: %w", def.Name, err)
 		}
 	}
 	m.cqs[def.Name] = inst
 	m.routePushLocked(inst)
-	m.updateRegisteredLocked()
+	m.registeredDeltaLocked(inst, +1)
 	return initial.Clone(), nil
 }
 
@@ -550,6 +603,12 @@ func (m *Manager) Register(def Def) (*relation.Relation, error) {
 // rule of the hybrid execution model. Caller holds m.mu.
 func (m *Manager) routePushLocked(inst *instance) {
 	if m.router == nil || inst.trigger.Kind == sql.TriggerEvery || inst.terminated.Load() {
+		return
+	}
+	// Grouped members are covered by their template's single route
+	// (routeTemplateLocked): one queue entry per touched template, not
+	// one per member.
+	if inst.group != nil {
 		return
 	}
 	// The gate lets the router skip quarantined CQs without dispatching:
@@ -578,6 +637,28 @@ func (inst *instance) operandTables() []string {
 
 // updateRegisteredLocked recomputes the live-CQ and health gauges.
 // Caller holds m.mu (breakers are self-locked leaves, safe to read here).
+// registeredDeltaLocked adjusts the population gauges for one instance
+// arriving (+1) or leaving (-1) without sweeping the registry: Register
+// and Drop on a million-CQ manager must stay O(1), and the full sweep
+// made them O(n) each — quadratic across a bulk registration. The
+// authoritative sweep (updateRegisteredLocked) still runs once per poll
+// round, so any drift from concurrent health transitions self-corrects
+// at the next round. Caller holds m.mu.
+func (m *Manager) registeredDeltaLocked(inst *instance, dir int64) {
+	if m.met == nil || inst.terminated.Load() {
+		return // sweeps never count terminated instances either
+	}
+	m.met.registered.Add(dir)
+	switch inst.breaker.State() {
+	case guard.Probation:
+		m.met.healthProbation.Add(dir)
+	case guard.Quarantined:
+		m.met.healthQuarantined.Add(dir)
+	default:
+		m.met.healthHealthy.Add(dir)
+	}
+}
+
 func (m *Manager) updateRegisteredLocked() {
 	if m.met == nil {
 		return
@@ -851,6 +932,13 @@ func (m *Manager) State(name string) (CQState, error) {
 	if inst.prepared != nil {
 		st.Strategy = inst.prepared.Strategy().String()
 	}
+	if g := inst.group; g != nil {
+		st.Template = g.fp
+		g.mu.Lock()
+		st.TemplateMates = len(g.members)
+		st.Strategy = g.prepared.Strategy().String()
+		g.mu.Unlock()
+	}
 	for _, acct := range inst.eps {
 		st.Divergence += acct.Divergence()
 	}
@@ -902,12 +990,20 @@ func (m *Manager) Drop(name string) error {
 		inst.prepared.Close()
 		inst.prepared = nil
 	}
+	if inst.group != nil {
+		// Under inst.mu: an in-flight refresh of THIS member either
+		// finished (it held the lock before us) or will see dropped and
+		// skip; template-mates' refreshes only touch the group's leaf
+		// lock, so removing the member here cannot deadlock or race a
+		// dispatch into its pending buffer.
+		m.leaveTemplateLocked(inst)
+	}
 	inst.mu.Unlock()
 	delete(m.cqs, name)
 	if m.router != nil {
 		m.router.Unregister(name)
 	}
-	m.updateRegisteredLocked()
+	m.registeredDeltaLocked(inst, -1)
 	return nil
 }
 
@@ -1010,6 +1106,7 @@ func (m *Manager) Poll() (int, error) {
 
 	m.mu.Lock()
 	m.updateRegisteredLocked()
+	m.reapTemplatesLocked()
 	if m.cfg.AutoGC {
 		m.gcLocked()
 	}
@@ -1288,6 +1385,9 @@ func (m *Manager) Refresh(name string) error {
 // and the notification sequence identical to what polling would have
 // produced.
 func (m *Manager) pushDispatch(name string) (refreshed, retire bool, err error) {
+	if fp, isTmpl := parseTmplRoute(name); isTmpl {
+		return m.pushDispatchTemplate(fp)
+	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -1433,7 +1533,12 @@ func (m *Manager) refreshInstance(inst *instance, execTS vclock.Timestamp, cache
 	}
 	var res *dra.Result
 	var err error
-	if m.cfg.UseDRA {
+	switch {
+	case m.cfg.UseDRA && inst.group != nil && !inst.pendingSync:
+		// Shared template: no private windows, no private evaluation —
+		// step the group once and fold this member's dispatched rows.
+		res, err = m.refreshShared(inst, execTS, cache, versions)
+	case m.cfg.UseDRA:
 		compact := m.cfg.Engine.CompactDeltas
 		ctx := &dra.Context{
 			Pre:       m.store.At(inst.lastExec),
@@ -1457,9 +1562,12 @@ func (m *Manager) refreshInstance(inst *instance, execTS vclock.Timestamp, cache
 		case inst.prepared != nil:
 			res, err = inst.prepared.Step(ctx, execTS)
 		default:
+			// Private plans without a prepared pipeline, and grouped
+			// members in pendingSync: one full-window differential
+			// catch-up over the member's own plan.
 			res, err = m.cfg.Engine.Reevaluate(inst.plan, ctx, execTS)
 		}
-	} else {
+	default:
 		res, err = dra.FullReevaluate(inst.plan, m.store.Live(), inst.prev, execTS)
 	}
 	if err != nil {
@@ -1491,6 +1599,13 @@ func (m *Manager) refreshInstance(inst *instance, execTS vclock.Timestamp, cache
 
 	if willTerm {
 		inst.terminated.Store(true)
+	}
+	if inst.group != nil {
+		// The refresh is journaled and applied: discard the covered
+		// template batches (a failure above kept them for the retry),
+		// finish a pendingSync member's rejoin, and take a terminated
+		// member out of the dispatch index.
+		m.afterRefreshLocked(inst, execTS, willTerm)
 	}
 
 	if mm := m.met; mm != nil {
@@ -1826,6 +1941,12 @@ func (m *Manager) Close() error {
 			inst.prepared = nil
 		}
 		inst.mu.Unlock()
+	}
+	for fp, g := range m.templates {
+		g.mu.Lock()
+		g.prepared.Close()
+		g.mu.Unlock()
+		delete(m.templates, fp)
 	}
 	return nil
 }

@@ -57,6 +57,11 @@ func (m *Manager) entryLocked(inst *instance) wal.CQEntry {
 	if inst.prepared != nil {
 		e.Strategy = inst.prepared.Strategy().String()
 	}
+	if g := inst.group; g != nil {
+		g.mu.Lock()
+		e.Strategy = g.prepared.Strategy().String()
+		g.mu.Unlock()
+	}
 	if inst.prev != nil {
 		e.Result = inst.prev.Clone()
 	}
@@ -196,22 +201,33 @@ func (m *Manager) Resume(e wal.CQEntry) error {
 				e.Result = maint.Result().Clone()
 			}
 		} else {
-			// Re-prepare with the recovered strategy, with the same
-			// audible fallback as registration.
-			strat := dra.StrategyAuto
-			if e.Strategy != "" {
-				s, perr := dra.ParseStrategy(e.Strategy)
-				if perr != nil {
-					m.logf("cq %q: recovered strategy %q unknown; using auto", e.Name, e.Strategy)
-				} else {
-					strat = s
+			// Template sharing round-trips recovery: a shareable member
+			// rejoins (or recreates) its group and is flagged
+			// pendingSync — its first refresh is a private differential
+			// catch-up from LastExec, after which it consumes the
+			// template stream like any other member.
+			_, joined, jerr := m.joinTemplateLocked(inst, true)
+			if jerr != nil {
+				return fmt.Errorf("cq %q: rejoin template: %w", e.Name, jerr)
+			}
+			if !joined {
+				// Re-prepare with the recovered strategy, with the same
+				// audible fallback as registration.
+				strat := dra.StrategyAuto
+				if e.Strategy != "" {
+					s, perr := dra.ParseStrategy(e.Strategy)
+					if perr != nil {
+						m.logf("cq %q: recovered strategy %q unknown; using auto", e.Name, e.Strategy)
+					} else {
+						strat = s
+					}
 				}
+				prep, err := m.prepare(e.Name, plan, strat)
+				if err != nil {
+					return fmt.Errorf("cq %q: re-prepare: %w", e.Name, err)
+				}
+				inst.prepared = prep
 			}
-			prep, err := m.prepare(e.Name, plan, strat)
-			if err != nil {
-				return fmt.Errorf("cq %q: re-prepare: %w", e.Name, err)
-			}
-			inst.prepared = prep
 		}
 	}
 
@@ -237,6 +253,6 @@ func (m *Manager) Resume(e wal.CQEntry) error {
 	inst.lastObs = e.LastExec
 	m.cqs[e.Name] = inst
 	m.routePushLocked(inst)
-	m.updateRegisteredLocked()
+	m.registeredDeltaLocked(inst, +1)
 	return nil
 }

@@ -56,6 +56,20 @@ type metrics struct {
 	healthProbation   *obs.Gauge   // cq.health.probation
 	healthQuarantined *obs.Gauge   // cq.health.quarantined
 
+	// Template sharing (Config.ShareTemplates).
+	templates       *obs.Gauge   // cq.templates: live template groups
+	templateMembers *obs.Gauge   // cq.template.members: CQs attached to a group
+	sharedRegs      *obs.Counter // cq.template.shared_registrations
+	templateSteps   *obs.Counter // cq.template.steps: shared plan evaluations
+	templateStepNS  *obs.Histogram
+	// Dispatch economics: rows are template delta rows fanned out,
+	// candidates the members the index surfaced, matches the members
+	// that verified — candidates/matches close to 1 is the O(matches)
+	// goal.
+	templateDispatchRows *obs.Counter // cq.template.dispatch_rows
+	templateCandidates   *obs.Counter // cq.template.dispatch_candidates
+	templateMatches      *obs.Counter // cq.template.dispatch_matches
+
 	traces *obs.TraceLog // cq.refresh spans
 }
 
@@ -95,6 +109,15 @@ func newMetrics(reg *obs.Registry) *metrics {
 		healthHealthy:     reg.Gauge("cq.health.healthy"),
 		healthProbation:   reg.Gauge("cq.health.probation"),
 		healthQuarantined: reg.Gauge("cq.health.quarantined"),
+
+		templates:            reg.Gauge("cq.templates"),
+		templateMembers:      reg.Gauge("cq.template.members"),
+		sharedRegs:           reg.Counter("cq.template.shared_registrations"),
+		templateSteps:        reg.Counter("cq.template.steps"),
+		templateStepNS:       reg.Histogram("cq.template.step_ns"),
+		templateDispatchRows: reg.Counter("cq.template.dispatch_rows"),
+		templateCandidates:   reg.Counter("cq.template.dispatch_candidates"),
+		templateMatches:      reg.Counter("cq.template.dispatch_matches"),
 
 		traces: reg.Traces(),
 	}
