@@ -1,7 +1,7 @@
 # Development entry points. CI runs the same targets; see
 # .github/workflows/ci.yml for the full matrix.
 
-.PHONY: build test race lint chaos bench
+.PHONY: build test race lint chaos bench allocs
 
 build:
 	go build ./...
@@ -28,10 +28,16 @@ chaos:
 	go test -race -count=2 -run 'TestWatermark|TestSetWatermarks' ./internal/storage/
 	go test -race -count=2 -run 'TestSheds|TestGate' ./internal/push/
 
+# allocs: the refresh step's allocation budget — fails when either arm
+# of BenchmarkRefreshStep exceeds its committed baseline
+# (scripts/allocs-baseline.txt) by more than 20%.
+allocs:
+	./scripts/check-allocs.sh
+
 # bench: regenerate the committed BENCH_<ID>.json tables at the repo
-# root. E16/E18/E19 run at the quick scale; E20 runs at full scale
-# because its headline points (100k shared-vs-unshared, 1M shared) only
-# exist there.
+# root. E16/E18/E19 run at the quick scale; E20 and E21 run at full
+# scale because their headline points (100k shared-vs-unshared, 1M
+# shared; the paper-scale columnar-vs-row ratios) only exist there.
 bench:
 	go run ./cmd/cqbench -quick -run E16,E18,E19 -json .
-	go run ./cmd/cqbench -run E20 -json .
+	go run ./cmd/cqbench -run E20,E21 -json .

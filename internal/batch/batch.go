@@ -1,0 +1,547 @@
+// Package batch implements the typed columnar representation of signed
+// deltas that the vectorized refresh path computes over: one typed Go
+// slice per column ([]int64, []float64, []string, []bool), a validity
+// bitmap for NULLs, a tuple-identifier column, a sign column, and an
+// optional commit-timestamp column for batches built at the storage
+// boundary. The layout is the Z-set batch of DBSP-style incremental
+// engines: a Batch is a signed multiset of rows, exactly the algebraic
+// object the truth-table expansion of Algorithm 1 composes, but stored
+// structure-of-arrays so operators touch contiguous memory and a pooled
+// arena (Pool) can recycle every buffer across refresh rounds.
+//
+// Representability: a Batch stores one declared type per column. Values
+// whose Kind differs from the column type — including untyped NULLs
+// (relation.NullValue, Kind 0) — are unrepresentable; conversion entry
+// points report ok=false and callers fall back to the row-oriented
+// path. NULLs tagged with the column type (relation.TypedNull) round-
+// trip exactly through the validity bitmap.
+package batch
+
+import (
+	"fmt"
+
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/vclock"
+)
+
+// Col is one typed column: exactly one of the payload slices is in use,
+// selected by Type, and all payload slices in use share the batch's row
+// count. Rows whose validity bit is clear are NULL; their payload slot
+// holds the zero value as a placeholder.
+type Col struct {
+	Type relation.Type
+	I64  []int64
+	F64  []float64
+	Str  []string
+	B    []bool
+	// Valid is the validity bitmap (bit i set means row i is non-NULL);
+	// nil means every row is valid.
+	Valid []uint64
+	// Shared marks the buffers as aliased from another owner (a window
+	// batch served to many CQs, or a column stolen into a downstream
+	// batch). Pool.Put leaves shared buffers alone.
+	Shared bool
+}
+
+// Batch is a signed columnar multiset of rows under a schema.
+// All column slices and TIDs/Signs (and TS when present) have the same
+// length. The zero Batch is empty and unusable; construct with New or
+// Pool.Get.
+type Batch struct {
+	Schema relation.Schema
+	TIDs   []relation.TID
+	Signs  []int8
+	// TS carries per-row commit timestamps; it is set only on batches
+	// built at the storage boundary (FromDelta / the commit hook) where
+	// the ordered signed form must reconstruct the differential rows
+	// exactly. Operator outputs leave it nil.
+	TS   []vclock.Timestamp
+	Cols []Col
+
+	n int
+
+	// sharedRows marks TIDs/Signs/TS as aliased from another batch (set
+	// by View); Pool.Put detaches them instead of recycling.
+	sharedRows bool
+
+	// dead and gen implement the poisoned-generation use-after-release
+	// assertion: Pool.Put marks the batch dead and bumps gen; in poison
+	// builds (-race / the poison tag) every accessor panics on a dead
+	// batch, so a stage that keeps referencing a returned batch fails
+	// loudly in CI instead of silently reading recycled buffers.
+	dead bool
+	gen  uint64
+}
+
+// New allocates an unpooled batch for the schema with capacity for
+// capHint rows.
+func New(schema relation.Schema, capHint int) *Batch {
+	b := &Batch{}
+	b.init(schema, capHint)
+	return b
+}
+
+// init (re)shapes the batch for a schema, keeping whatever buffer
+// capacity it already has.
+func (b *Batch) init(schema relation.Schema, capHint int) {
+	b.Schema = schema
+	b.n = 0
+	b.sharedRows = false
+	b.TIDs = b.TIDs[:0]
+	b.Signs = b.Signs[:0]
+	b.TS = nil
+	if cap(b.Cols) >= schema.Len() {
+		b.Cols = b.Cols[:schema.Len()]
+	} else {
+		b.Cols = make([]Col, schema.Len())
+	}
+	for i := range b.Cols {
+		c := &b.Cols[i]
+		c.Type = schema.Col(i).Type
+		c.Shared = false
+		c.Valid = c.Valid[:0]
+		c.I64 = c.I64[:0]
+		c.F64 = c.F64[:0]
+		c.Str = c.Str[:0]
+		c.B = c.B[:0]
+	}
+	_ = capHint // capacity grows on append; the hint matters to Pool.Get sizing
+}
+
+// Len returns the number of rows.
+func (b *Batch) Len() int {
+	b.check()
+	return b.n
+}
+
+// Gen returns the poisoned-generation counter; it increments every time
+// the batch is recycled through a Pool, so a holder can detect reuse.
+func (b *Batch) Gen() uint64 { return b.gen }
+
+// Alive reports whether the batch is currently checked out (not sitting
+// in a pool). Always true for unpooled batches.
+func (b *Batch) Alive() bool { return !b.dead }
+
+// check panics in poison builds when the batch has been returned to a
+// pool. In regular builds it compiles to nothing.
+func (b *Batch) check() {
+	if poisonEnabled && b.dead {
+		panic("batch: use after Pool.Put (poisoned generation " + fmt.Sprint(b.gen) + ")")
+	}
+}
+
+// IsValid reports whether row i of column c is non-NULL.
+func (c *Col) IsValid(i int) bool {
+	if c.Valid == nil {
+		return true
+	}
+	return c.Valid[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// materializeValidity allocates the bitmap with bits [0,n) set.
+func (c *Col) materializeValidity(n int) {
+	words := (n + 63) / 64
+	if cap(c.Valid) >= words {
+		c.Valid = c.Valid[:words]
+	} else {
+		c.Valid = make([]uint64, words)
+	}
+	for w := 0; w < words; w++ {
+		c.Valid[w] = ^uint64(0)
+	}
+	if r := n & 63; r != 0 && words > 0 {
+		c.Valid[words-1] = (1 << uint(r)) - 1
+	}
+}
+
+// appendValidity extends the bitmap (when present) with one bit.
+func (c *Col) appendValidity(i int, valid bool) {
+	if c.Valid == nil {
+		if valid {
+			return // all-valid stays implicit
+		}
+		c.materializeValidity(i)
+	}
+	if w := i >> 6; w == len(c.Valid) {
+		c.Valid = append(c.Valid, 0)
+	}
+	if valid {
+		c.Valid[i>>6] |= 1 << uint(i&63)
+	} else {
+		c.Valid[i>>6] &^= 1 << uint(i&63)
+	}
+}
+
+// appendValue appends one value to the column at row index i. It reports
+// false when the value is unrepresentable under the column type (kind
+// mismatch, or a NULL not tagged with the column type).
+func (c *Col) appendValue(i int, v relation.Value) bool {
+	if v.Kind != c.Type {
+		return false
+	}
+	if v.IsNull() {
+		c.appendValidity(i, false)
+		c.appendZero()
+		return true
+	}
+	c.appendValidity(i, true)
+	switch c.Type {
+	case relation.TInt:
+		c.I64 = append(c.I64, v.AsInt())
+	case relation.TFloat:
+		c.F64 = append(c.F64, v.AsFloat())
+	case relation.TString:
+		c.Str = append(c.Str, v.AsString())
+	case relation.TBool:
+		c.B = append(c.B, v.AsBool())
+	default:
+		return false
+	}
+	return true
+}
+
+// appendZero appends the zero placeholder of the column's type.
+func (c *Col) appendZero() {
+	switch c.Type {
+	case relation.TInt:
+		c.I64 = append(c.I64, 0)
+	case relation.TFloat:
+		c.F64 = append(c.F64, 0)
+	case relation.TString:
+		c.Str = append(c.Str, "")
+	case relation.TBool:
+		c.B = append(c.B, false)
+	}
+}
+
+// length returns the column's current row count.
+func (c *Col) length() int {
+	switch c.Type {
+	case relation.TInt:
+		return len(c.I64)
+	case relation.TFloat:
+		return len(c.F64)
+	case relation.TString:
+		return len(c.Str)
+	case relation.TBool:
+		return len(c.B)
+	default:
+		return 0
+	}
+}
+
+// appendFromCol appends row i of src (same type) to the column at row
+// index n.
+func (c *Col) appendFromCol(n int, src *Col, i int) {
+	c.appendValidity(n, src.IsValid(i))
+	switch c.Type {
+	case relation.TInt:
+		c.I64 = append(c.I64, src.I64[i])
+	case relation.TFloat:
+		c.F64 = append(c.F64, src.F64[i])
+	case relation.TString:
+		c.Str = append(c.Str, src.Str[i])
+	case relation.TBool:
+		c.B = append(c.B, src.B[i])
+	}
+}
+
+// CloneCol deep-copies a column's buffers; the clone owns its memory
+// (not Shared).
+func CloneCol(c Col) Col {
+	out := Col{Type: c.Type}
+	out.I64 = append(out.I64, c.I64...)
+	out.F64 = append(out.F64, c.F64...)
+	out.Str = append(out.Str, c.Str...)
+	out.B = append(out.B, c.B...)
+	out.Valid = append(out.Valid, c.Valid...)
+	return out
+}
+
+// value reconstructs row i as a relation.Value. NULL rows come back as
+// TypedNull of the column type.
+func (c *Col) value(i int) relation.Value {
+	if !c.IsValid(i) {
+		return relation.TypedNull(c.Type)
+	}
+	switch c.Type {
+	case relation.TInt:
+		return relation.Int(c.I64[i])
+	case relation.TFloat:
+		return relation.Float(c.F64[i])
+	case relation.TString:
+		return relation.Str(c.Str[i])
+	case relation.TBool:
+		return relation.Bool(c.B[i])
+	default:
+		return relation.NullValue()
+	}
+}
+
+// equalAt reports whether rows i and j of the column hold equal values
+// under relation.Value.Equal semantics (NULL equals NULL; payloads
+// compare typed).
+func (c *Col) equalAt(i, j int) bool {
+	vi, vj := c.IsValid(i), c.IsValid(j)
+	if vi != vj {
+		return false
+	}
+	if !vi {
+		return true
+	}
+	switch c.Type {
+	case relation.TInt:
+		return c.I64[i] == c.I64[j]
+	case relation.TFloat:
+		return c.F64[i] == c.F64[j]
+	case relation.TString:
+		return c.Str[i] == c.Str[j]
+	case relation.TBool:
+		return c.B[i] == c.B[j]
+	default:
+		return false
+	}
+}
+
+// Value returns the value at (row, col), reconstructing NULLs as typed
+// NULLs of the column type.
+func (b *Batch) Value(row, col int) relation.Value {
+	b.check()
+	return b.Cols[col].value(row)
+}
+
+// ReadRow fills dst (len == schema width) with row i's values.
+func (b *Batch) ReadRow(i int, dst []relation.Value) {
+	b.check()
+	for c := range b.Cols {
+		dst[c] = b.Cols[c].value(i)
+	}
+}
+
+// RowsEqual reports whether rows i and j carry equal values position by
+// position (relation.Value.Equal semantics within a typed column).
+func (b *Batch) RowsEqual(i, j int) bool {
+	b.check()
+	for c := range b.Cols {
+		if !b.Cols[c].equalAt(i, j) {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendRow appends one signed row. It reports false — leaving the
+// batch with the row partially unappended, so the caller must discard
+// it — when any value is unrepresentable under its column's type.
+func (b *Batch) AppendRow(tid relation.TID, sign int8, vals []relation.Value) bool {
+	b.check()
+	for c := range b.Cols {
+		if !b.Cols[c].appendValue(b.n, vals[c]) {
+			return false
+		}
+	}
+	b.TIDs = append(b.TIDs, tid)
+	b.Signs = append(b.Signs, sign)
+	if b.TS != nil {
+		b.TS = append(b.TS, 0)
+	}
+	b.n++
+	return true
+}
+
+// AppendFrom appends row i of src (same column types) to b.
+func (b *Batch) AppendFrom(src *Batch, i int) {
+	b.check()
+	src.check()
+	for c := range b.Cols {
+		dc, sc := &b.Cols[c], &src.Cols[c]
+		dc.appendValidity(b.n, sc.IsValid(i))
+		switch dc.Type {
+		case relation.TInt:
+			dc.I64 = append(dc.I64, sc.I64[i])
+		case relation.TFloat:
+			dc.F64 = append(dc.F64, sc.F64[i])
+		case relation.TString:
+			dc.Str = append(dc.Str, sc.Str[i])
+		case relation.TBool:
+			dc.B = append(dc.B, sc.B[i])
+		}
+	}
+	b.TIDs = append(b.TIDs, src.TIDs[i])
+	b.Signs = append(b.Signs, src.Signs[i])
+	if b.TS != nil && src.TS != nil {
+		b.TS = append(b.TS, src.TS[i])
+	}
+	b.n++
+}
+
+// AppendColValue appends one value to column col (at that column's
+// current length), for column-wise builders like vectorized projection.
+// The caller must keep all columns at equal length before using the
+// batch row-wise (see CopyRowsFrom). Reports false on an unrepresentable
+// value.
+func (b *Batch) AppendColValue(col int, v relation.Value) bool {
+	b.check()
+	c := &b.Cols[col]
+	return c.appendValue(c.length(), v)
+}
+
+// CopyRowsFrom copies src's TID and sign columns (reusing b's pooled
+// capacity) and sets the row count — the tail step of a column-wise
+// builder whose value columns were filled by steal/clone/AppendColValue.
+func (b *Batch) CopyRowsFrom(src *Batch) {
+	b.check()
+	src.check()
+	b.TIDs = append(b.TIDs[:0], src.TIDs...)
+	b.Signs = append(b.Signs[:0], src.Signs...)
+	b.TS = nil
+	b.n = src.n
+}
+
+// AppendPlaced appends one row whose columns [lo, lo+src.width) come
+// from src row r and whose remaining columns hold valid zero
+// placeholders — the seed step of vectorized term evaluation, where
+// unfilled operand ranges are never read before their operand joins.
+// The row's sign is src's; its TID slot is zero (term evaluation tracks
+// per-operand provenance separately).
+func (b *Batch) AppendPlaced(src *Batch, r, lo int) {
+	b.check()
+	src.check()
+	w := len(src.Cols)
+	for c := range b.Cols {
+		dc := &b.Cols[c]
+		if c >= lo && c < lo+w {
+			dc.appendFromCol(b.n, &src.Cols[c-lo], r)
+		} else {
+			dc.appendValidity(b.n, true)
+			dc.appendZero()
+		}
+	}
+	b.TIDs = append(b.TIDs, 0)
+	b.Signs = append(b.Signs, src.Signs[r])
+	b.n++
+}
+
+// AppendMerged appends src row r with columns [lo, lo+op.width)
+// replaced by op row m, multiplying the signs — one join-step emit of
+// vectorized term evaluation.
+func (b *Batch) AppendMerged(src *Batch, r int, op *Batch, m, lo int) {
+	b.check()
+	src.check()
+	op.check()
+	w := len(op.Cols)
+	for c := range b.Cols {
+		dc := &b.Cols[c]
+		if c >= lo && c < lo+w {
+			dc.appendFromCol(b.n, &op.Cols[c-lo], m)
+		} else {
+			dc.appendFromCol(b.n, &src.Cols[c], r)
+		}
+	}
+	b.TIDs = append(b.TIDs, 0)
+	b.Signs = append(b.Signs, src.Signs[r]*op.Signs[m])
+	b.n++
+}
+
+// CanGather reports whether the batch owns every buffer, so Gather may
+// compact it in place. Views and batches holding stolen/aliased columns
+// must be gathered into a fresh batch instead.
+func (b *Batch) CanGather() bool {
+	b.check()
+	if b.sharedRows {
+		return false
+	}
+	for i := range b.Cols {
+		if b.Cols[i].Shared {
+			return false
+		}
+	}
+	return true
+}
+
+// Gather compacts the batch in place to exactly the rows whose indices
+// appear in sel (ascending). The batch must own its buffers (no Shared
+// columns); callers gather shared inputs into a fresh batch instead.
+func (b *Batch) Gather(sel []int32) {
+	b.check()
+	for c := range b.Cols {
+		col := &b.Cols[c]
+		switch col.Type {
+		case relation.TInt:
+			for k, i := range sel {
+				col.I64[k] = col.I64[i]
+			}
+			col.I64 = col.I64[:len(sel)]
+		case relation.TFloat:
+			for k, i := range sel {
+				col.F64[k] = col.F64[i]
+			}
+			col.F64 = col.F64[:len(sel)]
+		case relation.TString:
+			for k, i := range sel {
+				col.Str[k] = col.Str[i]
+			}
+			col.Str = col.Str[:len(sel)]
+		case relation.TBool:
+			for k, i := range sel {
+				col.B[k] = col.B[i]
+			}
+			col.B = col.B[:len(sel)]
+		}
+		if col.Valid != nil {
+			for k, i := range sel {
+				valid := col.Valid[i>>6]&(1<<uint(i&63)) != 0
+				if valid {
+					col.Valid[k>>6] |= 1 << uint(k&63)
+				} else {
+					col.Valid[k>>6] &^= 1 << uint(k&63)
+				}
+			}
+			col.Valid = col.Valid[:(len(sel)+63)/64]
+		}
+	}
+	for k, i := range sel {
+		b.TIDs[k] = b.TIDs[i]
+		b.Signs[k] = b.Signs[i]
+	}
+	b.TIDs = b.TIDs[:len(sel)]
+	b.Signs = b.Signs[:len(sel)]
+	if b.TS != nil {
+		for k, i := range sel {
+			b.TS[k] = b.TS[i]
+		}
+		b.TS = b.TS[:len(sel)]
+	}
+	b.n = len(sel)
+}
+
+// View returns a shallow copy of the batch rebadged under a schema with
+// identical column types (a scan's qualified schema over a base-table
+// window). Every column of the view is marked Shared, so pooling the
+// view never recycles the underlying buffers.
+func (b *Batch) View(schema relation.Schema) *Batch {
+	b.check()
+	v := &Batch{
+		Schema:     schema,
+		TIDs:       b.TIDs,
+		Signs:      b.Signs,
+		TS:         b.TS,
+		Cols:       append([]Col(nil), b.Cols...),
+		n:          b.n,
+		sharedRows: true,
+	}
+	for i := range v.Cols {
+		v.Cols[i].Shared = true
+	}
+	return v
+}
+
+// StealCol moves column i's buffers out of the batch, returning them
+// for reuse in a downstream batch; the source slot is left empty and
+// marked Shared so a later Pool.Put does not recycle the moved buffers.
+func (b *Batch) StealCol(i int) Col {
+	b.check()
+	c := b.Cols[i]
+	b.Cols[i] = Col{Type: c.Type, Shared: true}
+	return c
+}

@@ -1,0 +1,205 @@
+package batch
+
+import (
+	"testing"
+
+	"github.com/diorama/continual/internal/relation"
+)
+
+func testSchema() relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "i", Type: relation.TInt},
+		relation.Column{Name: "f", Type: relation.TFloat},
+		relation.Column{Name: "s", Type: relation.TString},
+		relation.Column{Name: "b", Type: relation.TBool},
+	)
+}
+
+func row(i int64, f float64, s string, b bool) []relation.Value {
+	return []relation.Value{relation.Int(i), relation.Float(f), relation.Str(s), relation.Bool(b)}
+}
+
+func TestAppendAndRead(t *testing.T) {
+	b := New(testSchema(), 4)
+	if !b.AppendRow(1, +1, row(7, 2.5, "x", true)) {
+		t.Fatal("append failed")
+	}
+	if !b.AppendRow(2, -1, []relation.Value{
+		relation.TypedNull(relation.TInt), relation.Float(0), relation.TypedNull(relation.TString), relation.Bool(false),
+	}) {
+		t.Fatal("append with typed NULLs failed")
+	}
+	if b.Len() != 2 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	if v := b.Value(0, 0); v.AsInt() != 7 {
+		t.Fatalf("value(0,0) = %v", v)
+	}
+	if v := b.Value(1, 0); !v.IsNull() || v.Kind != relation.TInt {
+		t.Fatalf("NULL did not round-trip typed: %v kind=%v", v, v.Kind)
+	}
+	if v := b.Value(1, 1); v.IsNull() || v.AsFloat() != 0 {
+		t.Fatalf("value(1,1) = %v", v)
+	}
+	if b.Signs[0] != +1 || b.Signs[1] != -1 {
+		t.Fatalf("signs = %v", b.Signs)
+	}
+	dst := make([]relation.Value, 4)
+	b.ReadRow(0, dst)
+	if dst[2].AsString() != "x" || !dst[3].AsBool() {
+		t.Fatalf("readrow = %v", dst)
+	}
+}
+
+func TestAppendRejectsUnrepresentable(t *testing.T) {
+	b := New(testSchema(), 1)
+	// Untyped NULL (Kind 0) is unrepresentable: column type is unknown.
+	if b.AppendRow(1, +1, []relation.Value{relation.NullValue(), relation.Float(0), relation.Str(""), relation.Bool(false)}) {
+		t.Fatal("untyped NULL must be rejected")
+	}
+	b = New(testSchema(), 1)
+	// Kind mismatch (float in the int column).
+	if b.AppendRow(1, +1, []relation.Value{relation.Float(1), relation.Float(0), relation.Str(""), relation.Bool(false)}) {
+		t.Fatal("kind mismatch must be rejected")
+	}
+}
+
+func TestGather(t *testing.T) {
+	b := New(testSchema(), 4)
+	for i := int64(0); i < 5; i++ {
+		vals := row(i, float64(i), "r", i%2 == 0)
+		if i == 3 {
+			vals[2] = relation.TypedNull(relation.TString)
+		}
+		if !b.AppendRow(relation.TID(i), +1, vals) {
+			t.Fatal("append")
+		}
+	}
+	b.Gather([]int32{1, 3, 4})
+	if b.Len() != 3 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	if got := b.Value(0, 0).AsInt(); got != 1 {
+		t.Fatalf("row0 = %d", got)
+	}
+	if v := b.Value(1, 2); !v.IsNull() {
+		t.Fatalf("NULL lost in gather: %v", v)
+	}
+	if v := b.Value(2, 2); v.IsNull() || v.AsString() != "r" {
+		t.Fatalf("valid row corrupted in gather: %v", v)
+	}
+	if b.TIDs[2] != 4 {
+		t.Fatalf("tids = %v", b.TIDs)
+	}
+}
+
+func TestViewSharesBuffers(t *testing.T) {
+	b := New(testSchema(), 2)
+	b.AppendRow(1, +1, row(1, 1, "a", true))
+	renamed := relation.MustSchema(
+		relation.Column{Name: "t.i", Type: relation.TInt},
+		relation.Column{Name: "t.f", Type: relation.TFloat},
+		relation.Column{Name: "t.s", Type: relation.TString},
+		relation.Column{Name: "t.b", Type: relation.TBool},
+	)
+	v := b.View(renamed)
+	if v.Len() != 1 || v.Value(0, 0).AsInt() != 1 {
+		t.Fatal("view content")
+	}
+	if !v.Cols[0].Shared || !v.sharedRows {
+		t.Fatal("view must mark buffers shared")
+	}
+	// Pooling the view must not recycle the parent's buffers.
+	p := NewPool()
+	p.Put(v)
+	if b.Value(0, 0).AsInt() != 1 {
+		t.Fatal("parent corrupted by pooling a view")
+	}
+}
+
+func TestStealCol(t *testing.T) {
+	b := New(testSchema(), 2)
+	b.AppendRow(9, +1, row(42, 0, "", false))
+	c := b.StealCol(0)
+	if len(c.I64) != 1 || c.I64[0] != 42 {
+		t.Fatalf("stolen col = %+v", c)
+	}
+	if !b.Cols[0].Shared {
+		t.Fatal("source slot must be marked shared after steal")
+	}
+}
+
+func TestPoolRecycles(t *testing.T) {
+	p := NewPool()
+	b := p.Get(testSchema(), 8)
+	for i := int64(0); i < 8; i++ {
+		b.AppendRow(relation.TID(i), +1, row(i, 0, "v", false))
+	}
+	p.Put(b)
+	b2 := p.Get(testSchema(), 8)
+	if b2.Len() != 0 {
+		t.Fatalf("recycled batch not empty: %d", b2.Len())
+	}
+	if !b2.AppendRow(1, +1, row(5, 0, "w", true)) || b2.Value(0, 0).AsInt() != 5 {
+		t.Fatal("recycled batch unusable")
+	}
+}
+
+func TestPoisonedGeneration(t *testing.T) {
+	if !poisonEnabled {
+		t.Skip("poison assertions compiled out (build without -race/batchpoison)")
+	}
+	p := NewPool()
+	b := p.Get(testSchema(), 1)
+	b.AppendRow(1, +1, row(1, 0, "", false))
+	gen := b.Gen()
+	p.Put(b)
+	if b.Gen() != gen+1 {
+		t.Fatalf("generation not bumped: %d -> %d", gen, b.Gen())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("use after Put did not panic in poison build")
+		}
+	}()
+	_ = b.Len()
+}
+
+func TestIdxAndTIDPools(t *testing.T) {
+	p := NewPool()
+	s := p.GetIdx(4)
+	s = append(s, 1, 2, 3)
+	p.PutIdx(s)
+	s2 := p.GetIdx(4)
+	if len(s2) != 0 {
+		t.Fatalf("recycled idx not empty: %v", s2)
+	}
+	ts := p.GetTIDs(4)
+	ts = append(ts, 1)
+	p.PutTIDs(ts)
+	if got := p.GetTIDs(4); len(got) != 0 {
+		t.Fatalf("recycled tid buf not empty: %v", got)
+	}
+}
+
+func TestRowsEqual(t *testing.T) {
+	b := New(testSchema(), 3)
+	b.AppendRow(1, +1, row(1, 2, "a", true))
+	b.AppendRow(2, -1, row(1, 2, "a", true))
+	b.AppendRow(3, +1, row(1, 2, "b", true))
+	vals := []relation.Value{relation.Int(1), relation.Float(2), relation.TypedNull(relation.TString), relation.Bool(true)}
+	b.AppendRow(4, +1, vals)
+	b.AppendRow(5, +1, vals)
+	if !b.RowsEqual(0, 1) {
+		t.Fatal("identical rows unequal")
+	}
+	if b.RowsEqual(0, 2) {
+		t.Fatal("different rows equal")
+	}
+	if !b.RowsEqual(3, 4) {
+		t.Fatal("NULL rows must compare equal")
+	}
+	if b.RowsEqual(0, 3) {
+		t.Fatal("NULL vs value must compare unequal")
+	}
+}

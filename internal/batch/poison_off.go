@@ -1,0 +1,8 @@
+//go:build !race && !batchpoison
+
+package batch
+
+// poisonEnabled gates the use-after-release assertions. In regular
+// builds it is a false constant, so every check() call compiles away
+// and the hot path pays nothing for the discipline.
+const poisonEnabled = false

@@ -1,0 +1,11 @@
+//go:build race || batchpoison
+
+package batch
+
+// poisonEnabled turns on poisoned-generation assertions in -race builds
+// (the CI race suites) and under the explicit batchpoison tag: Pool.Put
+// marks the batch dead and bumps its generation, and any later accessor
+// panics. This is the "batch returned to the pool must not be
+// referenced afterward" check from the pooling contract — cheap enough
+// to leave on wherever the race detector already runs.
+const poisonEnabled = true

@@ -1,0 +1,179 @@
+package batch
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/diorama/continual/internal/delta"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/vclock"
+)
+
+// randSchema builds a random schema of 1..6 typed columns.
+func randSchema(rng *rand.Rand) relation.Schema {
+	n := 1 + rng.Intn(6)
+	cols := make([]relation.Column, n)
+	types := []relation.Type{relation.TInt, relation.TFloat, relation.TString, relation.TBool}
+	for i := range cols {
+		cols[i] = relation.Column{
+			Name: string(rune('a' + i)),
+			Type: types[rng.Intn(len(types))],
+		}
+	}
+	return relation.MustSchema(cols...)
+}
+
+// randValue draws a representable value for a column type; ~15% NULLs,
+// always typed (the representability contract: untyped NULLs take the
+// row path).
+func randValue(rng *rand.Rand, t relation.Type) relation.Value {
+	if rng.Intn(100) < 15 {
+		return relation.TypedNull(t)
+	}
+	switch t {
+	case relation.TInt:
+		return relation.Int(rng.Int63n(1000) - 500)
+	case relation.TFloat:
+		return relation.Float(rng.NormFloat64())
+	case relation.TString:
+		letters := []string{"", "a", "bb", "ccc", "déjà", "x\x00y"}
+		return relation.Str(letters[rng.Intn(len(letters))])
+	default:
+		return relation.Bool(rng.Intn(2) == 0)
+	}
+}
+
+func randRow(rng *rand.Rand, schema relation.Schema) []relation.Value {
+	vals := make([]relation.Value, schema.Len())
+	for i := range vals {
+		vals[i] = randValue(rng, schema.Col(i).Type)
+	}
+	return vals
+}
+
+// TestSignedRoundTripProperty: Signed -> Batch -> Signed is lossless for
+// random schemas, signs, and typed NULLs.
+func TestSignedRoundTripProperty(t *testing.T) {
+	p := NewPool()
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		schema := randSchema(rng)
+		in := &delta.Signed{Schema: schema}
+		for i := 0; i < rng.Intn(40); i++ {
+			sign := +1
+			if rng.Intn(2) == 0 {
+				sign = -1
+			}
+			in.Rows = append(in.Rows, delta.SignedRow{
+				TID:    relation.TID(rng.Int63n(20)),
+				Values: randRow(rng, schema),
+				Sign:   sign,
+			})
+		}
+		b, ok := FromSigned(p, in)
+		if !ok {
+			t.Fatalf("trial %d: representable input rejected", trial)
+		}
+		out := b.ToSigned()
+		p.Put(b)
+		if len(out.Rows) != len(in.Rows) {
+			t.Fatalf("trial %d: %d rows -> %d rows", trial, len(in.Rows), len(out.Rows))
+		}
+		for i := range in.Rows {
+			ir, or := in.Rows[i], out.Rows[i]
+			if ir.TID != or.TID || ir.Sign != or.Sign {
+				t.Fatalf("trial %d row %d: tid/sign mismatch %+v vs %+v", trial, i, ir, or)
+			}
+			for c := range ir.Values {
+				iv, ov := ir.Values[c], or.Values[c]
+				if !iv.Equal(ov) {
+					t.Fatalf("trial %d row %d col %d: %v != %v", trial, i, c, iv, ov)
+				}
+				if iv.IsNull() && ov.Kind != schema.Col(c).Type {
+					t.Fatalf("trial %d row %d col %d: NULL lost its type tag", trial, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaRoundTripProperty: Delta -> ordered batch -> Delta preserves
+// every row kind, value, tid, and timestamp.
+func TestDeltaRoundTripProperty(t *testing.T) {
+	p := NewPool()
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		schema := randSchema(rng)
+		in := delta.New(schema)
+		ts := vclock.Timestamp(1)
+		tid := relation.TID(1)
+		for i := 0; i < rng.Intn(30); i++ {
+			// Unique tids per ts window, mirroring one commit's shape.
+			tid++
+			var err error
+			switch rng.Intn(3) {
+			case 0:
+				err = in.AppendInsert(tid, randRow(rng, schema), ts)
+			case 1:
+				err = in.AppendDelete(tid, randRow(rng, schema), ts)
+			default:
+				err = in.AppendModify(tid, randRow(rng, schema), randRow(rng, schema), ts)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rng.Intn(3) == 0 {
+				ts++
+			}
+		}
+		b, ok := FromDelta(p, in)
+		if !ok {
+			t.Fatalf("trial %d: representable delta rejected", trial)
+		}
+		out, err := b.ToDeltaOrdered()
+		p.Put(b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if out.Len() != in.Len() {
+			t.Fatalf("trial %d: %d rows -> %d rows", trial, in.Len(), out.Len())
+		}
+		for i, ir := range in.Rows() {
+			or := out.Rows()[i]
+			if ir.TID != or.TID || ir.TS != or.TS || ir.Kind() != or.Kind() {
+				t.Fatalf("trial %d row %d: %+v vs %+v", trial, i, ir, or)
+			}
+			if !halvesEqual(ir.Old, or.Old) || !halvesEqual(ir.New, or.New) {
+				t.Fatalf("trial %d row %d: values diverged", trial, i)
+			}
+		}
+	}
+}
+
+func halvesEqual(a, b []relation.Value) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFromSignedFallsBack: unrepresentable values push conversion to
+// report ok=false rather than corrupting data.
+func TestFromSignedFallsBack(t *testing.T) {
+	schema := relation.MustSchema(relation.Column{Name: "a", Type: relation.TInt})
+	in := &delta.Signed{Schema: schema, Rows: []delta.SignedRow{
+		{TID: 1, Values: []relation.Value{relation.NullValue()}, Sign: +1},
+	}}
+	if _, ok := FromSigned(nil, in); ok {
+		t.Fatal("untyped NULL must force the row path")
+	}
+	in.Rows[0].Values[0] = relation.Str("oops")
+	if _, ok := FromSigned(nil, in); ok {
+		t.Fatal("kind mismatch must force the row path")
+	}
+}

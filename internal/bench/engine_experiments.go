@@ -70,7 +70,7 @@ func (f *engineFixture) measurePair(engine *dra.Engine, iters int) (draT, fullT 
 	deltaRows = ctx.Deltas["stocks"].Len()
 	ts := f.store.Now()
 	var res *dra.Result
-	draT, draAllocs, err = stopwatchAllocs(iters, func() error {
+	draT, draAllocs, _, err = stopwatchAllocs(iters, func() error {
 		r, err := engine.Reevaluate(f.plan, ctx, ts)
 		res = r
 		return err
@@ -78,7 +78,7 @@ func (f *engineFixture) measurePair(engine *dra.Engine, iters int) (draT, fullT 
 	if err != nil {
 		return 0, 0, 0, 0, 0, err
 	}
-	fullT, fullAllocs, err = stopwatchAllocs(iters, func() error {
+	fullT, fullAllocs, _, err = stopwatchAllocs(iters, func() error {
 		_, err := dra.FullReevaluate(f.plan, f.store.Live(), f.prev, ts)
 		return err
 	})

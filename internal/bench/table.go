@@ -25,6 +25,34 @@ type Table struct {
 	Note   string
 	Header []string
 	Rows   [][]string
+	// AllocsPerOp and BytesPerOp optionally carry one heap measurement
+	// per row (parallel to Rows). When populated, Render and WriteJSON
+	// append allocs/op and bytes/op columns, so the committed
+	// BENCH_<ID>.json files expose allocation regressions without
+	// re-running the experiment.
+	AllocsPerOp []uint64
+	BytesPerOp  []uint64
+}
+
+// memColumns reports whether the table carries per-row heap
+// measurements for every row.
+func (t *Table) memColumns() bool {
+	return len(t.AllocsPerOp) == len(t.Rows) && len(t.BytesPerOp) == len(t.Rows) && len(t.Rows) > 0
+}
+
+// expandMem returns the header and rows with the optional heap columns
+// appended.
+func (t *Table) expandMem() ([]string, [][]string) {
+	if !t.memColumns() {
+		return t.Header, t.Rows
+	}
+	header := append(append([]string{}, t.Header...), "allocs/op", "bytes/op")
+	rows := make([][]string, len(t.Rows))
+	for i, row := range t.Rows {
+		rows[i] = append(append([]string{}, row...),
+			fmt.Sprint(t.AllocsPerOp[i]), fmt.Sprint(t.BytesPerOp[i]))
+	}
+	return header, rows
 }
 
 // Render writes the table as aligned text.
@@ -33,11 +61,12 @@ func (t *Table) Render(w io.Writer) {
 	if t.Note != "" {
 		fmt.Fprintf(w, "%s\n", t.Note)
 	}
-	widths := make([]int, len(t.Header))
-	for i, h := range t.Header {
+	header, tableRows := t.expandMem()
+	widths := make([]int, len(header))
+	for i, h := range header {
 		widths[i] = len(h)
 	}
-	for _, row := range t.Rows {
+	for _, row := range tableRows {
 		for i, cell := range row {
 			if i < len(widths) && len(cell) > widths[i] {
 				widths[i] = len(cell)
@@ -51,13 +80,13 @@ func (t *Table) Render(w io.Writer) {
 		}
 		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
 	}
-	line(t.Header)
-	sep := make([]string, len(t.Header))
+	line(header)
+	sep := make([]string, len(header))
 	for i := range sep {
 		sep[i] = strings.Repeat("-", widths[i])
 	}
 	line(sep)
-	for _, row := range t.Rows {
+	for _, row := range tableRows {
 		line(row)
 	}
 	fmt.Fprintln(w)
@@ -67,13 +96,14 @@ func (t *Table) Render(w io.Writer) {
 // format behind cqbench -json, which CI archives as BENCH_<ID>.json so
 // regressions are diffable without parsing the aligned-text render.
 func (t *Table) WriteJSON(w io.Writer) error {
+	header, tableRows := t.expandMem()
 	doc := struct {
 		ID     string     `json:"id"`
 		Title  string     `json:"title"`
 		Note   string     `json:"note,omitempty"`
 		Header []string   `json:"header"`
 		Rows   [][]string `json:"rows"`
-	}{t.ID, t.Title, t.Note, t.Header, t.Rows}
+	}{t.ID, t.Title, t.Note, header, tableRows}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
@@ -130,29 +160,31 @@ func stopwatch(n int, f func() error) (time.Duration, error) {
 }
 
 // stopwatchAllocs measures the median duration of n runs of f along
-// with the mean heap allocations per run (runtime.MemStats.Mallocs
-// around each call). Allocation counts make compile-once wins visible:
-// two paths with similar latency can differ by thousands of per-refresh
-// allocations that only show up as GC pressure at scale.
-func stopwatchAllocs(n int, f func() error) (time.Duration, uint64, error) {
+// with the mean heap allocations and allocated bytes per run
+// (runtime.MemStats.Mallocs/TotalAlloc around each call). Allocation
+// counts make compile-once wins visible: two paths with similar latency
+// can differ by thousands of per-refresh allocations that only show up
+// as GC pressure at scale.
+func stopwatchAllocs(n int, f func() error) (time.Duration, uint64, uint64, error) {
 	if n < 1 {
 		n = 1
 	}
 	times := make([]time.Duration, 0, n)
 	var ms0, ms1 runtime.MemStats
-	var mallocs uint64
+	var mallocs, bytes uint64
 	for i := 0; i < n; i++ {
 		runtime.ReadMemStats(&ms0)
 		start := time.Now()
 		if err := f(); err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 		times = append(times, time.Since(start))
 		runtime.ReadMemStats(&ms1)
 		mallocs += ms1.Mallocs - ms0.Mallocs
+		bytes += ms1.TotalAlloc - ms0.TotalAlloc
 	}
 	sortDurations(times)
-	return times[len(times)/2], mallocs / uint64(n), nil
+	return times[len(times)/2], mallocs / uint64(n), bytes / uint64(n), nil
 }
 
 func us(d time.Duration) string {

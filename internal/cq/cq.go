@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/diorama/continual/internal/algebra"
+	"github.com/diorama/continual/internal/batch"
 	"github.com/diorama/continual/internal/delta"
 	"github.com/diorama/continual/internal/dra"
 	"github.com/diorama/continual/internal/epsilon"
@@ -1135,7 +1136,7 @@ func (m *Manager) refreshGroup(fired []*instance, roundTS vclock.Timestamp, cach
 	}
 	outs := make([]outcome, len(fired))
 	run := func(i int) {
-		refreshed, err := m.guardedRefresh(fired[i], roundTS, cache, versions)
+		refreshed, err := m.guardedRefresh(fired[i], roundTS, cache, versions, nil)
 		outs[i] = outcome{refreshed: refreshed, err: err}
 	}
 	if workers <= 1 {
@@ -1194,7 +1195,7 @@ var errSkipRefresh = errors.New("cq: refresh skipped")
 // monotonicity check makes its late completion harmless, and a reaper
 // records the late outcome in metrics. The timeout itself counts as a
 // breaker failure.
-func (m *Manager) guardedRefresh(inst *instance, execTS vclock.Timestamp, cache *storage.WindowCache, versions map[string]uint64) (bool, error) {
+func (m *Manager) guardedRefresh(inst *instance, execTS vclock.Timestamp, cache *storage.WindowCache, versions map[string]uint64, pushed map[string][]push.BatchRef) (bool, error) {
 	attempt := func() error {
 		inst.mu.Lock()
 		defer inst.mu.Unlock()
@@ -1205,7 +1206,7 @@ func (m *Manager) guardedRefresh(inst *instance, execTS vclock.Timestamp, cache 
 			return errSkipRefresh
 		}
 		inst.guardErr.Store(nil)
-		if err := m.refreshInstance(inst, execTS, cache, versions); err != nil {
+		if err := m.refreshInstance(inst, execTS, cache, versions, pushed); err != nil {
 			inst.lastErr = err
 			return err
 		}
@@ -1348,7 +1349,7 @@ func (m *Manager) Refresh(name string) error {
 			inst.lastErr = terr
 			return terr
 		}
-		if rerr := m.refreshInstance(inst, now, cache, versions); rerr != nil {
+		if rerr := m.refreshInstance(inst, now, cache, versions, nil); rerr != nil {
 			inst.lastErr = rerr
 			return rerr
 		}
@@ -1432,7 +1433,17 @@ func (m *Manager) pushDispatch(name string) (refreshed, retire bool, err error) 
 		return false, false, nil
 	}
 
-	refreshed, rerr := m.guardedRefresh(inst, roundTS, cache, versions)
+	// The routed commit images become the refresh's columnar inputs when
+	// they provably cover the window — the zero-conversion path.
+	var pushed map[string][]push.BatchRef
+	if m.cfg.Engine.Vectorized {
+		m.mu.Lock()
+		if r := m.router; r != nil {
+			pushed = r.TakeBatches(name, roundTS)
+		}
+		m.mu.Unlock()
+	}
+	refreshed, rerr := m.guardedRefresh(inst, roundTS, cache, versions, pushed)
 	if rerr != nil {
 		return false, false, rerr
 	}
@@ -1524,7 +1535,7 @@ func (m *Manager) observeAndTest(inst *instance, now vclock.Timestamp, cache *st
 // notification, drawing differential windows from the round's shared
 // cache. Caller holds inst.mu (and only inst.mu on the Poll worker
 // path; the store and the DRA engine are safe for concurrent use).
-func (m *Manager) refreshInstance(inst *instance, execTS vclock.Timestamp, cache *storage.WindowCache, versions map[string]uint64) error {
+func (m *Manager) refreshInstance(inst *instance, execTS vclock.Timestamp, cache *storage.WindowCache, versions map[string]uint64, pushed map[string][]push.BatchRef) error {
 	var span *obs.Span
 	var start time.Time
 	if mm := m.met; mm != nil {
@@ -1555,6 +1566,9 @@ func (m *Manager) refreshInstance(inst *instance, execTS vclock.Timestamp, cache
 				return fmt.Errorf("cq %q: %w", inst.def.Name, derr)
 			}
 			ctx.Deltas[table] = w
+		}
+		if m.cfg.Engine.Vectorized {
+			m.fillBatches(ctx, inst.tables, inst.lastExec, execTS, cache, compact, pushed)
 		}
 		switch {
 		case inst.maint != nil:
@@ -1632,6 +1646,103 @@ func (m *Manager) refreshInstance(inst *instance, execTS vclock.Timestamp, cache
 	}
 	m.deliver(inst, note)
 	return nil
+}
+
+// fillBatches populates ctx.Batches with one columnar image per operand
+// window. Per table it prefers the commit images the push router routed
+// (zero conversion: the store built them once at commit and every
+// subscribed CQ shares them by reference), accepting them only when a
+// signed-row count proves they cover the window exactly; otherwise it
+// falls back to the round's shared WindowBatch conversion. A table left
+// out of ctx.Batches keeps the engine on its own conversion (or row)
+// path — never incorrect, just slower.
+func (m *Manager) fillBatches(ctx *dra.Context, tables []string, from, to vclock.Timestamp, cache *storage.WindowCache, compact bool, pushed map[string][]push.BatchRef) {
+	ctx.Batches = make(map[string]*batch.Batch, len(tables))
+	for _, table := range tables {
+		w := ctx.Deltas[table]
+		if w == nil || w.Len() == 0 {
+			continue
+		}
+		if b := acceptPushed(pushed[table], table, w, from, to, cache, compact); b != nil {
+			ctx.Batches[table] = b
+			if mm := m.met; mm != nil {
+				mm.batchesPushed.Inc()
+			}
+			continue
+		}
+		if b, err := cache.WindowBatch(table, from, to, compact); err == nil && b != nil {
+			ctx.Batches[table] = b
+			if mm := m.met; mm != nil {
+				mm.batchesWindow.Inc()
+			}
+		}
+	}
+}
+
+// acceptPushed decides whether a run of routed commit images can stand
+// in for the window's columnar form, and assembles it if so. Soundness
+// rests on counting: each ref is one commit's complete signed rows and
+// the refs are distinct commits inside (from, to], so their signed-row
+// total equals the raw window's exactly when the run covers every
+// commit. Under compaction one more equality is needed — the raw
+// window's signed length must match the folded window's, which (since
+// folding can only shrink a tid's signed rows, and an equal-size fold
+// is value-identical) proves compaction changed nothing the engine can
+// observe.
+func acceptPushed(refs []push.BatchRef, table string, win *delta.Delta, from, to vclock.Timestamp, cache *storage.WindowCache, compact bool) *batch.Batch {
+	// Refs at or before `from` belong to commits an earlier refresh
+	// (typically a poll round, which does not consume refs) already
+	// covered.
+	for len(refs) > 0 && refs[0].TS <= from {
+		refs = refs[1:]
+	}
+	if len(refs) == 0 {
+		return nil
+	}
+	total := 0
+	for _, r := range refs {
+		if r.TS > to {
+			return nil // cannot happen: TakeBatches cuts at the round TS
+		}
+		total += r.Batch.Len()
+	}
+	if compact {
+		raw, err := cache.Window(table, from, to, false)
+		if err != nil {
+			return nil
+		}
+		rawLen := signedLen(raw)
+		if total != rawLen || rawLen != signedLen(win) {
+			return nil
+		}
+	} else if total != signedLen(win) {
+		return nil
+	}
+	if len(refs) == 1 {
+		return refs[0].Batch
+	}
+	out := batch.New(win.Schema(), total)
+	for _, r := range refs {
+		for i := 0; i < r.Batch.Len(); i++ {
+			out.AppendFrom(r.Batch, i)
+		}
+	}
+	return out
+}
+
+// signedLen is the number of signed (±) rows a differential window
+// expands to in columnar form: a modification carries two, an insertion
+// or deletion one.
+func signedLen(d *delta.Delta) int {
+	n := 0
+	for _, r := range d.Rows() {
+		if r.Kind() == delta.Modify {
+			n += 2
+		} else {
+			n++
+		}
+	}
+	return n
 }
 
 // buildNotification assembles the per-mode answer (Section 4.3 step 4).

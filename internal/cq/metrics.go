@@ -17,6 +17,11 @@ type metrics struct {
 	firesEpsilon  *obs.Counter   // cq.trigger_fires.epsilon
 	firesDefault  *obs.Counter   // cq.trigger_fires.default
 	refreshes     *obs.Counter   // cq.refreshes
+	// batchesPushed counts operand windows served by routed commit
+	// images (zero conversion); batchesWindow counts the ones converted
+	// through the shared window cache.
+	batchesPushed *obs.Counter // cq.columnar.pushed
+	batchesWindow *obs.Counter // cq.columnar.window
 	refreshNS     *obs.Histogram // cq.refresh_ns
 	refreshErrors *obs.Counter   // cq.refresh.errors: per-CQ failures isolated by Poll
 	roundNS       *obs.Histogram // cq.round_ns: wall time of one group-refresh round
@@ -86,6 +91,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 		firesEpsilon:   reg.Counter("cq.trigger_fires.epsilon"),
 		firesDefault:   reg.Counter("cq.trigger_fires.default"),
 		refreshes:      reg.Counter("cq.refreshes"),
+		batchesPushed:  reg.Counter("cq.columnar.pushed"),
+		batchesWindow:  reg.Counter("cq.columnar.window"),
 		refreshNS:      reg.Histogram("cq.refresh_ns"),
 		refreshErrors:  reg.Counter("cq.refresh.errors"),
 		roundNS:        reg.Histogram("cq.round_ns"),

@@ -51,6 +51,12 @@ func renderNotification(n Notification) string {
 // after every commit — the overflowed CQs refresh through the poll
 // fallback at the same timestamp).
 func e2eWorld(t *testing.T, mode string, steps int) (map[string][]string, obs.Snapshot) {
+	return e2eWorldCfg(t, mode, steps, nil)
+}
+
+// e2eWorldCfg is e2eWorld with a config hook, so variant worlds (row
+// vs columnar engines, shared templates) replay the identical script.
+func e2eWorldCfg(t *testing.T, mode string, steps int, mutate func(*Config)) (map[string][]string, obs.Snapshot) {
 	t.Helper()
 	reg := obs.NewRegistry()
 	s := storage.NewStore()
@@ -68,6 +74,9 @@ func e2eWorld(t *testing.T, mode string, steps int) (map[string][]string, obs.Sn
 		cfg.Push = true
 		cfg.PushQueue = 1
 		cfg.Parallelism = 1
+	}
+	if mutate != nil {
+		mutate(&cfg)
 	}
 	m := NewManagerConfig(s, cfg)
 	defer func() { _ = m.Close() }()

@@ -135,6 +135,37 @@ func (s *Signed) ToDelta(ts vclock.Timestamp) *Delta {
 	return out
 }
 
+// ToDeltaNetted is ToDelta specialized to signed deltas already in
+// netted form — each tid appears exactly once, as an adjacent run of at
+// most one -1 row followed by at most one +1 row (the shape the
+// engine's netting emits). The pairing is then a single forward pass
+// with no per-tid index, so the conversion allocates only the output
+// rows. Callers holding arbitrary signed deltas must use ToDelta.
+func (s *Signed) ToDeltaNetted(ts vclock.Timestamp) *Delta {
+	out := New(s.Schema)
+	if len(s.Rows) == 0 {
+		return out
+	}
+	out.rows = make([]Row, 0, len(s.Rows))
+	for i := 0; i < len(s.Rows); i++ {
+		r := s.Rows[i]
+		if r.Sign < 0 && i+1 < len(s.Rows) && s.Rows[i+1].Sign > 0 && s.Rows[i+1].TID == r.TID {
+			now := s.Rows[i+1].Values
+			if !valuesEqual(r.Values, now) {
+				out.rows = append(out.rows, Row{TID: r.TID, Old: r.Values, New: now, TS: ts})
+			}
+			i++
+			continue
+		}
+		if r.Sign < 0 {
+			out.rows = append(out.rows, Row{TID: r.TID, Old: r.Values, TS: ts})
+		} else {
+			out.rows = append(out.rows, Row{TID: r.TID, New: r.Values, TS: ts})
+		}
+	}
+	return out
+}
+
 // InsertedRelation materializes the +1 rows as a relation.
 func (s *Signed) InsertedRelation() *relation.Relation {
 	out := relation.New(s.Schema)

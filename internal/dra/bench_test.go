@@ -1,0 +1,135 @@
+package dra
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/diorama/continual/internal/algebra"
+	"github.com/diorama/continual/internal/batch"
+	"github.com/diorama/continual/internal/delta"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/storage"
+)
+
+// benchStep is one frozen refresh: a prepared selection plan plus the
+// context of a pending window, reusable across benchmark iterations
+// because a selection has no operand caches to advance.
+type benchStep struct {
+	prep *Prepared
+	ctx  *Context
+	ts   int64
+}
+
+// newBenchStep seeds |R| = base rows, commits one window of modifies,
+// and freezes the refresh inputs the way the cq manager hands them to
+// the engine: window compacted once, columnar image prebuilt and shared
+// when vectorized.
+func newBenchStep(b *testing.B, base, window int, vectorized bool) (*Prepared, *Context, func() error) {
+	b.Helper()
+	store := storage.NewStore()
+	schema := relation.MustSchema(
+		relation.Column{Name: "s1", Type: relation.TString},
+		relation.Column{Name: "a", Type: relation.TFloat},
+	)
+	if err := store.CreateTable("r", schema); err != nil {
+		b.Fatal(err)
+	}
+	tx := store.Begin()
+	tids := make([]relation.TID, 0, base)
+	for i := 0; i < base; i++ {
+		tid, err := tx.Insert("r", []relation.Value{
+			relation.Str(fmt.Sprintf("k%d", i%97)), relation.Float(float64(i % 200)),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tids = append(tids, tid)
+	}
+	if _, err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+
+	plan, err := algebra.PlanSQL("SELECT * FROM r WHERE a > 120", store.Live())
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan = algebra.Optimize(plan)
+	prev, err := InitialResult(plan, store.Live())
+	if err != nil {
+		b.Fatal(err)
+	}
+	lastTS := store.Now()
+
+	tx = store.Begin()
+	for i := 0; i < window; i++ {
+		tid := tids[i%len(tids)]
+		if err := tx.Update("r", tid, []relation.Value{
+			relation.Str(fmt.Sprintf("k%d", i%97)), relation.Float(float64((i * 7) % 200)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+
+	eng := NewEngine()
+	eng.Vectorized = vectorized
+	prep, err := eng.Prepare(plan, StrategyTruthTable)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	d, err := store.DeltaSince("r", lastTS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d = d.Compact()
+	ctx := &Context{
+		Pre:       store.At(lastTS),
+		Post:      store.Live(),
+		Deltas:    map[string]*delta.Delta{"r": d},
+		LastTS:    lastTS,
+		Prev:      prev,
+		Versions:  store.ChangeCounts(),
+		Compacted: true,
+	}
+	if vectorized {
+		img, ok := batch.FromDelta(nil, d)
+		if !ok {
+			b.Fatal("benchmark window unrepresentable in columnar form")
+		}
+		ctx.Batches = map[string]*batch.Batch{"r": img}
+	}
+	ts := store.Now()
+	step := func() error {
+		_, err := prep.Step(ctx, ts)
+		return err
+	}
+	return prep, ctx, step
+}
+
+// BenchmarkRefreshStep measures the steady-state prepared refresh step
+// over a 2048-row signed window of a 16k-row relation — the per-refresh
+// engine work of a pushed CQ, with window fetch, compaction, and batch
+// building amortized outside (as the shared window cache amortizes them
+// across every CQ of a round). The row/columnar pair is the allocation
+// contract scripts/check-allocs.sh gates in CI.
+func BenchmarkRefreshStep(b *testing.B) {
+	for _, arm := range []struct {
+		name       string
+		vectorized bool
+	}{{"row", false}, {"columnar", true}} {
+		b.Run(arm.name, func(b *testing.B) {
+			prep, _, step := newBenchStep(b, 16_384, 1024, arm.vectorized)
+			defer prep.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

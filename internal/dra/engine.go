@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"github.com/diorama/continual/internal/algebra"
+	"github.com/diorama/continual/internal/batch"
 	"github.com/diorama/continual/internal/delta"
 	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/relation"
@@ -84,6 +85,15 @@ type Context struct {
 	// between. Nil disables counter revalidation (caches still hit on
 	// consecutive refreshes via timestamps alone).
 	Versions map[string]uint64
+
+	// Batches optionally carries prebuilt columnar images of Deltas —
+	// same rows, same order — built once at the storage boundary and
+	// shared read-only by every CQ refreshing over the window. A
+	// Vectorized engine scans them as zero-copy views instead of
+	// converting the row window per CQ, provided no further compaction
+	// would apply (CompactDeltas off, or Compacted set). Nil or missing
+	// entries are fine; the scan converts from Deltas.
+	Batches map[string]*batch.Batch
 }
 
 // Stats records the work of one differential re-evaluation, consumed by
@@ -128,6 +138,21 @@ type Engine struct {
 	// SkipIrrelevant enables the Section 5.2 refinement: when every
 	// operand's filtered delta is empty the re-evaluation is skipped.
 	SkipIrrelevant bool
+	// Vectorized routes differential evaluation through the columnar
+	// batch kernels: operand windows become typed column batches,
+	// selection produces selection indices instead of row copies,
+	// projection moves columns by slice reuse, and join terms probe the
+	// prepared operand indexes per batch, all over a pooled arena.
+	// Values unrepresentable in typed columns (kind drift, untyped
+	// NULLs) make the refresh fall back to the row path with identical
+	// results; operand-cache advances are deferred until the vectorized
+	// tree succeeds, so the fallback never sees half-advanced replicas.
+	Vectorized bool
+
+	// pool recycles batch and selection buffers across refreshes; it is
+	// sync.Pool-backed, so concurrent refresh workers share it safely.
+	// Nil (zero-value engines in tests) degrades to plain allocation.
+	pool *batch.Pool
 
 	// Metrics accumulates per-call Stats into the engine-wide obs
 	// registry and records a span per Reevaluate. Nil (the default)
@@ -141,7 +166,14 @@ type Engine struct {
 
 // NewEngine returns an engine with all optimizations enabled.
 func NewEngine() *Engine {
-	return &Engine{UseHeuristics: true, CompactDeltas: true, UseHashJoin: true, SkipIrrelevant: true}
+	return &Engine{
+		UseHeuristics:  true,
+		CompactDeltas:  true,
+		UseHashJoin:    true,
+		SkipIrrelevant: true,
+		Vectorized:     true,
+		pool:           batch.NewPool(),
+	}
 }
 
 // Result is the outcome of one differential re-evaluation.
@@ -224,9 +256,20 @@ func (e *Engine) evaluate(plan algebra.Plan, root *compiledNode, ctx *Context, e
 	var signed *delta.Signed
 	if root != nil {
 		if e.SkipIrrelevant {
-			relevant, err := e.relevant(root, ctx)
-			if err != nil {
-				return nil, err
+			relevant, probed := false, false
+			if e.Vectorized {
+				rel, ok, err := e.vecRelevant(root, ctx)
+				if err != nil {
+					return nil, err
+				}
+				relevant, probed = rel, ok
+			}
+			if !probed {
+				rel, err := e.relevant(root, ctx)
+				if err != nil {
+					return nil, err
+				}
+				relevant = rel
 			}
 			if !relevant {
 				st.Skipped = true
@@ -239,6 +282,29 @@ func (e *Engine) evaluate(plan algebra.Plan, root *compiledNode, ctx *Context, e
 						cj.cache.skipTo(ctx, execTS)
 					}
 				})
+			}
+		}
+		if signed == nil && e.Vectorized {
+			net, ok, err := e.vecEvaluate(root, ctx, execTS, &st)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				if m := e.Metrics; m != nil {
+					m.VecSteps.Inc()
+					m.observe(st, span, time.Since(start))
+				}
+				return &Result{
+					Signed: net,
+					Delta:  net.ToDeltaNetted(execTS),
+					ExecTS: execTS,
+					Stats:  st,
+				}, nil
+			}
+			// Some value was unrepresentable in typed columns; nothing
+			// was mutated, so the row path below re-runs cleanly.
+			if m := e.Metrics; m != nil {
+				m.VecFallbacks.Inc()
 			}
 		}
 		if signed == nil {
@@ -263,7 +329,7 @@ func (e *Engine) evaluate(plan algebra.Plan, root *compiledNode, ctx *Context, e
 	}
 	return &Result{
 		Signed: net,
-		Delta:  net.ToDelta(execTS),
+		Delta:  net.ToDeltaNetted(execTS),
 		ExecTS: execTS,
 		Stats:  st,
 	}, nil

@@ -358,7 +358,7 @@ func (ij *IncrementalJoin) Step(ctx *Context, execTS vclock.Timestamp) (*Result,
 	delta.ApplySigned(ij.result, net)
 	res := &Result{
 		Signed: net,
-		Delta:  net.ToDelta(execTS),
+		Delta:  net.ToDeltaNetted(execTS),
 		ExecTS: execTS,
 		Stats:  st,
 	}

@@ -306,6 +306,16 @@ func (e *Engine) evalTerm(cj *compiledJoin, term []termInput, isDelta []bool, st
 // delta operand first, then greedily the operand connected by an equi
 // predicate with the smallest relation; without, left-to-right.
 func (e *Engine) termOrder(cj *compiledJoin, term []termInput, isDelta []bool) []int {
+	lens := make([]int, len(term))
+	for i := range term {
+		lens[i] = term[i].len()
+	}
+	return e.termOrderBy(cj, lens, isDelta)
+}
+
+// termOrderBy is termOrder on operand sizes alone, so the row and
+// columnar term evaluators share one ordering policy.
+func (e *Engine) termOrderBy(cj *compiledJoin, lens []int, isDelta []bool) []int {
 	n := len(cj.ops)
 	order := make([]int, 0, n)
 	if !e.UseHeuristics {
@@ -319,7 +329,7 @@ func (e *Engine) termOrder(cj *compiledJoin, term []termInput, isDelta []bool) [
 	// every term).
 	best := -1
 	for i := 0; i < n; i++ {
-		if isDelta[i] && (best == -1 || term[i].len() < term[best].len()) {
+		if isDelta[i] && (best == -1 || lens[i] < lens[best]) {
 			best = i
 		}
 	}
@@ -354,7 +364,7 @@ func (e *Engine) termOrder(cj *compiledJoin, term []termInput, isDelta []bool) [
 			switch {
 			case kc && !nc:
 				next = k
-			case kc == nc && term[k].len() < term[next].len():
+			case kc == nc && lens[k] < lens[next]:
 				next = k
 			}
 		}

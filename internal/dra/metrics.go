@@ -31,6 +31,11 @@ type Metrics struct {
 	IndexHits     *obs.Counter   // dra.index_cache.hits
 	IndexMisses   *obs.Counter   // dra.index_cache.misses
 	Repicks       *obs.Counter   // dra.strategy.repicks
+	// VecSteps counts evaluations served by the columnar kernels;
+	// VecFallbacks counts the ones that started vectorized but hit an
+	// unrepresentable value and re-ran on the row path.
+	VecSteps     *obs.Counter // dra.vector_steps
+	VecFallbacks *obs.Counter // dra.vector_fallbacks
 	Latency       *obs.Histogram // dra.reevaluate_ns
 	PrepareNS     *obs.Histogram // dra.prepare_ns
 	Traces        *obs.TraceLog  // per-Reevaluate spans, sampled
@@ -84,6 +89,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		IndexHits:     reg.Counter("dra.index_cache.hits"),
 		IndexMisses:   reg.Counter("dra.index_cache.misses"),
 		Repicks:       reg.Counter("dra.strategy.repicks"),
+		VecSteps:      reg.Counter("dra.vector_steps"),
+		VecFallbacks:  reg.Counter("dra.vector_fallbacks"),
 		Latency:       reg.Histogram("dra.reevaluate_ns"),
 		PrepareNS:     reg.Histogram("dra.prepare_ns"),
 		Traces:        reg.Traces(),

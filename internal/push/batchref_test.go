@@ -1,0 +1,183 @@
+package push
+
+import (
+	"testing"
+	"time"
+
+	"github.com/diorama/continual/internal/batch"
+	"github.com/diorama/continual/internal/obs"
+	"github.com/diorama/continual/internal/relation"
+	"github.com/diorama/continual/internal/storage"
+	"github.com/diorama/continual/internal/vclock"
+)
+
+func refSchema(t *testing.T) relation.Schema {
+	t.Helper()
+	sc, err := relation.NewSchema(
+		relation.Column{Name: "a", Type: relation.TInt},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func oneRowBatch(t *testing.T, sc relation.Schema, v int64) *batch.Batch {
+	t.Helper()
+	b := batch.New(sc, 1)
+	if !b.AppendRow(1, 1, []relation.Value{relation.Int(v)}) {
+		t.Fatal("append")
+	}
+	return b
+}
+
+func batchEvent(ts vclock.Timestamp, table string, b *batch.Batch) storage.CommitEvent {
+	return storage.CommitEvent{
+		TS:      ts,
+		At:      time.Now(),
+		Changes: []storage.TableChange{{Table: table, Rows: 1, Batch: b}},
+	}
+}
+
+// TestTakeBatchesReturnsRoutedRefsInOrder: accumulated commit images
+// come back in commit order, cut at the caller's round timestamp, with
+// later refs retained for the next take.
+func TestTakeBatchesReturnsRoutedRefsInOrder(t *testing.T) {
+	sc := refSchema(t)
+	block := make(chan struct{})
+	r := NewRouter(Config{Workers: 1}, func(string) (bool, bool, error) {
+		<-block
+		return true, false, nil
+	})
+	defer r.Close()
+	defer close(block)
+	r.Register("q", []string{"t"}, nil)
+
+	b1, b2, b3 := oneRowBatch(t, sc, 1), oneRowBatch(t, sc, 2), oneRowBatch(t, sc, 3)
+	r.Publish(batchEvent(1, "t", b1))
+	r.Publish(batchEvent(2, "t", b2))
+	r.Publish(batchEvent(3, "t", b3))
+
+	got := r.TakeBatches("q", 2)
+	refs := got["t"]
+	if len(refs) != 2 || refs[0].Batch != b1 || refs[1].Batch != b2 {
+		t.Fatalf("take(2) = %v, want [b1 b2]", refs)
+	}
+	if refs[0].TS != 1 || refs[1].TS != 2 {
+		t.Fatalf("ts = %d,%d, want 1,2", refs[0].TS, refs[1].TS)
+	}
+
+	// The ref beyond the cut stays for the next take.
+	got = r.TakeBatches("q", 10)
+	if refs = got["t"]; len(refs) != 1 || refs[0].Batch != b3 {
+		t.Fatalf("second take = %v, want [b3]", refs)
+	}
+	if got = r.TakeBatches("q", 10); got != nil {
+		t.Fatalf("third take = %v, want nil", got)
+	}
+}
+
+// TestNilBatchOpensGap: a commit without a usable image poisons the
+// run — earlier refs are dropped and later ones are not accumulated, so
+// the consumer can never assemble partial coverage.
+func TestNilBatchOpensGap(t *testing.T) {
+	sc := refSchema(t)
+	reg := obs.NewRegistry()
+	block := make(chan struct{})
+	r := NewRouter(Config{Workers: 1, Metrics: reg}, func(string) (bool, bool, error) {
+		<-block
+		return true, false, nil
+	})
+	defer r.Close()
+	defer close(block)
+	r.Register("q", []string{"t"}, nil)
+
+	r.Publish(batchEvent(1, "t", oneRowBatch(t, sc, 1)))
+	r.Publish(batchEvent(2, "t", nil)) // unrepresentable commit
+	r.Publish(batchEvent(3, "t", oneRowBatch(t, sc, 3)))
+
+	if got := r.TakeBatches("q", 10); got != nil {
+		t.Fatalf("gapped run must yield nothing, got %v", got)
+	}
+	// The take resets the gap: new commits accumulate again.
+	b4 := oneRowBatch(t, sc, 4)
+	r.Publish(batchEvent(4, "t", b4))
+	got := r.TakeBatches("q", 10)
+	if refs := got["t"]; len(refs) != 1 || refs[0].Batch != b4 {
+		t.Fatalf("post-gap take = %v, want [b4]", got)
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("push.batch_gaps") != 1 {
+		t.Fatalf("batch_gaps = %d, want 1", snap.Counter("push.batch_gaps"))
+	}
+	if snap.Counter("push.batch_refs") != 2 {
+		t.Fatalf("batch_refs = %d, want 2 (b1 and b4; b3 skipped in gap)", snap.Counter("push.batch_refs"))
+	}
+}
+
+// TestRefCapOpensGap: past maxRefsPerTable the run is dropped whole —
+// bounded memory beats partial coverage.
+func TestRefCapOpensGap(t *testing.T) {
+	sc := refSchema(t)
+	block := make(chan struct{})
+	r := NewRouter(Config{Workers: 1}, func(string) (bool, bool, error) {
+		<-block
+		return true, false, nil
+	})
+	defer r.Close()
+	defer close(block)
+	r.Register("q", []string{"t"}, nil)
+
+	for i := 0; i <= maxRefsPerTable; i++ {
+		r.Publish(batchEvent(vclock.Timestamp(i+1), "t", oneRowBatch(t, sc, int64(i))))
+	}
+	if got := r.TakeBatches("q", vclock.Timestamp(maxRefsPerTable+2)); got != nil {
+		t.Fatalf("over-cap run must be dropped, got %d tables", len(got))
+	}
+}
+
+// TestShedDropsAccumulatedRefs: an overload-shed commit is invisible to
+// the queue AND to the ref runs of every entry it touched.
+func TestShedDropsAccumulatedRefs(t *testing.T) {
+	sc := refSchema(t)
+	block := make(chan struct{})
+	r := NewRouter(Config{Workers: 1}, func(string) (bool, bool, error) {
+		<-block
+		return true, false, nil
+	})
+	defer r.Close()
+	defer close(block)
+	r.Register("q", []string{"t"}, nil)
+
+	r.Publish(batchEvent(1, "t", oneRowBatch(t, sc, 1)))
+	shed := batchEvent(2, "t", oneRowBatch(t, sc, 2))
+	shed.Overload = storage.OverloadSoft
+	r.Publish(shed)
+
+	if got := r.TakeBatches("q", 10); got != nil {
+		t.Fatalf("shed must gap the run, got %v", got)
+	}
+}
+
+// TestSharedRefAcrossEntries: two CQs on the same table hold the very
+// same commit image — routing is by reference, never by copy.
+func TestSharedRefAcrossEntries(t *testing.T) {
+	sc := refSchema(t)
+	block := make(chan struct{})
+	r := NewRouter(Config{Workers: 1}, func(string) (bool, bool, error) {
+		<-block
+		return true, false, nil
+	})
+	defer r.Close()
+	defer close(block)
+	r.Register("q1", []string{"t"}, nil)
+	r.Register("q2", []string{"t"}, nil)
+
+	b := oneRowBatch(t, sc, 7)
+	r.Publish(batchEvent(1, "t", b))
+	r1 := r.TakeBatches("q1", 1)
+	r2 := r.TakeBatches("q2", 1)
+	if r1["t"][0].Batch != b || r2["t"][0].Batch != b {
+		t.Fatal("both entries must reference the commit's own batch")
+	}
+}

@@ -90,6 +90,40 @@ func (ix *MutableIndex) Probe(key []Value) []Tuple {
 	return out
 }
 
+// ProbeEach invokes fn for each tuple whose key columns equal the given
+// key values, without allocating a result slice — the probe primitive
+// of the vectorized join kernels, which emit matches directly into
+// pooled output batches. Matches are collision-verified like Probe.
+// Iteration order is unspecified (map order), as with Probe.
+func (ix *MutableIndex) ProbeEach(key []Value, fn func(Tuple)) {
+	h := HashValues(key)
+	b, ok := ix.buckets[h]
+	if !ok {
+		return
+	}
+	for _, t := range b {
+		match := true
+		for i, c := range ix.cols {
+			if !t.Values[c].Equal(key[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			fn(t)
+		}
+	}
+}
+
+// EachTuple invokes fn for every indexed tuple without allocating.
+func (ix *MutableIndex) EachTuple(fn func(Tuple)) {
+	for _, b := range ix.buckets {
+		for _, t := range b {
+			fn(t)
+		}
+	}
+}
+
 // All returns every indexed tuple (used for cross products when no equi
 // key connects two operands).
 func (ix *MutableIndex) All() []Tuple {

@@ -328,15 +328,21 @@ func (c *Client) Snapshot(table string) (*relation.Relation, vclock.Timestamp, e
 	return rel, resp.Now, err
 }
 
-// DeltaSince fetches a table's differential window.
+// DeltaSince fetches a table's differential window. It asks for the
+// columnar wire form and decodes whichever representation the server
+// ships — columnar when the window fits typed columns, rows otherwise.
 func (c *Client) DeltaSince(table string, since vclock.Timestamp) (*delta.Delta, vclock.Timestamp, error) {
-	resp, err := c.roundTrip(Request{Op: OpDeltaSince, Table: table, Since: since})
+	resp, err := c.roundTrip(Request{Op: OpDeltaSince, Table: table, Since: since, Columnar: true})
 	if err != nil {
 		return nil, 0, err
 	}
 	schema, err := c.Schema(table)
 	if err != nil {
 		return nil, 0, err
+	}
+	if resp.ColDelta != nil {
+		d, derr := fromWireColDelta(resp.ColDelta, schema)
+		return d, resp.Now, derr
 	}
 	d, err := fromWireDelta(resp.Delta, schema)
 	return d, resp.Now, err

@@ -20,6 +20,7 @@ import (
 	"io"
 	"sync/atomic"
 
+	"github.com/diorama/continual/internal/batch"
 	"github.com/diorama/continual/internal/delta"
 	"github.com/diorama/continual/internal/obs"
 	"github.com/diorama/continual/internal/relation"
@@ -57,18 +58,26 @@ type Request struct {
 	// Updates carries OpApplyUpdates rows (benchmark drivers push load
 	// through the same connection).
 	Updates []WireDeltaRow
+	// Columnar asks the server to answer OpDeltaSince with the columnar
+	// wire form (Response.ColDelta): typed flat slices instead of
+	// per-row tagged values. Always safe to set — a server whose window
+	// is unrepresentable in typed columns (or that predates the format)
+	// answers with the row form, and the client decodes whichever
+	// arrives.
+	Columnar bool
 }
 
 // Response is one server reply. Exactly one payload field is set on
 // success; Err is the error text otherwise.
 type Response struct {
-	Err     string
-	Tables  []string
-	Columns []WireColumn
-	Rel     *WireRelation
-	Delta   []WireDeltaRow
-	Now     vclock.Timestamp
-	Stats   *obs.Snapshot
+	Err      string
+	Tables   []string
+	Columns  []WireColumn
+	Rel      *WireRelation
+	Delta    []WireDeltaRow
+	ColDelta *WireColDelta
+	Now      vclock.Timestamp
+	Stats    *obs.Snapshot
 }
 
 // WireColumn mirrors relation.Column for the wire.
@@ -90,6 +99,167 @@ type WireDeltaRow struct {
 	Old []relation.Value
 	New []relation.Value
 	TS  vclock.Timestamp
+}
+
+// WireColDelta is a differential window in ordered signed columnar
+// form: one typed flat slice per column plus parallel TID, sign and
+// commit-timestamp slices. Gob encodes a []float64 as raw numbers where
+// []relation.Value ships a type tag and field per cell, so the columnar
+// frame is both smaller on the wire and cheaper to encode — the same
+// structure-of-arrays economics the in-process batch layout buys the
+// refresh path. Pairing is positional, exactly as in the delta log: a
+// -1 row immediately followed by a +1 row with the same TID and TS is a
+// modification; a lone +1 inserts, a lone -1 deletes.
+type WireColDelta struct {
+	TIDs  []uint64
+	Signs []int8
+	TS    []uint64
+	Cols  []WireCol
+}
+
+// WireCol is one typed column of a WireColDelta. Exactly one payload
+// slice is in use, selected by Type, with one element per row. Valid is
+// the validity bitmap (bit i set means row i is non-NULL); empty means
+// every row is valid, and NULL rows hold zero-value placeholders.
+type WireCol struct {
+	Type  int
+	I64   []int64
+	F64   []float64
+	Str   []string
+	B     []bool
+	Valid []uint64
+}
+
+// toWireColDelta flattens a differential window into the columnar wire
+// form via its batch image. ok=false means some value is not
+// representable in typed columns and the row form must ship instead.
+func toWireColDelta(d *delta.Delta) (*WireColDelta, bool) {
+	b, ok := batch.FromDelta(nil, d)
+	if !ok {
+		return nil, false
+	}
+	n := b.Len()
+	out := &WireColDelta{
+		TIDs:  make([]uint64, n),
+		Signs: make([]int8, n),
+		TS:    make([]uint64, n),
+		Cols:  make([]WireCol, len(b.Cols)),
+	}
+	for i := 0; i < n; i++ {
+		out.TIDs[i] = uint64(b.TIDs[i])
+		out.Signs[i] = b.Signs[i]
+		out.TS[i] = uint64(b.TS[i])
+	}
+	for c := range b.Cols {
+		col := &b.Cols[c]
+		wc := &out.Cols[c]
+		wc.Type = int(col.Type)
+		wc.Valid = col.Valid
+		switch col.Type {
+		case relation.TInt:
+			wc.I64 = col.I64
+		case relation.TFloat:
+			wc.F64 = col.F64
+		case relation.TString:
+			wc.Str = col.Str
+		case relation.TBool:
+			wc.B = col.B
+		}
+	}
+	return out, true
+}
+
+// errColDelta reports a malformed columnar frame. Every shape defect is
+// detected before any row is materialized, so a hostile or corrupted
+// frame surfaces as an error, never a panic or misdecoded delta.
+var errColDelta = errors.New("remote: malformed columnar delta")
+
+// fromWireColDelta reconstructs the differential window on a schema,
+// validating the frame's shape strictly.
+func fromWireColDelta(w *WireColDelta, schema relation.Schema) (*delta.Delta, error) {
+	n := len(w.TIDs)
+	if len(w.Signs) != n || len(w.TS) != n {
+		return nil, fmt.Errorf("%w: %d tids, %d signs, %d ts", errColDelta, n, len(w.Signs), len(w.TS))
+	}
+	if len(w.Cols) != schema.Len() {
+		return nil, fmt.Errorf("%w: %d columns, schema has %d", errColDelta, len(w.Cols), schema.Len())
+	}
+	for c := range w.Cols {
+		wc := &w.Cols[c]
+		want := schema.Col(c).Type
+		if relation.Type(wc.Type) != want {
+			return nil, fmt.Errorf("%w: column %d type %d, schema says %d", errColDelta, c, wc.Type, want)
+		}
+		var have int
+		switch want {
+		case relation.TInt:
+			have = len(wc.I64)
+		case relation.TFloat:
+			have = len(wc.F64)
+		case relation.TString:
+			have = len(wc.Str)
+		case relation.TBool:
+			have = len(wc.B)
+		default:
+			return nil, fmt.Errorf("%w: column %d has unknown type %d", errColDelta, c, wc.Type)
+		}
+		if have != n {
+			return nil, fmt.Errorf("%w: column %d has %d rows, want %d", errColDelta, c, have, n)
+		}
+		if len(wc.Valid) != 0 && len(wc.Valid) < (n+63)/64 {
+			return nil, fmt.Errorf("%w: column %d bitmap too short", errColDelta, c)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if w.Signs[i] != 1 && w.Signs[i] != -1 {
+			return nil, fmt.Errorf("%w: sign[%d] = %d", errColDelta, i, w.Signs[i])
+		}
+	}
+
+	row := func(i int) []relation.Value {
+		vals := make([]relation.Value, len(w.Cols))
+		for c := range w.Cols {
+			wc := &w.Cols[c]
+			if len(wc.Valid) != 0 && wc.Valid[i/64]&(1<<(i%64)) == 0 {
+				vals[c] = relation.TypedNull(relation.Type(wc.Type))
+				continue
+			}
+			switch relation.Type(wc.Type) {
+			case relation.TInt:
+				vals[c] = relation.Int(wc.I64[i])
+			case relation.TFloat:
+				vals[c] = relation.Float(wc.F64[i])
+			case relation.TString:
+				vals[c] = relation.Str(wc.Str[i])
+			case relation.TBool:
+				vals[c] = relation.Bool(wc.B[i])
+			}
+		}
+		return vals
+	}
+
+	out := delta.New(schema)
+	for i := 0; i < n; {
+		tid := relation.TID(w.TIDs[i])
+		ts := vclock.Timestamp(w.TS[i])
+		var r delta.Row
+		switch {
+		case w.Signs[i] == -1 && i+1 < n && w.Signs[i+1] == 1 &&
+			w.TIDs[i+1] == w.TIDs[i] && w.TS[i+1] == w.TS[i]:
+			r = delta.Row{TID: tid, Old: row(i), New: row(i + 1), TS: ts}
+			i += 2
+		case w.Signs[i] == -1:
+			r = delta.Row{TID: tid, Old: row(i), TS: ts}
+			i++
+		default:
+			r = delta.Row{TID: tid, New: row(i), TS: ts}
+			i++
+		}
+		if err := out.Append(r); err != nil {
+			return nil, fmt.Errorf("%w: %v", errColDelta, err)
+		}
+	}
+	return out, nil
 }
 
 // toWireSchema converts a schema.

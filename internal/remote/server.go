@@ -296,6 +296,12 @@ func (s *Server) handle(req Request) Response {
 		if m := s.met; m != nil {
 			m.windows.Inc()
 		}
+		if req.Columnar {
+			if cd, ok := toWireColDelta(d); ok {
+				return Response{ColDelta: cd, Now: s.store.Now()}
+			}
+			// Unrepresentable window: the row form below is the answer.
+		}
 		return Response{Delta: toWireDelta(d), Now: s.store.Now()}
 
 	case OpQuery:

@@ -3,22 +3,30 @@ package storage
 import (
 	"time"
 
+	"github.com/diorama/continual/internal/batch"
 	"github.com/diorama/continual/internal/vclock"
 )
 
 // TableChange is one table's share of a committed transaction: the
-// number of differential-relation rows the commit appended to it.
+// number of differential-relation rows the commit appended to it, plus
+// a columnar image of those rows. Batch is built once at commit (only
+// when a hook is installed), is unpooled, and after the hook returns is
+// owned by whoever the hook handed it to — the store never touches it
+// again, so consumers may retain it without copying. It is nil when
+// some committed value is unrepresentable in typed columns; a consumer
+// then pulls the delta window itself.
 type TableChange struct {
 	Table string
 	Rows  int
+	Batch *batch.Batch
 }
 
 // CommitEvent describes one committed transaction to a commit hook: the
 // commit timestamp, the wall-clock instant the commit applied (the
 // anchor for commit-to-notification latency measurements), and the net
-// per-table change counts. It deliberately carries no row data — a
-// consumer that needs the rows pulls the delta window itself, so the
-// hook stays O(tables touched) however large the transaction.
+// per-table changes. Each change carries at most one small columnar
+// batch, so the hook stays cheap however many consumers fan out behind
+// it — the conversion happens once, not per subscriber.
 type CommitEvent struct {
 	TS vclock.Timestamp
 	At time.Time

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/diorama/continual/internal/batch"
 	"github.com/diorama/continual/internal/delta"
 	"github.com/diorama/continual/internal/relation"
 	"github.com/diorama/continual/internal/vclock"
@@ -645,8 +646,28 @@ func (tx *Tx) Commit() (vclock.Timestamp, error) {
 	// delta window is already readable.
 	if h := s.hook; h != nil && appended > 0 {
 		ev := CommitEvent{TS: ts, At: time.Now(), Overload: s.overload, Changes: make([]TableChange, 0, len(touched))}
+		// Build one columnar image per touched table, in tx op order —
+		// the same order the delta log recorded. Unpooled: the batch's
+		// ownership passes to the hook's consumer.
+		batches := make(map[*Table]*batch.Batch, len(touched))
+		for i := range tx.ops {
+			op := &tx.ops[i]
+			if op.row.Old == nil && op.row.New == nil {
+				continue
+			}
+			t := s.tables[op.table]
+			b, seen := batches[t]
+			if !seen {
+				b = batch.New(t.rel.Schema(), 2*touched[t])
+				b.EnableTS()
+				batches[t] = b
+			}
+			if b != nil && !b.AppendChange(op.row) {
+				batches[t] = nil // unrepresentable value: consumer pulls the window
+			}
+		}
 		for t, n := range touched {
-			ev.Changes = append(ev.Changes, TableChange{Table: t.name, Rows: n})
+			ev.Changes = append(ev.Changes, TableChange{Table: t.name, Rows: n, Batch: batches[t]})
 		}
 		h(ev)
 	}

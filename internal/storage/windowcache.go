@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/diorama/continual/internal/batch"
 	"github.com/diorama/continual/internal/delta"
 	"github.com/diorama/continual/internal/vclock"
 )
@@ -24,9 +25,13 @@ import (
 //
 // WindowCache is safe for concurrent use.
 type WindowCache struct {
-	s            *Store
-	mu           sync.Mutex
-	entries      map[windowKey]*delta.Delta
+	s       *Store
+	mu      sync.Mutex
+	entries map[windowKey]*delta.Delta
+	// cols caches the columnar image of each window alongside the row
+	// form. A present nil marks a window already found unrepresentable
+	// in typed columns, so N CQs don't re-attempt the conversion.
+	cols         map[windowKey]*batch.Batch
 	hits, misses int64
 }
 
@@ -39,7 +44,11 @@ type windowKey struct {
 // NewWindowCache returns an empty per-round window cache over the
 // store.
 func (s *Store) NewWindowCache() *WindowCache {
-	return &WindowCache{s: s, entries: make(map[windowKey]*delta.Delta)}
+	return &WindowCache{
+		s:       s,
+		entries: make(map[windowKey]*delta.Delta),
+		cols:    make(map[windowKey]*batch.Batch),
+	}
 }
 
 // Window returns the table's differential rows with from < TS <= to,
@@ -79,6 +88,39 @@ func (c *WindowCache) Window(table string, from, to vclock.Timestamp, compact bo
 	}
 	c.entries[key] = d
 	return d, nil
+}
+
+// WindowBatch returns the columnar image of the same window Window
+// would return, built once per key and shared read-only by every CQ in
+// the round. The batch is unpooled (it outlives no pool generation) and
+// its rows match the row window exactly, in the same order. It returns
+// (nil, nil) — with the negative result cached — when some value in the
+// window is unrepresentable in typed columns; the caller then sticks
+// with the row form.
+func (c *WindowCache) WindowBatch(table string, from, to vclock.Timestamp, compact bool) (*batch.Batch, error) {
+	key := windowKey{table: table, from: from, to: to, compact: compact}
+	c.mu.Lock()
+	if b, ok := c.cols[key]; ok {
+		c.mu.Unlock()
+		return b, nil
+	}
+	c.mu.Unlock()
+	// Window takes the same lock; fetch (or share) the row form first.
+	d, err := c.Window(table, from, to, compact)
+	if err != nil {
+		return nil, err
+	}
+	b, ok := batch.FromDelta(nil, d)
+	if !ok {
+		b = nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, seen := c.cols[key]; seen {
+		return prev, nil // raced with another worker; share its image
+	}
+	c.cols[key] = b
+	return b, nil
 }
 
 // Stats reports the cache's hit/miss counts for the round.

@@ -1,0 +1,37 @@
+#!/bin/sh
+# check-allocs: the refresh step's allocations per operation are a
+# budget, not an observation. BenchmarkRefreshStep (internal/dra)
+# measures the steady-state prepared refresh over a fixed window on
+# both engine paths; this script fails when either arm exceeds its
+# committed baseline (scripts/allocs-baseline.txt) by more than 20%.
+# Latency is machine-dependent and cannot be gated in CI; allocation
+# counts are deterministic for a fixed workload, which makes them the
+# one performance number a shared runner can enforce. After a
+# deliberate change to the refresh path's allocation behavior, re-run
+# the benchmark and update the baseline in the same commit.
+set -eu
+cd "$(dirname "$0")/.."
+baseline=scripts/allocs-baseline.txt
+bench=$(go test ./internal/dra -run '^$' -bench BenchmarkRefreshStep -benchmem -benchtime 300x)
+echo "$bench"
+status=0
+while read -r arm base; do
+	[ -n "$arm" ] || continue
+	cur=$(echo "$bench" | awk -v arm="$arm" '
+		$1 ~ "^BenchmarkRefreshStep/"arm"(-|$)" {
+			for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
+		}')
+	if [ -z "$cur" ]; then
+		echo "check-allocs: no measurement for arm \"$arm\"" >&2
+		status=1
+		continue
+	fi
+	limit=$((base + base / 5))
+	if [ "$cur" -gt "$limit" ]; then
+		echo "check-allocs: $arm arm regressed: $cur allocs/op > $limit (baseline $base + 20%)" >&2
+		status=1
+	else
+		echo "check-allocs: $arm arm ok: $cur allocs/op (baseline $base, limit $limit)"
+	fi
+done < "$baseline"
+exit $status

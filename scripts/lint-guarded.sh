@@ -1,11 +1,21 @@
 #!/bin/sh
-# lint-guarded: every goroutine launched in the engine's guarded
-# packages (internal/cq, internal/push, internal/guard) must carry a
-# "// guarded:" annotation within the four lines above the launch,
-# naming its recover boundary. The guard layer turns refresh panics
-# into per-CQ failures only if every launch site actually routes
-# through a boundary; this check makes forgetting one a CI failure
-# instead of a crashed worker in production.
+# lint-guarded: structural annotations the compiler cannot check.
+#
+# 1. Every goroutine launched in the engine's guarded packages
+#    (internal/cq, internal/push, internal/guard) must carry a
+#    "// guarded:" annotation within the four lines above the launch,
+#    naming its recover boundary. The guard layer turns refresh panics
+#    into per-CQ failures only if every launch site actually routes
+#    through a boundary; this check makes forgetting one a CI failure
+#    instead of a crashed worker in production.
+#
+# 2. Every pool release in the columnar hot path (internal/dra,
+#    internal/batch: .Put / .PutIdx / .PutTIDs calls) must carry a
+#    "// released:" annotation within the four lines above, stating why
+#    no live reference to the buffer remains. The batch arena recycles
+#    buffers across refreshes; a Put with a surviving reference is a
+#    silent read of recycled memory outside the poison builds, so the
+#    reasoning must be written down where the release happens.
 set -eu
 cd "$(dirname "$0")/.."
 status=0
@@ -23,7 +33,22 @@ for f in $(find internal/cq internal/push internal/guard -name '*.go' ! -name '*
 		status=1
 	fi
 done
+for f in $(find internal/dra internal/batch -name '*.go' ! -name '*_test.go'); do
+	out=$(awk '
+		/released:/ { mark = NR }
+		/\.Put(Idx|TIDs)?\(/ {
+			if (mark == 0 || NR - mark > 4) {
+				printf "%s:%d: pool release without a \"// released:\" annotation\n", FILENAME, NR
+			}
+		}
+	' "$f")
+	if [ -n "$out" ]; then
+		echo "$out"
+		status=1
+	fi
+done
 if [ "$status" -ne 0 ]; then
-	echo "lint-guarded: annotate each launch with its recover boundary (see internal/guard)."
+	echo "lint-guarded: annotate goroutine launches with their recover boundary (see internal/guard)"
+	echo "and pool releases with why the buffer is dead (see internal/batch Pool)."
 fi
 exit $status
