@@ -20,10 +20,11 @@ lint:
 	./scripts/lint-guarded.sh
 
 # chaos: the robustness suite — fault isolation transcripts, quarantine
-# lifecycle and recovery, backpressure, and the subscribe/drop churn
-# stress — under the race detector.
+# lifecycle and recovery, backpressure, subscribe/drop churn, and
+# cascade DAG churn (register/drop INTO pipelines under concurrent
+# writes and polls) — under the race detector.
 chaos:
-	go test -race -count=2 -run 'TestChaos|TestQuarantine|TestBudget|TestBackpressure|TestSubscriber|TestDropRace|TestSubscribeDropChurn|TestManualRefresh|TestHealthCounts|TestTemplateChurnRace|TestTemplateQuarantineIsolation' ./internal/cq/
+	go test -race -count=2 -run 'TestChaos|TestQuarantine|TestBudget|TestBackpressure|TestSubscriber|TestDropRace|TestSubscribeDropChurn|TestManualRefresh|TestHealthCounts|TestTemplateChurnRace|TestTemplateQuarantineIsolation|TestCascadeChurnDAG' ./internal/cq/
 	go test -race -count=2 -run 'TestQuarantineSurvivesRecovery' ./internal/durable/
 	go test -race -count=2 -run 'TestWatermark|TestSetWatermarks' ./internal/storage/
 	go test -race -count=2 -run 'TestSheds|TestGate' ./internal/push/
@@ -35,9 +36,9 @@ allocs:
 	./scripts/check-allocs.sh
 
 # bench: regenerate the committed BENCH_<ID>.json tables at the repo
-# root. E16/E18/E19 run at the quick scale; E20 and E21 run at full
+# root. E16/E18/E19/E22 run at the quick scale; E20 and E21 run at full
 # scale because their headline points (100k shared-vs-unshared, 1M
 # shared; the paper-scale columnar-vs-row ratios) only exist there.
 bench:
-	go run ./cmd/cqbench -quick -run E16,E18,E19 -json .
+	go run ./cmd/cqbench -quick -run E16,E18,E19,E22 -json .
 	go run ./cmd/cqbench -run E20,E21 -json .

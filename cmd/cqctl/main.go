@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/diorama/continual/internal/remote"
@@ -51,7 +52,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: cqctl [flags] tables|query|snapshot|delta|watch|stats|health|checkpoint ...")
+		return fmt.Errorf("usage: cqctl [flags] tables|query|snapshot|delta|watch|stats|health|deps|checkpoint ...")
 	}
 
 	policy := remote.DefaultPolicy()
@@ -214,6 +215,27 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println("checkpoint written")
+		return nil
+
+	case "deps":
+		deps, err := client.Deps()
+		if err != nil {
+			return err
+		}
+		if len(deps) == 0 {
+			fmt.Println("no continual queries registered")
+			return nil
+		}
+		// Topological order (by stage) straight off the wire; render one
+		// line per CQ: stage, name, sources, and the INTO target when
+		// the query materializes one.
+		for _, d := range deps {
+			line := fmt.Sprintf("[stage %d] %s <- %s", d.Stage, d.CQ, strings.Join(d.Sources, ", "))
+			if d.Target != "" {
+				line += " -> INTO " + d.Target
+			}
+			fmt.Println(line)
+		}
 		return nil
 
 	default:

@@ -157,6 +157,14 @@ func run(args []string) error {
 	if sys != nil {
 		srv.SetCheckpointFunc(sys.Checkpoint)
 	}
+	srv.SetDepsFunc(func() []remote.WireDep {
+		nodes := mgr.Deps()
+		deps := make([]remote.WireDep, len(nodes))
+		for i, n := range nodes {
+			deps[i] = remote.WireDep{CQ: n.CQ, Sources: n.Sources, Target: n.Target, Stage: n.Stage}
+		}
+		return deps
+	})
 	srv.Instrument(reg)
 	srv.SetIdleTimeout(*idleTimeout)
 	srv.SetDrainTimeout(*drainTimeout)
@@ -321,7 +329,8 @@ func loadScript(store *storage.Store, mgr *cq.Manager, path string) error {
 			if err != nil {
 				return err
 			}
-			if err := store.CreateTable(s.Table, schema); err != nil {
+			// Through the manager: DDL shares the CQ namespace guards.
+			if err := mgr.CreateTable(s.Table, schema); err != nil {
 				return err
 			}
 		case *sql.InsertStmt:

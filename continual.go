@@ -315,7 +315,9 @@ func (db *DB) Exec(statement string) error {
 	case *sql.CreateTableStmt:
 		return db.execCreateTable(s)
 	case *sql.DropTableStmt:
-		return db.store.DropTable(s.Table)
+		// Through the manager: refused while CQs still read the table
+		// or a materializing CQ produces it.
+		return db.manager.DropTable(s.Table)
 	case *sql.InsertStmt:
 		return db.execInsert(s)
 	case *sql.UpdateStmt:
@@ -496,8 +498,33 @@ func (db *DB) FlushPush() { db.manager.FlushPush() }
 // CQNames lists registered continual queries.
 func (db *DB) CQNames() []string { return db.manager.Names() }
 
-// DropCQ removes a continual query and closes its subscriptions.
+// DropCQ removes a continual query and closes its subscriptions. A
+// materializing CQ (SELECT ... INTO) takes its derived table with it;
+// while other CQs still read that table the drop is refused and the
+// error lists them.
 func (db *DB) DropCQ(name string) error { return db.manager.Drop(name) }
 
 // Tables lists the tables (including wrapped sources).
 func (db *DB) Tables() []string { return db.store.TableNames() }
+
+// DepNode describes one continual query's place in the cascade
+// dependency DAG: the tables it reads, the table it materializes
+// (SELECT ... INTO; empty for terminal queries), and its topological
+// refresh stage.
+type DepNode struct {
+	CQ      string
+	Sources []string
+	Target  string
+	Stage   int
+}
+
+// Deps snapshots the cascade dependency DAG in topological
+// (stage, name) order.
+func (db *DB) Deps() []DepNode {
+	nodes := db.manager.Deps()
+	out := make([]DepNode, len(nodes))
+	for i, n := range nodes {
+		out[i] = DepNode{CQ: n.CQ, Sources: n.Sources, Target: n.Target, Stage: n.Stage}
+	}
+	return out
+}

@@ -18,7 +18,9 @@ func (db *DB) execCreateTable(stmt *sql.CreateTableStmt) error {
 	if err != nil {
 		return err
 	}
-	return db.store.CreateTable(stmt.Table, schema)
+	// Through the manager, not the store: DDL shares the CQ namespace
+	// guards (a table may not shadow a registered continual query).
+	return db.manager.CreateTable(stmt.Table, schema)
 }
 
 // emptyTuple is passed to constant-expression evaluation.

@@ -1,0 +1,369 @@
+// Package cascade tracks the dependency DAG of materializing continual
+// queries. A CQ declared with an INTO target commits its per-refresh
+// result delta into a derived base table; downstream CQs read that
+// table like any other, which chains evaluations into a DAG of
+// CQ → table → CQ edges. The registry owns the shape invariants of
+// that graph:
+//
+//   - acyclicity — a query may never (transitively) feed its own
+//     inputs, or one poll round could not produce a fixed point;
+//   - a bounded depth — each materialization stage adds one commit hop
+//     of latency, so runaway pipelines are rejected at registration;
+//   - exactly one producer per derived table;
+//   - dependent tracking — a producer (or a table) cannot be dropped
+//     while downstream readers exist, so the scheduler's topological
+//     stage assignment stays valid for the lifetime of every instance.
+//
+// The registry stores names only. The cq manager consults it at
+// registration (stage assignment, cycle and depth checks), at drop
+// (dependent listing), and per poll round (stage count); the storage
+// layer never sees it — derived deltas flow through the ordinary
+// commit path, which is what makes the rest of the engine cascade-
+// oblivious.
+package cascade
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DefaultMaxDepth bounds the pipeline length: a chain of
+// DefaultMaxDepth materialization stages (base tables are stage 0)
+// is the deepest registrable cascade.
+const DefaultMaxDepth = 8
+
+// Errors returned by Register.
+var (
+	// ErrCycle marks a registration whose INTO target (transitively)
+	// feeds one of its own source tables.
+	ErrCycle = errors.New("cascade: registration would create a cycle")
+	// ErrTooDeep marks a registration past the depth bound.
+	ErrTooDeep = errors.New("cascade: pipeline exceeds the depth bound")
+	// ErrDuplicateProducer marks a second CQ claiming an INTO target
+	// that already has a producer.
+	ErrDuplicateProducer = errors.New("cascade: derived table already has a producer")
+)
+
+// DependentsError reports a drop refused because downstream consumers
+// still read the victim (a CQ's derived table, or a base table).
+type DependentsError struct {
+	// Name is the CQ or table whose drop was refused.
+	Name string
+	// Dependents lists the downstream CQs still reading it (sorted).
+	Dependents []string
+}
+
+// Error implements error.
+func (e *DependentsError) Error() string {
+	return fmt.Sprintf("cascade: %q has downstream dependents: %s",
+		e.Name, strings.Join(e.Dependents, ", "))
+}
+
+// Node describes one registered CQ's place in the DAG (Describe output,
+// `cqctl deps`).
+type Node struct {
+	// CQ is the query name.
+	CQ string
+	// Sources are the tables the query reads (sorted).
+	Sources []string
+	// Target is the INTO table, empty for terminal queries.
+	Target string
+	// Stage is the topological refresh stage: 0 for queries over base
+	// tables only, 1 + max(producer stages) otherwise.
+	Stage int
+}
+
+// Registry is the DAG bookkeeping. Safe for concurrent use; every
+// method is a leaf (no callbacks), so it can be consulted under any
+// manager lock.
+type Registry struct {
+	mu       sync.Mutex
+	maxDepth int
+	// producer maps derived table -> the CQ materializing it.
+	producer map[string]string
+	// nodes maps CQ name -> its DAG record.
+	nodes map[string]*Node
+	// readers maps table -> the set of CQs scanning it.
+	readers map[string]map[string]bool
+}
+
+// New creates a registry with the given depth bound (<= 0 uses
+// DefaultMaxDepth).
+func New(maxDepth int) *Registry {
+	if maxDepth <= 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	return &Registry{
+		maxDepth: maxDepth,
+		producer: make(map[string]string),
+		nodes:    make(map[string]*Node),
+		readers:  make(map[string]map[string]bool),
+	}
+}
+
+// Register records a CQ reading sources, optionally materializing into
+// target (empty for terminal queries), and returns its refresh stage.
+// It rejects cycles, duplicate producers, and pipelines past the depth
+// bound, leaving the registry unchanged on error.
+func (r *Registry) Register(cq string, sources []string, target string) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.nodes[cq]; dup {
+		return 0, fmt.Errorf("cascade: cq %q already registered", cq)
+	}
+	if target != "" {
+		if owner, taken := r.producer[target]; taken {
+			return 0, fmt.Errorf("%w: %q is produced by %q", ErrDuplicateProducer, target, owner)
+		}
+		// Cycle check: the target must not be an ancestor of any source.
+		// Ancestors of a table are the source tables of its producer,
+		// transitively; reaching the target from a source means the new
+		// edge closes a loop. Direct self-feeding (target ∈ sources) is
+		// the one-hop case of the same walk.
+		for _, src := range sources {
+			if r.reachesLocked(src, target) {
+				return 0, fmt.Errorf("%w: %q feeds source %q of cq %q", ErrCycle, target, src, cq)
+			}
+		}
+	}
+	srcs := append([]string(nil), sources...)
+	sort.Strings(srcs)
+	node := &Node{CQ: cq, Sources: srcs, Target: target}
+	node.Stage = r.stageFromSourcesLocked(srcs)
+	if target != "" && node.Stage+1 > r.maxDepth {
+		return 0, fmt.Errorf("%w: %q at stage %d would exceed max depth %d",
+			ErrTooDeep, cq, node.Stage+1, r.maxDepth)
+	}
+	r.nodes[cq] = node
+	if target != "" {
+		r.producer[target] = cq
+		// A producer may register AFTER readers of its target already
+		// exist (checkpoint recovery resumes CQs in snapshot order; live
+		// registration can adopt an orphaned target table that terminal
+		// CQs were already scanning). Those readers must be promoted
+		// retroactively or the staged poll would refresh them before
+		// their upstream commits. Only the subgraph downstream of the
+		// target can change, so the repropagation is bounded by it —
+		// a terminal registration (the common case) touches nothing.
+		promoted, err := r.restageLocked(target)
+		if err != nil {
+			delete(r.nodes, cq)
+			delete(r.producer, target)
+			return 0, err
+		}
+		for name, s := range promoted {
+			r.nodes[name].Stage = s
+		}
+	}
+	for _, src := range srcs {
+		set := r.readers[src]
+		if set == nil {
+			set = make(map[string]bool)
+			r.readers[src] = set
+		}
+		set[cq] = true
+	}
+	return node.Stage, nil
+}
+
+// stageFromSourcesLocked computes a node's topological stage from its
+// source tables: 0 over producerless tables only, else 1 + max over
+// sources of their producer's stage. Caller holds r.mu.
+func (r *Registry) stageFromSourcesLocked(sources []string) int {
+	s := 0
+	for _, src := range sources {
+		if prod, ok := r.producer[src]; ok {
+			if d := r.nodes[prod].Stage + 1; d > s {
+				s = d
+			}
+		}
+	}
+	return s
+}
+
+// restageLocked recomputes the stages of every node downstream of the
+// given table after its producer changed, returning the proposed
+// updates without mutating any node — the caller commits them only on
+// success, so an ErrTooDeep rejection leaves the registry untouched.
+// The walk is bounded by the affected subgraph (acyclic by invariant)
+// and reports ErrTooDeep if a promotion would push a materializing
+// node's target past the depth bound. Caller holds r.mu.
+func (r *Registry) restageLocked(table string) (map[string]int, error) {
+	proposed := make(map[string]int)
+	stageOf := func(cq string) int {
+		if s, ok := proposed[cq]; ok {
+			return s
+		}
+		return r.nodes[cq].Stage
+	}
+	queue := []string{table}
+	for len(queue) > 0 {
+		tbl := queue[0]
+		queue = queue[1:]
+		for reader := range r.readers[tbl] {
+			n := r.nodes[reader]
+			s := 0
+			for _, src := range n.Sources {
+				if prod, ok := r.producer[src]; ok {
+					if d := stageOf(prod) + 1; d > s {
+						s = d
+					}
+				}
+			}
+			if s == stageOf(reader) {
+				continue
+			}
+			proposed[reader] = s
+			if n.Target != "" {
+				if s+1 > r.maxDepth {
+					return nil, fmt.Errorf("%w: %q at stage %d would exceed max depth %d",
+						ErrTooDeep, reader, s+1, r.maxDepth)
+				}
+				queue = append(queue, n.Target)
+			}
+		}
+	}
+	return proposed, nil
+}
+
+// reachesLocked reports whether `table` equals `target` or is derived
+// (transitively) from it. Caller holds r.mu. The walk is bounded by
+// the acyclicity invariant the registry maintains.
+func (r *Registry) reachesLocked(table, target string) bool {
+	if table == target {
+		return true
+	}
+	prod, ok := r.producer[table]
+	if !ok {
+		return false
+	}
+	for _, src := range r.nodes[prod].Sources {
+		if r.reachesLocked(src, target) {
+			return true
+		}
+	}
+	return false
+}
+
+// Unregister removes a CQ from the DAG. Dropping a CQ whose target
+// still has readers is the caller's error to prevent (Dependents);
+// Unregister itself is unconditional so teardown paths can always
+// clean up.
+func (r *Registry) Unregister(cq string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	node, ok := r.nodes[cq]
+	if !ok {
+		return
+	}
+	delete(r.nodes, cq)
+	if node.Target != "" {
+		delete(r.producer, node.Target)
+	}
+	for _, src := range node.Sources {
+		if set := r.readers[src]; set != nil {
+			delete(set, cq)
+			if len(set) == 0 {
+				delete(r.readers, src)
+			}
+		}
+	}
+	// Removing a producer demotes its former readers (downstream of the
+	// orphaned target only); shrinking stages can never violate the
+	// depth bound, so this cannot fail.
+	if node.Target != "" {
+		if demoted, err := r.restageLocked(node.Target); err == nil {
+			for name, s := range demoted {
+				r.nodes[name].Stage = s
+			}
+		}
+	}
+}
+
+// Dependents lists the CQs that read the given CQ's derived table
+// (empty for terminal CQs). Sorted.
+func (r *Registry) Dependents(cq string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	node, ok := r.nodes[cq]
+	if !ok || node.Target == "" {
+		return nil
+	}
+	return r.readersOfLocked(node.Target)
+}
+
+// TableDependents lists the CQs reading a table. Sorted.
+func (r *Registry) TableDependents(table string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.readersOfLocked(table)
+}
+
+func (r *Registry) readersOfLocked(table string) []string {
+	set := r.readers[table]
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for cq := range set {
+		out = append(out, cq)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Producer returns the CQ materializing a table, if any.
+func (r *Registry) Producer(table string) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cq, ok := r.producer[table]
+	return cq, ok
+}
+
+// Stage returns the refresh stage of a registered CQ (0 if unknown).
+func (r *Registry) Stage(cq string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n, ok := r.nodes[cq]; ok {
+		return n.Stage
+	}
+	return 0
+}
+
+// MaxStage returns the highest stage currently registered: the poll
+// scheduler runs stages 0..MaxStage in order, so a DAG-free registry
+// (MaxStage 0) keeps the single-round fast path.
+func (r *Registry) MaxStage() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	max := 0
+	for _, n := range r.nodes {
+		if n.Stage > max {
+			max = n.Stage
+		}
+	}
+	return max
+}
+
+// Describe snapshots every node sorted by (stage, name) — topological
+// order for display and for recovery audits.
+func (r *Registry) Describe() []Node {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Node, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		cp := *n
+		cp.Sources = append([]string(nil), n.Sources...)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stage != out[j].Stage {
+			return out[i].Stage < out[j].Stage
+		}
+		return out[i].CQ < out[j].CQ
+	})
+	return out
+}

@@ -1,0 +1,190 @@
+package cascade
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestStagesFollowProducers(t *testing.T) {
+	r := New(0)
+	if s, err := r.Register("a", []string{"base"}, "d1"); err != nil || s != 0 {
+		t.Fatalf("a: stage %d err %v", s, err)
+	}
+	if s, err := r.Register("b", []string{"d1"}, "d2"); err != nil || s != 1 {
+		t.Fatalf("b: stage %d err %v", s, err)
+	}
+	// A reader joining a derived table with a base table lands one past
+	// the deepest producer.
+	if s, err := r.Register("c", []string{"d2", "base"}, ""); err != nil || s != 2 {
+		t.Fatalf("c: stage %d err %v", s, err)
+	}
+	if got := r.MaxStage(); got != 2 {
+		t.Fatalf("MaxStage = %d", got)
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	r := New(0)
+	if _, err := r.Register("a", []string{"base"}, "d1"); err != nil {
+		t.Fatal(err)
+	}
+	// Direct self-feed: read d1, write d1.
+	if _, err := r.Register("self", []string{"d1"}, "d1"); !errors.Is(err, ErrDuplicateProducer) {
+		// d1 already has a producer; a fresh orphan table exercises the
+		// pure cycle path below.
+		t.Fatalf("self: %v", err)
+	}
+	if _, err := r.Register("loop", []string{"orphan"}, "orphan"); !errors.Is(err, ErrCycle) {
+		t.Fatalf("one-hop cycle: %v", err)
+	}
+	// Transitive: d2 derives from d1; producing d1 from d2 closes a loop.
+	if _, err := r.Register("b", []string{"d1"}, "d2"); err != nil {
+		t.Fatal(err)
+	}
+	r.Unregister("a")
+	if _, err := r.Register("back", []string{"d2"}, "d1"); !errors.Is(err, ErrCycle) {
+		t.Fatalf("transitive cycle: %v", err)
+	}
+	// The failed registrations left nothing behind.
+	if _, ok := r.Producer("d1"); ok {
+		t.Fatal("failed registration leaked a producer")
+	}
+}
+
+func TestDepthBound(t *testing.T) {
+	r := New(2)
+	if _, err := r.Register("a", []string{"base"}, "d1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("b", []string{"d1"}, "d2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("c", []string{"d2"}, "d3"); !errors.Is(err, ErrTooDeep) {
+		t.Fatalf("depth 3 at bound 2: %v", err)
+	}
+	// A terminal reader at the same depth is fine — only
+	// materialization stages count against the bound.
+	if _, err := r.Register("leaf", []string{"d2"}, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDependents(t *testing.T) {
+	r := New(0)
+	if _, err := r.Register("a", []string{"base"}, "d1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("x", []string{"d1"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("y", []string{"d1", "base"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Dependents("a"); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Fatalf("Dependents(a) = %v", got)
+	}
+	if got := r.TableDependents("base"); !reflect.DeepEqual(got, []string{"a", "y"}) {
+		t.Fatalf("TableDependents(base) = %v", got)
+	}
+	r.Unregister("x")
+	r.Unregister("y")
+	if got := r.Dependents("a"); got != nil {
+		t.Fatalf("after unregister: %v", got)
+	}
+}
+
+func TestDuplicateProducer(t *testing.T) {
+	r := New(0)
+	if _, err := r.Register("a", []string{"base"}, "d1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("b", []string{"base"}, "d1"); !errors.Is(err, ErrDuplicateProducer) {
+		t.Fatalf("duplicate producer: %v", err)
+	}
+}
+
+func TestDescribeTopological(t *testing.T) {
+	r := New(0)
+	// Registered against the topology on purpose: b reads d1 before d1
+	// has a producer (checkpoint recovery resumes CQs in snapshot order,
+	// and live registration can adopt an orphaned target table that
+	// readers were already scanning).
+	if s, err := r.Register("b", []string{"d1"}, "d2"); err != nil || s != 0 {
+		t.Fatalf("b: stage %d err %v", s, err)
+	}
+	if _, err := r.Register("a", []string{"base"}, "d1"); err != nil {
+		t.Fatal(err)
+	}
+	// Registering a retroactively bumped b: Describe must order a first.
+	nodes := r.Describe()
+	if len(nodes) != 2 || nodes[0].CQ != "a" || nodes[0].Stage != 0 || nodes[1].CQ != "b" || nodes[1].Stage != 1 {
+		t.Fatalf("nodes = %+v", nodes)
+	}
+	if got := r.MaxStage(); got != 1 {
+		t.Fatalf("MaxStage = %d", got)
+	}
+}
+
+// TestRetroactiveStages covers the out-of-order chain: leaves and mid
+// producers register before their upstreams, and every producer arrival
+// repropagates stages through the existing readers.
+func TestRetroactiveStages(t *testing.T) {
+	r := New(0)
+	if _, err := r.Register("leaf", []string{"d2"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("b", []string{"d1"}, "d2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stage("leaf"); got != 1 {
+		t.Fatalf("leaf after b: stage %d", got)
+	}
+	if _, err := r.Register("a", []string{"base"}, "d1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := []int{r.Stage("a"), r.Stage("b"), r.Stage("leaf")}; got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("stages after a = %v", got)
+	}
+	// Unregistering the root demotes the whole chain back.
+	r.Unregister("a")
+	if got := []int{r.Stage("b"), r.Stage("leaf")}; got[0] != 0 || got[1] != 1 {
+		t.Fatalf("stages after unregister = %v", got)
+	}
+}
+
+// TestRetroactiveDepthBound: a producer whose arrival would push an
+// EXISTING downstream pipeline past the bound is rejected and leaves
+// the registry unchanged.
+func TestRetroactiveDepthBound(t *testing.T) {
+	r := New(2)
+	if _, err := r.Register("b", []string{"d1"}, "d2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("c", []string{"d2"}, "d3"); err != nil {
+		t.Fatal(err)
+	}
+	// d1 has no producer yet, so b/c sit at stages 0/1. Producing d1
+	// would bump them to 1/2, putting c's target at depth 3 > 2.
+	if _, err := r.Register("a", []string{"base"}, "d1"); !errors.Is(err, ErrTooDeep) {
+		t.Fatalf("retroactive depth: %v", err)
+	}
+	if _, ok := r.Producer("d1"); ok {
+		t.Fatal("rejected registration leaked a producer")
+	}
+	if got := []int{r.Stage("b"), r.Stage("c")}; got[0] != 0 || got[1] != 1 {
+		t.Fatalf("stages disturbed by rejected registration: %v", got)
+	}
+}
+
+func TestDependentsErrorMessage(t *testing.T) {
+	err := &DependentsError{Name: "mid", Dependents: []string{"leaf1", "leaf2"}}
+	want := `cascade: "mid" has downstream dependents: leaf1, leaf2`
+	if err.Error() != want {
+		t.Fatalf("got %q", err.Error())
+	}
+	var de *DependentsError
+	if !errors.As(error(err), &de) {
+		t.Fatal("errors.As failed")
+	}
+}

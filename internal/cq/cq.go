@@ -22,6 +22,7 @@ import (
 
 	"github.com/diorama/continual/internal/algebra"
 	"github.com/diorama/continual/internal/batch"
+	"github.com/diorama/continual/internal/cascade"
 	"github.com/diorama/continual/internal/delta"
 	"github.com/diorama/continual/internal/dra"
 	"github.com/diorama/continual/internal/epsilon"
@@ -40,6 +41,10 @@ var (
 	ErrNoSuchCQ    = errors.New("cq: no such continual query")
 	ErrTerminated  = errors.New("cq: continual query has terminated")
 	ErrClosed      = errors.New("cq: manager is closed")
+	// ErrNameCollision marks a registration (or DDL through the manager)
+	// that would make a continual-query name and a table name shadow each
+	// other: CQ names, INTO targets and base tables share one namespace.
+	ErrNameCollision = errors.New("cq: name collides across queries and tables")
 )
 
 // Notification is one element of a CQ's result sequence, shaped by the
@@ -245,6 +250,15 @@ type instance struct {
 	// registration; the durable registry persists it and re-parses it at
 	// recovery.
 	queryText string
+	// into is the materialization target (SELECT ... INTO): each refresh
+	// commits the result delta into this derived base table. Empty for
+	// terminal queries; immutable after the instance becomes visible.
+	// The cascade refresh stage is NOT cached here — it lives in the
+	// dependency DAG (Manager.dag, self-locked) because a later
+	// registration can bump it retroactively: a producer adopting an
+	// orphaned target table promotes that table's existing readers one
+	// stage down the pipeline.
+	into string
 
 	// mu guards the mutable refresh state below (and subs). Lock order
 	// is Manager.mu before instance.mu; the refresh workers of a Poll
@@ -295,6 +309,12 @@ type instance struct {
 	// differential catch-up, after which buffered template batches it
 	// covers are discarded (afterRefreshLocked). Guarded by mu.
 	pendingSync bool
+	// needsReconcile marks a recovered materializing CQ whose first
+	// refresh must reconcile the whole INTO target against the new
+	// result instead of trusting the delta: the crash may sit between
+	// the last materialize commit and its execution record
+	// (materialize.go). Guarded by mu.
+	needsReconcile bool
 
 	// breaker is the CQ's quarantine circuit breaker — a self-locked
 	// leaf, consultable under any manager/instance lock.
@@ -380,6 +400,12 @@ type Config struct {
 	// BackoffBase/Max/Jitter). The zero value gets guard defaults:
 	// no budget, quarantine after 3 consecutive failures.
 	Guard guard.Policy
+	// MaxCascadeDepth bounds the length of materialization pipelines
+	// (SELECT ... INTO chains): a registration whose derived table would
+	// sit more than this many commit hops from the originating client
+	// write is rejected with cascade.ErrTooDeep. 0 uses
+	// cascade.DefaultMaxDepth.
+	MaxCascadeDepth int
 	// ShareTemplates deduplicates structurally identical CQs: queries
 	// differing only in comparison constants (`price > 5` vs
 	// `price > 90`) share one prepared template plan and one operand
@@ -400,6 +426,11 @@ type Manager struct {
 	mu     sync.Mutex
 	cqs    map[string]*instance
 	closed bool
+	// dag is the cascade dependency registry: every CQ enters it as a
+	// reader of its source tables, materializing CQs also as the
+	// producer of their INTO target. It is a self-locked leaf,
+	// consultable under (or without) mu.
+	dag *cascade.Registry
 	// templates is the shared-template registry (Config.ShareTemplates):
 	// template fingerprint → group. Guarded by mu; each group's own
 	// refresh state lives behind its leaf lock (see template.go).
@@ -446,6 +477,7 @@ func NewManagerConfig(store *storage.Store, cfg Config) *Manager {
 		met:       newMetrics(cfg.Metrics),
 		cqs:       make(map[string]*instance),
 		templates: make(map[uint64]*templateGroup),
+		dag:       cascade.New(cfg.MaxCascadeDepth),
 	}
 	m.guardPol = cfg.Guard.WithDefaults()
 	// Degraded-mode hook: a watermark trip runs emergency GC to shed
@@ -487,6 +519,9 @@ func (m *Manager) Register(def Def) (*relation.Relation, error) {
 	if _, dup := m.cqs[def.Name]; dup {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateCQ, def.Name)
 	}
+	if _, serr := m.store.Schema(def.Name); serr == nil {
+		return nil, fmt.Errorf("%w: continual query %q would shadow a table", ErrNameCollision, def.Name)
+	}
 	stmt := def.Select
 	if stmt == nil {
 		parsed, err := sql.ParseSelect(def.Query)
@@ -494,6 +529,14 @@ func (m *Manager) Register(def Def) (*relation.Relation, error) {
 			return nil, err
 		}
 		stmt = parsed
+	}
+	if stmt.Into != "" {
+		if stmt.Into == def.Name {
+			return nil, fmt.Errorf("%w: INTO target %q equals the query name", ErrNameCollision, stmt.Into)
+		}
+		if _, ok := m.cqs[stmt.Into]; ok {
+			return nil, fmt.Errorf("%w: INTO target %q is a registered continual query", ErrNameCollision, stmt.Into)
+		}
 	}
 	if def.Mode == 0 {
 		def.Mode = sql.ModeDifferential
@@ -521,6 +564,26 @@ func (m *Manager) Register(def Def) (*relation.Relation, error) {
 		inst.tables = append(inst.tables, scan.Table)
 	}
 
+	// Every CQ enters the dependency DAG — terminal queries as readers
+	// (dependent tracking), INTO queries also as their target's producer
+	// (stage assignment, cycle and depth checks). Any later failure must
+	// leave no edges (and no half-created target table) behind.
+	if _, err := m.dag.Register(def.Name, inst.tables, stmt.Into); err != nil {
+		return nil, err
+	}
+	inst.into = stmt.Into
+	installed := false
+	createdTarget := false
+	defer func() {
+		if installed {
+			return
+		}
+		m.dag.Unregister(def.Name)
+		if createdTarget {
+			_ = m.store.DropTable(stmt.Into)
+		}
+	}()
+
 	if def.Trigger.Kind == sql.TriggerEpsilon {
 		if err := m.setupEpsilon(inst, stmt); err != nil {
 			return nil, err
@@ -545,9 +608,15 @@ func (m *Manager) Register(def Def) (*relation.Relation, error) {
 			// is the parameter-filtered template result, and its
 			// lastExec is pinned to the group's step position by the
 			// join. Unshareable shapes fall through to a private plan.
-			sharedInit, shared, err := m.joinTemplateLocked(inst, false)
-			if err != nil {
-				return nil, err
+			// Materializing CQs never share — their refreshes commit
+			// into a private target, so the plan stays private too.
+			var sharedInit *relation.Relation
+			var shared bool
+			if stmt.Into == "" {
+				sharedInit, shared, err = m.joinTemplateLocked(inst, false)
+				if err != nil {
+					return nil, err
+				}
 			}
 			if shared {
 				initial = sharedInit
@@ -569,6 +638,20 @@ func (m *Manager) Register(def Def) (*relation.Relation, error) {
 			return nil, err
 		}
 		initial = res
+	}
+	if inst.into != "" {
+		// Create (or adopt, see ensureTargetLocked) the target table and
+		// seed it to the initial result BEFORE taking lastExec: the seed
+		// commit ticks the clock, so it lands below every window this CQ
+		// or its downstream readers will ever evaluate.
+		created, terr := m.ensureTargetLocked(inst, initial)
+		createdTarget = created
+		if terr != nil {
+			if inst.prepared != nil {
+				inst.prepared.Close()
+			}
+			return nil, fmt.Errorf("cq %q: materialize target %q: %w", def.Name, inst.into, terr)
+		}
 	}
 	inst.prev = initial
 	inst.seq = 1
@@ -595,6 +678,7 @@ func (m *Manager) Register(def Def) (*relation.Relation, error) {
 	m.cqs[def.Name] = inst
 	m.routePushLocked(inst)
 	m.registeredDeltaLocked(inst, +1)
+	installed = true
 	return initial.Clone(), nil
 }
 
@@ -968,6 +1052,12 @@ func (m *Manager) Drop(name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchCQ, name)
 	}
+	// A producer cannot be dropped out from under its readers: their
+	// plans scan its derived table, and the recovery contract replays
+	// the DAG in registration order — both break if the table vanishes.
+	if deps := m.dag.Dependents(name); len(deps) > 0 {
+		return &cascade.DependentsError{Name: name, Dependents: deps}
+	}
 	// The drop journals and tears down under the INSTANCE lock: a
 	// refresh already holding it journals its execution first, so the
 	// WAL never orders an execution record after the drop record
@@ -1003,6 +1093,15 @@ func (m *Manager) Drop(name string) error {
 	delete(m.cqs, name)
 	if m.router != nil {
 		m.router.Unregister(name)
+	}
+	m.dag.Unregister(name)
+	if inst.into != "" {
+		// The derived table goes with its producer — no readers remain
+		// (checked above). A failure is logged, not returned: the CQ
+		// itself is already durably dropped.
+		if derr := m.store.DropTable(inst.into); derr != nil {
+			m.logf("cq %q: drop derived table %q: %v", name, inst.into, derr)
+		}
 	}
 	m.registeredDeltaLocked(inst, -1)
 	return nil
@@ -1051,6 +1150,48 @@ func (m *Manager) Poll() (int, error) {
 	if mm := m.met; mm != nil {
 		mm.polls.Inc()
 	}
+	m.mu.Unlock()
+
+	// Cascades refresh in topological stages: stage k's materialization
+	// commits land before stage k+1 takes its round timestamp, so a
+	// downstream CQ folds its upstream's round-N output within round N —
+	// one poll round propagates a source commit through the whole DAG.
+	// With no materializing CQs registered (MaxStage 0) the loop body
+	// runs once and is exactly the old single-round Poll.
+	n := 0
+	var errs []error
+	for stage := 0; ; stage++ {
+		sn, serrs, more := m.pollStage(stage)
+		n += sn
+		errs = append(errs, serrs...)
+		if !more {
+			break
+		}
+	}
+
+	m.mu.Lock()
+	if !m.closed {
+		m.updateRegisteredLocked()
+		m.reapTemplatesLocked()
+		if m.cfg.AutoGC {
+			m.gcLocked()
+		}
+	}
+	m.mu.Unlock()
+	return n, errors.Join(errs...)
+}
+
+// pollStage runs one topological stage of a poll round: trigger
+// evaluation under the manager lock at a stage-local timestamp, then the
+// fired CQs of that stage on the worker pool. It reports whether deeper
+// stages remain.
+func (m *Manager) pollStage(stage int) (int, []error, bool) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return 0, nil, false
+	}
+	more := stage < m.dag.MaxStage()
 	// The change-counter snapshot MUST precede the round timestamp:
 	// taken before Now(), the counters cover at most the commits older
 	// than roundTS, which is what lets a prepared plan's operand cache
@@ -1064,6 +1205,9 @@ func (m *Manager) Poll() (int, error) {
 	var fired []*instance
 	var errs []error
 	for _, inst := range m.cqs {
+		if m.dag.Stage(inst.def.Name) != stage {
+			continue
+		}
 		if inst.terminated.Load() || inst.dropped.Load() {
 			continue
 		}
@@ -1103,16 +1247,7 @@ func (m *Manager) Poll() (int, error) {
 	m.mu.Unlock()
 
 	n, refErrs := m.refreshGroup(fired, roundTS, cache, versions)
-	errs = append(errs, refErrs...)
-
-	m.mu.Lock()
-	m.updateRegisteredLocked()
-	m.reapTemplatesLocked()
-	if m.cfg.AutoGC {
-		m.gcLocked()
-	}
-	m.mu.Unlock()
-	return n, errors.Join(errs...)
+	return n, append(errs, refErrs...), more
 }
 
 // refreshGroup re-evaluates the fired CQs of one round on a bounded
@@ -1588,6 +1723,19 @@ func (m *Manager) refreshInstance(inst *instance, execTS vclock.Timestamp, cache
 		return fmt.Errorf("cq %q: %w", inst.def.Name, err)
 	}
 
+	// Materialize BEFORE journaling the execution: the WAL must never
+	// hold an execution record whose derived delta did not commit, or
+	// replay would resurrect a result sequence the downstream tables
+	// never saw. The inverse crash window — delta committed, execution
+	// not journaled — is harmless because the apply is reconciling
+	// (materialize.go): recovery resumes one sequence back, re-derives
+	// the change, and the already-applied part stages as a no-op.
+	if inst.into != "" {
+		if merr := m.materializeLocked(inst, res); merr != nil {
+			return fmt.Errorf("cq %q: materialize into %q: %w", inst.def.Name, inst.into, merr)
+		}
+	}
+
 	// Journal the execution BEFORE any state mutates or a notification
 	// goes out: a journal failure fails the refresh with the instance
 	// unchanged (the trigger re-fires next round), so a delivered
@@ -1905,17 +2053,26 @@ func (m *Manager) SubscribeFunc(name string, f func(n Notification, closed bool)
 	return cancel, nil
 }
 
-// gcLocked collects differential-relation garbage below the system active
-// delta zone: the minimum last-execution timestamp over live CQs
-// (Section 5.4). Caller holds m.mu but no instance locks: each
+// gcLocked collects differential-relation garbage below the system
+// active delta zone (Section 5.4), refined per table: each table's
+// horizon is the minimum last-execution timestamp over the live CQs
+// reading it. Caller holds m.mu but no instance locks: each
 // instance's lastExec is read under its own lock, so a refresh worker
 // of a racing round can never be observed mid-update.
 func (m *Manager) gcLocked() {
 	if len(m.cqs) == 0 {
 		return
 	}
-	var horizon vclock.Timestamp
+	// Horizons are per table: each table is collectable up to the
+	// minimum lastExec of the CQs that actually read it, with the global
+	// minimum as the fallback for unread tables. The distinction is what
+	// keeps cascades affordable — a derived table's window must survive
+	// until its slowest downstream reader catches up, but that reader
+	// pins only its own operands, not the base tables of every other
+	// stage.
+	var global vclock.Timestamp
 	first := true
+	perTable := make(map[string]vclock.Timestamp)
 	for _, inst := range m.cqs {
 		if inst.terminated.Load() {
 			continue
@@ -1930,16 +2087,33 @@ func (m *Manager) gcLocked() {
 		}
 		lastExec := inst.lastExec
 		inst.mu.Unlock()
-		if first || lastExec < horizon {
-			horizon = lastExec
+		if first || lastExec < global {
+			global = lastExec
 			first = false
+		}
+		for _, t := range inst.tables {
+			if h, ok := perTable[t]; !ok || lastExec < h {
+				perTable[t] = lastExec
+			}
 		}
 	}
 	if first {
 		// All terminated: everything is collectable.
-		horizon = m.store.Now()
+		reclaimed := m.store.CollectGarbage(m.store.Now())
+		if mm := m.met; mm != nil {
+			mm.gcReclaimed.Add(int64(reclaimed))
+		}
+		return
 	}
-	reclaimed := m.store.CollectGarbage(horizon)
+	horizons := make(map[string]vclock.Timestamp)
+	for _, t := range m.store.TableNames() {
+		if h, ok := perTable[t]; ok {
+			horizons[t] = h
+		} else {
+			horizons[t] = global
+		}
+	}
+	reclaimed := m.store.CollectGarbageTables(horizons)
 	if mm := m.met; mm != nil {
 		mm.gcReclaimed.Add(int64(reclaimed))
 	}

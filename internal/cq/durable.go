@@ -176,6 +176,36 @@ func (m *Manager) Resume(e wal.CQEntry) error {
 	for _, scan := range algebra.Tables(plan) {
 		inst.tables = append(inst.tables, scan.Table)
 	}
+	// Rebuild the cascade DAG edges. Checkpoint recovery resumes entries
+	// in snapshot order, which need not be registration order — a reader
+	// can rejoin the DAG before its upstream's producer does. That is
+	// fine: the registry recomputes every node's stage retroactively
+	// when a producer registers, so the staged poll converges to the
+	// pre-crash topology no matter the resume order.
+	if _, err := m.dag.Register(e.Name, inst.tables, stmt.Into); err != nil {
+		return fmt.Errorf("cq %q: recovered cascade edges: %w", e.Name, err)
+	}
+	inst.into = stmt.Into
+	installed := false
+	defer func() {
+		if !installed {
+			m.dag.Unregister(e.Name)
+		}
+	}()
+	if stmt.Into != "" {
+		// The WAL replay normally recreated the target; a lost table
+		// (defensive path) is recreated empty and reseeded by the
+		// reconcile below. Either way the crash may sit between the last
+		// materialize commit and its execution record, so the first
+		// refresh reconciles the whole target instead of trusting its
+		// delta (materialize.go).
+		if _, serr := m.store.Schema(stmt.Into); serr != nil {
+			if cerr := m.store.CreateTable(stmt.Into, plan.Schema()); cerr != nil {
+				return fmt.Errorf("cq %q: recreate target %q: %w", e.Name, stmt.Into, cerr)
+			}
+		}
+		inst.needsReconcile = true
+	}
 	if def.Trigger.Kind == sql.TriggerEpsilon {
 		// Accountants restart empty: their divergence re-accumulates
 		// differentially from the replayed window as lastObs advances.
@@ -205,10 +235,15 @@ func (m *Manager) Resume(e wal.CQEntry) error {
 			// rejoins (or recreates) its group and is flagged
 			// pendingSync — its first refresh is a private differential
 			// catch-up from LastExec, after which it consumes the
-			// template stream like any other member.
-			_, joined, jerr := m.joinTemplateLocked(inst, true)
-			if jerr != nil {
-				return fmt.Errorf("cq %q: rejoin template: %w", e.Name, jerr)
+			// template stream like any other member. Materializing CQs
+			// never share (as at registration).
+			var joined bool
+			if stmt.Into == "" {
+				var jerr error
+				_, joined, jerr = m.joinTemplateLocked(inst, true)
+				if jerr != nil {
+					return fmt.Errorf("cq %q: rejoin template: %w", e.Name, jerr)
+				}
 			}
 			if !joined {
 				// Re-prepare with the recovered strategy, with the same
@@ -254,5 +289,6 @@ func (m *Manager) Resume(e wal.CQEntry) error {
 	m.cqs[e.Name] = inst
 	m.routePushLocked(inst)
 	m.registeredDeltaLocked(inst, +1)
+	installed = true
 	return nil
 }

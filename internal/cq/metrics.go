@@ -75,6 +75,12 @@ type metrics struct {
 	templateCandidates   *obs.Counter // cq.template.dispatch_candidates
 	templateMatches      *obs.Counter // cq.template.dispatch_matches
 
+	// Cascades (SELECT ... INTO): materializeCommits counts derived-
+	// table commits (reconciliations that staged nothing commit nothing
+	// and are not counted); materializeRows the operations they carried.
+	materializeCommits *obs.Counter // cq.materialize.commits
+	materializeRows    *obs.Counter // cq.materialize.rows
+
 	traces *obs.TraceLog // cq.refresh spans
 }
 
@@ -125,6 +131,9 @@ func newMetrics(reg *obs.Registry) *metrics {
 		templateDispatchRows: reg.Counter("cq.template.dispatch_rows"),
 		templateCandidates:   reg.Counter("cq.template.dispatch_candidates"),
 		templateMatches:      reg.Counter("cq.template.dispatch_matches"),
+
+		materializeCommits: reg.Counter("cq.materialize.commits"),
+		materializeRows:    reg.Counter("cq.materialize.rows"),
 
 		traces: reg.Traces(),
 	}

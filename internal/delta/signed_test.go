@@ -139,3 +139,131 @@ func TestInsertedDeletedRelations(t *testing.T) {
 		t.Fatalf("inserted=%d deleted=%d, want 2/1", ins.Len(), del.Len())
 	}
 }
+
+// ToDeltaNetted edge cases. The netted fast path assumes each tid
+// appears as an adjacent run of at most one -1 row then at most one +1
+// row — the shape the engine's netting emits — and must agree with the
+// general ToDelta on every input of that shape.
+
+func TestToDeltaNettedEmptyWindow(t *testing.T) {
+	s := &Signed{Schema: stockSchema()}
+	d := s.ToDeltaNetted(3)
+	if d.Len() != 0 {
+		t.Fatalf("empty window produced %d rows", d.Len())
+	}
+	if got := d.Schema(); !got.TypesEqual(stockSchema()) {
+		t.Fatalf("empty conversion lost the schema: %v", got)
+	}
+}
+
+// TestToDeltaNettedCancellingPair: a -1/+1 run with identical values is
+// a refresh that re-derived the same tuple — it must vanish rather than
+// surface as a no-op modification (a downstream cascade would otherwise
+// commit it, tick the clock, and wake its readers for nothing).
+func TestToDeltaNettedCancellingPair(t *testing.T) {
+	s := &Signed{Schema: stockSchema()}
+	v := row(7, "G", 70)
+	s.Rows = append(s.Rows,
+		SignedRow{TID: 7, Values: v, Sign: -1},
+		SignedRow{TID: 7, Values: v, Sign: +1},
+	)
+	if d := s.ToDeltaNetted(1); d.Len() != 0 {
+		t.Fatalf("cancelling pair should vanish, got %d rows", d.Len())
+	}
+	// Fully-cancelling window: every tid a no-op pair.
+	s.Rows = append(s.Rows,
+		SignedRow{TID: 8, Values: row(8, "H", 80), Sign: -1},
+		SignedRow{TID: 8, Values: row(8, "H", 80), Sign: +1},
+	)
+	if d := s.ToDeltaNetted(1); d.Len() != 0 {
+		t.Fatalf("fully-cancelling window should vanish, got %d rows", d.Len())
+	}
+}
+
+func TestToDeltaNettedPairsAndSingles(t *testing.T) {
+	s := &Signed{Schema: stockSchema()}
+	s.Rows = append(s.Rows,
+		SignedRow{TID: 1, Values: row(1, "A", 10), Sign: -1}, // lone delete
+		SignedRow{TID: 2, Values: row(2, "B", 20), Sign: -1}, // modify pair...
+		SignedRow{TID: 2, Values: row(2, "B", 25), Sign: +1},
+		SignedRow{TID: 3, Values: row(3, "C", 30), Sign: +1}, // lone insert
+	)
+	d := s.ToDeltaNetted(4)
+	ins, del, mod := d.Counts()
+	if ins != 1 || del != 1 || mod != 1 {
+		t.Fatalf("Counts = %d/%d/%d, want 1/1/1", ins, del, mod)
+	}
+	for _, r := range d.Rows() {
+		if r.TS != 4 {
+			t.Errorf("row ts = %d, want 4", r.TS)
+		}
+	}
+	// The netted fast path and the general pairing must agree.
+	if want := s.ToDelta(4); !relEq(d, want) {
+		t.Fatalf("netted %v != general %v", d.Rows(), want.Rows())
+	}
+}
+
+// TestToDeltaNettedDuplicateTIDResubmission: a tid resubmitted as two
+// non-adjacent +1 runs (a delete-then-reinsert split across the window
+// by an interleaved tid) is outside the netted contract for PAIRING,
+// but every row must still be preserved — the conversion may emit two
+// rows for the tid, never drop one.
+func TestToDeltaNettedDuplicateTIDResubmission(t *testing.T) {
+	s := &Signed{Schema: stockSchema()}
+	s.Rows = append(s.Rows,
+		SignedRow{TID: 5, Values: row(5, "E", 50), Sign: -1},
+		SignedRow{TID: 9, Values: row(9, "I", 90), Sign: +1}, // interleaver
+		SignedRow{TID: 5, Values: row(5, "E", 55), Sign: +1}, // resubmission
+	)
+	d := s.ToDeltaNetted(2)
+	if d.Len() != 3 {
+		t.Fatalf("resubmission dropped rows: %v", d.Rows())
+	}
+	var sawDel, sawIns bool
+	for _, r := range d.Rows() {
+		if r.TID == 5 && r.Kind() == Delete {
+			sawDel = true
+		}
+		if r.TID == 5 && r.Kind() == Insert && r.New[2].AsFloat() == 55 {
+			sawIns = true
+		}
+	}
+	if !sawDel || !sawIns {
+		t.Fatalf("resubmitted tid lost a half: %v", d.Rows())
+	}
+	// Adjacent duplicate +1 runs for one tid: the second must survive as
+	// its own insert, not be swallowed by the first pairing.
+	s2 := &Signed{Schema: stockSchema()}
+	s2.Rows = append(s2.Rows,
+		SignedRow{TID: 6, Values: row(6, "F", 60), Sign: +1},
+		SignedRow{TID: 6, Values: row(6, "F", 65), Sign: +1},
+	)
+	d2 := s2.ToDeltaNetted(2)
+	if d2.Len() != 2 {
+		t.Fatalf("duplicate +1 resubmission collapsed: %v", d2.Rows())
+	}
+}
+
+// relEq compares two deltas row-by-row ignoring order.
+func relEq(a, b *Delta) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	used := make([]bool, b.Len())
+	for _, ra := range a.Rows() {
+		found := false
+		for j, rb := range b.Rows() {
+			if used[j] || ra.TID != rb.TID || ra.Kind() != rb.Kind() || ra.TS != rb.TS {
+				continue
+			}
+			used[j] = true
+			found = true
+			break
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

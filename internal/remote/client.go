@@ -302,6 +302,13 @@ func (c *Client) Checkpoint() error {
 	return err
 }
 
+// Deps fetches the server's cascade dependency DAG in topological
+// order (OpDeps). Empty when the server runs no CQ manager.
+func (c *Client) Deps() ([]WireDep, error) {
+	resp, err := c.roundTrip(Request{Op: OpDeps})
+	return resp.Deps, err
+}
+
 // ListTables returns the server's table names.
 func (c *Client) ListTables() ([]string, error) {
 	resp, err := c.roundTrip(Request{Op: OpListTables})

@@ -47,6 +47,10 @@ const (
 	// replay horizon). Idempotent, so safe to retry; servers without a
 	// durable store refuse it.
 	OpCheckpoint
+	// OpDeps fetches the cascade dependency DAG — every registered CQ
+	// with its source tables, INTO target and topological refresh stage
+	// (`cqctl deps` renders it).
+	OpDeps
 )
 
 // Request is one client request.
@@ -78,6 +82,15 @@ type Response struct {
 	ColDelta *WireColDelta
 	Now      vclock.Timestamp
 	Stats    *obs.Snapshot
+	Deps     []WireDep
+}
+
+// WireDep is one cascade DAG node on the wire (OpDeps).
+type WireDep struct {
+	CQ      string
+	Sources []string
+	Target  string
+	Stage   int
 }
 
 // WireColumn mirrors relation.Column for the wire.

@@ -53,6 +53,9 @@ type Server struct {
 	// checkpointFn handles OpCheckpoint; nil refuses the op (the
 	// server's store is not durably backed). Set before Serve.
 	checkpointFn func() error
+	// depsFn handles OpDeps; nil answers with an empty DAG (the server
+	// runs no CQ manager). Set before Serve.
+	depsFn func() []WireDep
 }
 
 // SetCheckpointFunc enables OpCheckpoint: fn is invoked once per
@@ -60,6 +63,12 @@ type Server struct {
 // Serve.
 func (s *Server) SetCheckpointFunc(fn func() error) {
 	s.checkpointFn = fn
+}
+
+// SetDepsFunc enables OpDeps: fn should snapshot the CQ manager's
+// cascade dependency DAG in topological order. Call before Serve.
+func (s *Server) SetDepsFunc(fn func() []WireDep) {
+	s.depsFn = fn
 }
 
 // serverMetrics is the server's bundle of obs handles, resolved once at
@@ -349,6 +358,14 @@ func (s *Server) handle(req Request) Response {
 			return errResponse(err)
 		}
 		return Response{Now: s.store.Now()}
+
+	case OpDeps:
+		fn := s.depsFn
+		deps := []WireDep{}
+		if fn != nil {
+			deps = fn()
+		}
+		return Response{Deps: deps, Now: s.store.Now()}
 
 	default:
 		return errResponse(fmt.Errorf("unknown op %d", req.Op))

@@ -129,11 +129,16 @@ type OrderItem struct {
 type SelectStmt struct {
 	Distinct bool
 	Items    []SelectItem
-	From     []TableRef
-	Where    Expr
-	GroupBy  []Expr
-	Having   Expr
-	OrderBy  []OrderItem
+	// Into names the materialization target: a continual query declared
+	// SELECT ... INTO t commits each refresh's result delta into the
+	// derived base table t, so downstream queries can read it like any
+	// other table. Empty for ordinary (terminal) queries.
+	Into    string
+	From    []TableRef
+	Where   Expr
+	GroupBy []Expr
+	Having  Expr
+	OrderBy []OrderItem
 	// Limit bounds the result size; negative means no limit.
 	Limit int64
 }

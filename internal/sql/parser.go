@@ -165,6 +165,14 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		}
 	}
 
+	if p.acceptKeyword("INTO") {
+		target, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		sel.Into = target
+	}
+
 	if err := p.expectKeyword("FROM"); err != nil {
 		return nil, err
 	}

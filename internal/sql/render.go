@@ -30,6 +30,10 @@ func (s *SelectStmt) String() string {
 			b.WriteString(it.Alias)
 		}
 	}
+	if s.Into != "" {
+		b.WriteString(" INTO ")
+		b.WriteString(s.Into)
+	}
 	if len(s.From) > 0 {
 		b.WriteString(" FROM ")
 		for i, ref := range s.From {

@@ -36,6 +36,14 @@ type CommitEvent struct {
 	// store.
 	Overload OverloadLevel
 	Changes  []TableChange
+	// Origin names the continual query whose materialization produced
+	// this commit (Tx.SetOrigin), empty for ordinary client writes.
+	// Depth is that query's cascade stage plus one — the number of
+	// materialization hops between the originating client commit and
+	// this delta. Routing and metrics use the pair to attribute derived
+	// deltas without inspecting table names.
+	Origin string
+	Depth  int
 }
 
 // CommitHook receives every committed transaction, invoked under the

@@ -366,6 +366,48 @@ func (s *Store) CollectGarbage(horizon vclock.Timestamp) int {
 	return total
 }
 
+// CollectGarbageTables drops delta rows per table at table-specific
+// horizons — the cascade-aware refinement of CollectGarbage. A table's
+// horizon is the minimum last-execution timestamp over the CQs that
+// actually read it, so a derived table's retention extends exactly to
+// its slowest downstream consumer while tables with only fast readers
+// collect further. Tables absent from the map are left untouched.
+// Returns the total number of rows collected.
+func (s *Store) CollectGarbageTables(horizons map[string]vclock.Timestamp) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	var freedBytes int64
+	for name, horizon := range horizons {
+		t, ok := s.tables[name]
+		if !ok {
+			continue
+		}
+		for _, r := range t.dlt.Rows() {
+			if r.TS > horizon {
+				break
+			}
+			freedBytes += approxRowBytes(r)
+		}
+		n := t.dlt.TruncateBefore(horizon)
+		total += n
+		if horizon > t.lowWater {
+			t.lowWater = horizon
+		}
+		if m := s.met; m != nil && n > 0 {
+			m.tableGauge(t.name).Set(int64(t.dlt.Len()))
+		}
+	}
+	s.noteDeltaDropLocked(total, freedBytes)
+	s.recomputeOverloadLocked()
+	if m := s.met; m != nil {
+		m.gcRuns.Inc()
+		m.gcRows.Add(int64(total))
+		m.deltaTotal.Add(-int64(total))
+	}
+	return total
+}
+
 // NewTID allocates a fresh tuple identifier.
 func (s *Store) NewTID() relation.TID {
 	s.mu.Lock()
@@ -393,6 +435,20 @@ type Tx struct {
 	// for read-your-writes and intra-tx folding. Indexes (not pointers)
 	// are stored because append may reallocate ops.
 	pending map[string]map[relation.TID]int
+	// origin/depth carry materialization provenance onto the commit
+	// event (SetOrigin); zero for ordinary client transactions.
+	origin string
+	depth  int
+}
+
+// SetOrigin tags the transaction as the materialization of a continual
+// query's refresh: origin is the producing CQ, depth is its cascade
+// stage plus one. The pair rides the commit event (CommitEvent.Origin/
+// Depth), letting the push router and metrics distinguish derived
+// deltas — and their hop count — from client writes.
+func (tx *Tx) SetOrigin(origin string, depth int) {
+	tx.origin = origin
+	tx.depth = depth
 }
 
 // Begin starts a transaction.
@@ -645,7 +701,8 @@ func (tx *Tx) Commit() (vclock.Timestamp, error) {
 	// consumer sees events in strict commit order and every event's
 	// delta window is already readable.
 	if h := s.hook; h != nil && appended > 0 {
-		ev := CommitEvent{TS: ts, At: time.Now(), Overload: s.overload, Changes: make([]TableChange, 0, len(touched))}
+		ev := CommitEvent{TS: ts, At: time.Now(), Overload: s.overload, Changes: make([]TableChange, 0, len(touched)),
+			Origin: tx.origin, Depth: tx.depth}
 		// Build one columnar image per touched table, in tx op order —
 		// the same order the delta log recorded. Unpooled: the batch's
 		// ownership passes to the hook's consumer.

@@ -33,7 +33,7 @@ func statsWorkload(t *testing.T) *continual.DB {
 	if _, err := db.Register("expensive", `SELECT * FROM stocks WHERE price > 120`); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.Register("sectors", `SELECT * FROM stocks JOIN sectors ON stocks.name = sectors.name`); err != nil {
+	if _, err := db.Register("sector_join", `SELECT * FROM stocks JOIN sectors ON stocks.name = sectors.name`); err != nil {
 		t.Fatal(err)
 	}
 	for _, stmt := range []string{
